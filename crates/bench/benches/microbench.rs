@@ -1,0 +1,210 @@
+//! Criterion micro-benchmarks for the building blocks: block codec,
+//! ChooseBest window scan, point lookups (with and without Bloom
+//! filters), LRU cache, and the merge engine.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsm_tree::block::DataBlock;
+use lsm_tree::memtable::RunMeta;
+use lsm_tree::policy::window::choose_best_window;
+use lsm_tree::{BlockHandle, LsmConfig, LsmTree, PolicySpec, Record, Store, TreeOptions};
+use sim_ssd::LruCache;
+
+fn sample_block(records: usize, payload: usize) -> DataBlock {
+    DataBlock::new(
+        (0..records as u64).map(|k| Record::put(k * 7, vec![k as u8; payload])).collect(),
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let block = sample_block(36, 100); // the paper's default geometry
+    g.bench_function("encode_4k_block_36_records", |b| {
+        b.iter(|| black_box(block.encode(4096).unwrap()))
+    });
+    let frame = block.encode(4096).unwrap();
+    g.bench_function("decode_4k_block_36_records", |b| {
+        b.iter(|| black_box(DataBlock::decode(&frame).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_window_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("choose_best_scan");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &(n_src, n_tgt) in &[(250usize, 2_500usize), (2_500, 25_000)] {
+        let src: Vec<RunMeta> = (0..n_src as u64)
+            .map(|i| RunMeta { min: i * 1000, max: i * 1000 + 900, count: 36 })
+            .collect();
+        let target: Vec<BlockHandle> = (0..n_tgt as u64)
+            .map(|i| BlockHandle {
+                id: sim_ssd::BlockId(i),
+                min: i * 100,
+                max: i * 100 + 90,
+                count: 36,
+                tombstones: 0,
+                bloom: None,
+            })
+            .collect();
+        let window = (n_src / 20).max(1);
+        g.bench_with_input(
+            BenchmarkId::new("src_x_target", format!("{n_src}x{n_tgt}")),
+            &(src, target, window),
+            |b, (src, target, window)| {
+                b.iter(|| black_box(choose_best_window(src, target, *window)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn tree_with(bloom_bits: usize) -> LsmTree {
+    let cfg = LsmConfig {
+        k0_blocks: 16,
+        cache_blocks: 512,
+        bloom_bits_per_key: bloom_bits,
+        ..LsmConfig::default()
+    };
+    let mut t = LsmTree::with_mem_device(cfg, TreeOptions::default(), 1 << 16).unwrap();
+    for n in 0..40_000u64 {
+        t.put(n * 25, vec![0xAB; 100]).unwrap();
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut plain = tree_with(0);
+    let mut bloomed = tree_with(10);
+    let mut i = 0u64;
+    g.bench_function("present_key", |b| {
+        b.iter(|| {
+            i = (i + 9973) % 40_000;
+            black_box(plain.get(i * 25).unwrap())
+        })
+    });
+    g.bench_function("absent_key_no_bloom", |b| {
+        b.iter(|| {
+            i = (i + 9973) % 40_000;
+            black_box(plain.get(i * 25 + 13).unwrap())
+        })
+    });
+    g.bench_function("absent_key_bloom", |b| {
+        b.iter(|| {
+            i = (i + 9973) % 40_000;
+            black_box(bloomed.get(i * 25 + 13).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru_cache");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.bench_function("hit", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(1024);
+        for k in 0..1024 {
+            cache.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 619) % 1024;
+            black_box(cache.get(&k))
+        })
+    });
+    g.bench_function("miss_insert_evict", |b| {
+        let mut cache: LruCache<u64, u64> = LruCache::new(1024);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(cache.insert(k, k))
+        })
+    });
+    g.finish();
+}
+
+fn bench_policies_end_to_end(c: &mut Criterion) {
+    // Requests/second through the whole index per policy — the CPU-side
+    // counterpart of Figure 7.
+    let mut g = c.benchmark_group("policy_throughput");
+    g.measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(10);
+    for (name, spec) in [
+        ("full", PolicySpec::Full),
+        ("rr", PolicySpec::RoundRobin),
+        ("choose_best", PolicySpec::ChooseBest),
+        ("test_mixed", PolicySpec::TestMixed),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let cfg = LsmConfig { k0_blocks: 8, cache_blocks: 256, ..LsmConfig::default() };
+                    LsmTree::with_mem_device(
+                        cfg,
+                        TreeOptions { policy: spec.clone(), ..TreeOptions::default() },
+                        1 << 15,
+                    )
+                    .unwrap()
+                },
+                |mut tree| {
+                    for n in 0..4_000u64 {
+                        tree.put((n * 2_654_435_761) % 1_000_000, vec![7u8; 100]).unwrap();
+                    }
+                    tree
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge_engine");
+    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    for (name, preserve) in [("preserving", true), ("plain", false)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let store = Store::in_memory(16_384, 4096, 64);
+                    let mut level = lsm_tree::level::Level::new();
+                    let b_cap = 36;
+                    for chunk_start in (0..36_000u64).step_by(b_cap) {
+                        let recs: Vec<Record> = (chunk_start..chunk_start + b_cap as u64)
+                            .map(|k| Record::put(k * 3, vec![1u8; 100]))
+                            .collect();
+                        level.push(store.write_block(recs).unwrap());
+                    }
+                    let incoming: Vec<Record> =
+                        (0..3_600u64).map(|k| Record::put(k * 30 + 1, vec![2u8; 100])).collect();
+                    (store, level, incoming, preserve)
+                },
+                |(store, mut level, incoming, preserve)| {
+                    let engine = lsm_tree::MergeEngine::new(&store, 36, 0.2, preserve);
+                    engine
+                        .merge_into(&mut level, &[], lsm_tree::MergeSource::Records(incoming))
+                        .unwrap();
+                    (store, level)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_window_scan,
+    bench_lookup,
+    bench_cache,
+    bench_policies_end_to_end,
+    bench_merge_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! A tiny `--key=value` command-line parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags: `--key=value` or bare `--flag`.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (tests).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = BTreeMap::new();
+        for arg in iter {
+            let Some(stripped) = arg.strip_prefix("--") else {
+                eprintln!("warning: ignoring positional argument {arg:?}");
+                continue;
+            };
+            match stripped.split_once('=') {
+                Some((k, v)) => values.insert(k.to_string(), v.to_string()),
+                None => values.insert(stripped.to_string(), "true".to_string()),
+            };
+        }
+        Args { values }
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag: present (or `=true`) means true.
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Typed value with a default; panics with a clear message on a
+    /// malformed value (these are operator-facing binaries).
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for --{key}: {raw:?} ({e})")),
+        }
+    }
+
+    /// Comma-separated list of typed values, or the default when absent.
+    pub fn list_or<T>(&self, key: &str, default: &[T]) -> Vec<T>
+    where
+        T: std::str::FromStr + Clone,
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("invalid element in --{key}: {s:?} ({e})"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse_from(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = args(&["--size=20", "--paper-scale", "--name=foo"]);
+        assert_eq!(a.get("size"), Some("20"));
+        assert!(a.flag("paper-scale"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get_or("size", 0u64), 20);
+        assert_eq!(a.get_or("other", 7u64), 7);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = args(&["--sizes=1,2, 3"]);
+        assert_eq!(a.list_or("sizes", &[9u64]), vec![1, 2, 3]);
+        assert_eq!(a.list_or("absent", &[9u64]), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        let a = args(&["--n=abc"]);
+        let _: u64 = a.get_or("n", 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Ablation — arbitrary-range vs SSTable-granularity window selection
+//! (the §VI HyperLevelDB comparison).
+//!
+//! HyperLevelDB pre-partitions each level and picks the best partition to
+//! merge; the paper's ChooseBest "examines all possible ranges and can
+//! find potentially cheaper options", making ChooseBest(-P) a lower bound
+//! on HyperLevelDB's cost. This sweep quantifies the gap by running
+//! ChooseBest, ChooseBest restricted to aligned windows, and RR on the
+//! same workloads.
+//!
+//! ```text
+//! cargo run --release --bin abl_aligned_windows -- [--size-mb=40] [--measure-mb=60]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{Args, Csv, Table, WorkloadKind};
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
+use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let size_mb: u64 = args.get_or("size-mb", 40);
+    let measure_mb: f64 = args.get_or("measure-mb", 60.0);
+    let seed: u64 = args.get_or("seed", 1);
+
+    let policies = [
+        ("RR", PolicySpec::RoundRobin),
+        ("ChooseBestAligned", PolicySpec::ChooseBestAligned),
+        ("ChooseBest", PolicySpec::ChooseBest),
+    ];
+    let workloads_under_test =
+        [WorkloadKind::Uniform, WorkloadKind::normal_default()];
+
+    println!("\n== Ablation: window-selection granularity ({size_mb} MB) ==");
+    let mut table = Table::new(["workload", "RR", "ChooseBestAligned", "ChooseBest"]);
+    let mut csv = Csv::new("abl_aligned_windows", &["workload", "policy", "writes_per_mb"]);
+
+    for kind in &workloads_under_test {
+        let mut row = vec![kind.name().to_string()];
+        for (name, spec) in &policies {
+            let cfg = LsmConfig {
+                k0_blocks: 250,
+                cache_blocks: 256,
+                merge_rate: 0.05,
+                ..LsmConfig::default()
+            };
+            let mut tree = LsmTree::with_mem_device(
+                cfg.clone(),
+                TreeOptions { policy: spec.clone(), ..TreeOptions::default() },
+                (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
+            )
+            .unwrap();
+            let mut wl = kind.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+            fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
+            reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
+            let meter = CostMeter::start(&tree);
+            run_requests(&mut tree, &mut *wl, volume_requests(measure_mb, cfg.record_size()))
+                .unwrap();
+            let r = meter.read(&tree);
+            row.push(fmt_f(r.writes_per_mb, 0));
+            csv.row(&[kind.name().to_string(), name.to_string(), format!("{:.2}", r.writes_per_mb)]);
+            eprintln!("  [{}] {name}: {:.0} writes/MB", kind.name(), r.writes_per_mb);
+        }
+        table.row(row);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! Ablation — the merge rate δ: amortized cost vs per-merge latency cap.
+//!
+//! Theorem 2 bounds every ChooseBest merge by δ(1/Γ + 1)·K_i, so δ is the
+//! knob trading amortized write cost against worst-case merge size (the
+//! index's availability, the original motivation for partial merges). The
+//! sweep reports both ends of the trade for each δ.
+//!
+//! ```text
+//! cargo run --release --bin abl_delta_sweep -- [--deltas=0.02,0.05,0.1,0.2,0.5] \
+//!     [--size-mb=40] [--measure-mb=60]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{Args, Csv, Table, WorkloadKind};
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeEvent, TreeOptions};
+use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let deltas: Vec<f64> = args.list_or("deltas", &[0.02, 0.05, 0.1, 0.2, 0.5]);
+    let size_mb: u64 = args.get_or("size-mb", 40);
+    let measure_mb: f64 = args.get_or("measure-mb", 60.0);
+    let seed: u64 = args.get_or("seed", 1);
+
+    println!("\n== Ablation: merge rate δ (ChooseBest, Uniform, {size_mb} MB) ==");
+    let mut table = Table::new(["delta", "writes/MB", "max_single_merge_writes", "mean_merge_writes"]);
+    let mut csv = Csv::new("abl_delta_sweep", &["delta", "writes_per_mb", "max_merge_writes", "mean_merge_writes"]);
+
+    for &delta in &deltas {
+        let cfg = LsmConfig {
+            k0_blocks: 250,
+            cache_blocks: 256,
+            merge_rate: delta,
+            ..LsmConfig::default()
+        };
+        let mut tree = LsmTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions { policy: PolicySpec::ChooseBest, record_events: true, ..TreeOptions::default() },
+            (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
+        )
+        .unwrap();
+        let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+        fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
+        reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
+        tree.take_events();
+        let meter = CostMeter::start(&tree);
+        run_requests(&mut tree, &mut *wl, volume_requests(measure_mb, cfg.record_size())).unwrap();
+        let r = meter.read(&tree);
+
+        let merge_writes: Vec<u64> = tree
+            .take_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TreeEvent::MergeInto { writes, .. } => Some(writes),
+                _ => None,
+            })
+            .collect();
+        let max = merge_writes.iter().copied().max().unwrap_or(0);
+        let mean = merge_writes.iter().sum::<u64>() as f64 / merge_writes.len().max(1) as f64;
+        table.row([fmt_f(delta, 2), fmt_f(r.writes_per_mb, 0), max.to_string(), fmt_f(mean, 1)]);
+        csv.row(&[
+            format!("{delta}"),
+            format!("{:.2}", r.writes_per_mb),
+            max.to_string(),
+            format!("{mean:.2}"),
+        ]);
+        eprintln!("  δ={delta}: {:.0} writes/MB, worst merge {max} blocks", r.writes_per_mb);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,81 @@
+//! Ablation — the maximum waste factor ε: preservation slack vs space.
+//!
+//! §II-B allows each merge `ε·δ·K·B` empty slots of slack; a larger ε
+//! admits more block preservation (fewer writes) but tolerates more wasted
+//! space and can require more compactions to repair. The sweep quantifies
+//! all three.
+//!
+//! ```text
+//! cargo run --release --bin abl_eps_sweep -- [--eps=0.05,0.1,0.2,0.3,0.5] \
+//!     [--size-mb=40] [--measure-mb=60]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{Args, Csv, Table, WorkloadKind};
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
+use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let eps_values: Vec<f64> = args.list_or("eps", &[0.05, 0.1, 0.2, 0.3, 0.5]);
+    let size_mb: u64 = args.get_or("size-mb", 40);
+    let measure_mb: f64 = args.get_or("measure-mb", 60.0);
+    let seed: u64 = args.get_or("seed", 1);
+
+    println!("\n== Ablation: waste factor ε (ChooseBest, Normal, {size_mb} MB) ==");
+    let mut table =
+        Table::new(["eps", "writes/MB", "preserved/MB", "compactions", "space_overhead"]);
+    let mut csv = Csv::new(
+        "abl_eps_sweep",
+        &["eps", "writes_per_mb", "preserved_per_mb", "compactions", "space_overhead"],
+    );
+
+    for &eps in &eps_values {
+        let cfg = LsmConfig {
+            k0_blocks: 250,
+            cache_blocks: 256,
+            merge_rate: 0.05,
+            waste_eps: eps,
+            ..LsmConfig::default()
+        };
+        let mut tree = LsmTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
+        )
+        .unwrap();
+        let mut wl =
+            WorkloadKind::normal_default().build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+        fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
+        reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
+        let meter = CostMeter::start(&tree);
+        run_requests(&mut tree, &mut *wl, volume_requests(measure_mb, cfg.record_size())).unwrap();
+        let r = meter.read(&tree);
+
+        let b = cfg.block_capacity();
+        let blocks: usize = tree.levels().iter().map(|l| l.num_blocks()).sum();
+        let records: u64 = tree.levels().iter().map(|l| l.records()).sum();
+        let minimal = (records as usize).div_ceil(b).max(1);
+        let overhead = blocks as f64 / minimal as f64;
+        let compactions: u64 =
+            (1..=tree.levels().len()).map(|i| tree.stats().level(i).compactions).sum();
+        table.row([
+            fmt_f(eps, 2),
+            fmt_f(r.writes_per_mb, 0),
+            fmt_f(r.blocks_preserved as f64 / r.volume_mb.max(1e-9), 1),
+            compactions.to_string(),
+            fmt_f(overhead, 3),
+        ]);
+        csv.row(&[
+            format!("{eps}"),
+            format!("{:.2}", r.writes_per_mb),
+            format!("{:.2}", r.blocks_preserved as f64 / r.volume_mb.max(1e-9)),
+            compactions.to_string(),
+            format!("{overhead:.4}"),
+        ]);
+        eprintln!("  ε={eps}: {:.0} writes/MB, {compactions} compactions", r.writes_per_mb);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

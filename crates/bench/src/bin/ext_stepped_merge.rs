@@ -1,0 +1,134 @@
+//! Extension experiment — Stepped-Merge vs leveled LSM (§VI).
+//!
+//! The paper declines Stepped-Merge (Cassandra/HBase's default shape)
+//! because it "sacrifices lookups" to cut merge cost. This run puts
+//! numbers on both sides of that trade, on identical substrates: write
+//! cost per MB of requests, lookup block-reads per query, and the number
+//! of sorted runs a lookup may probe.
+//!
+//! ```text
+//! cargo run --release --bin ext_stepped_merge -- [--size-mb=20] \
+//!     [--fan-in=4] [--measure-mb=60] [--probes=20000]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{Args, Csv, ExperimentScale, Table, WorkloadKind};
+use lsm_tree::{LsmTree, PolicySpec, RequestSource, SteppedMergeTree, TreeOptions};
+use workloads::{volume_requests, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let size_mb: u64 = args.get_or("size-mb", 20);
+    let fan_in: usize = args.get_or("fan-in", 4);
+    let measure_mb: f64 = args.get_or("measure-mb", 60.0);
+    let probes: u64 = args.get_or("probes", 20_000);
+    let seed: u64 = args.get_or("seed", 1);
+
+    let scale = ExperimentScale::small();
+    let cfg = scale.config(100);
+    let device_blocks = (size_mb * 1024 * 1024 / cfg.block_size as u64) * 8;
+    let fill = volume_requests(size_mb as f64, cfg.record_size());
+    let measure = volume_requests(measure_mb, cfg.record_size());
+    let domain = lsm_bench::setup::KEY_DOMAIN;
+
+    println!(
+        "\n== Extension: Stepped-Merge (fan-in {fan_in}) vs leveled LSM, Uniform {size_mb} MB =="
+    );
+    let mut table = Table::new([
+        "design",
+        "writes/MB (steady)",
+        "lookup reads/query",
+        "max runs probed",
+    ]);
+    let mut csv = Csv::new(
+        "ext_stepped_merge",
+        &["design", "writes_per_mb", "lookup_reads_per_query", "lookup_fanout"],
+    );
+
+    // --- Stepped-Merge ------------------------------------------------
+    {
+        let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+        let mut sm = SteppedMergeTree::with_mem_device(cfg.clone(), fan_in, device_blocks).unwrap();
+        for _ in 0..fill {
+            sm.apply(wl.next_request()).unwrap();
+        }
+        wl.set_ratio(InsertRatio::HALF);
+        let before = sm.stats().clone();
+        for _ in 0..measure {
+            sm.apply(wl.next_request()).unwrap();
+        }
+        let writes = sm.stats().total_blocks_written() - before.total_blocks_written();
+        let writes_per_mb = writes as f64 / measure_mb;
+
+        let reads0 = sm.stats().lookup_block_reads;
+        let mut x = 0x5555u64;
+        for _ in 0..probes {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sm.get((x >> 16) % domain).unwrap();
+        }
+        let reads_per_q = (sm.stats().lookup_block_reads - reads0) as f64 / probes as f64;
+        let fanout = sm.lookup_fanout();
+        table.row([
+            format!("SteppedMerge(k={fan_in})"),
+            fmt_f(writes_per_mb, 0),
+            fmt_f(reads_per_q, 3),
+            fanout.to_string(),
+        ]);
+        csv.row(&[
+            format!("stepped_k{fan_in}"),
+            format!("{writes_per_mb:.2}"),
+            format!("{reads_per_q:.4}"),
+            fanout.to_string(),
+        ]);
+    }
+
+    // --- Leveled LSM (ChooseBest and Full) ----------------------------
+    for (name, policy) in
+        [("LSM/ChooseBest", PolicySpec::ChooseBest), ("LSM/Full", PolicySpec::Full)]
+    {
+        let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+        let mut tree = LsmTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions { policy, ..TreeOptions::default() },
+            device_blocks,
+        )
+        .unwrap();
+        for _ in 0..fill {
+            tree.apply(wl.next_request()).unwrap();
+        }
+        wl.set_ratio(InsertRatio::HALF);
+        let before = tree.stats().clone();
+        for _ in 0..measure {
+            tree.apply(wl.next_request()).unwrap();
+        }
+        let writes = tree.stats().total_blocks_written() - before.total_blocks_written();
+        let writes_per_mb = writes as f64 / measure_mb;
+
+        let reads0 = tree.stats().lookup_block_reads;
+        let mut x = 0x5555u64;
+        for _ in 0..probes {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            tree.get((x >> 16) % domain).unwrap();
+        }
+        let reads_per_q = (tree.stats().lookup_block_reads - reads0) as f64 / probes as f64;
+        // Leveled LSM probes at most one run per level.
+        let fanout = tree.levels().len();
+        table.row([
+            name.to_string(),
+            fmt_f(writes_per_mb, 0),
+            fmt_f(reads_per_q, 3),
+            fanout.to_string(),
+        ]);
+        csv.row(&[
+            name.to_string(),
+            format!("{writes_per_mb:.2}"),
+            format!("{reads_per_q:.4}"),
+            fanout.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\n(§VI: Stepped-Merge cuts writes but multiplies the runs a lookup probes;");
+    println!(" partial merges cut writes without that penalty — the paper's philosophy.)");
+    let path = csv.write().expect("write csv");
+    println!("wrote {}", path.display());
+}

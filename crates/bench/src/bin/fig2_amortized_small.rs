@@ -1,0 +1,69 @@
+//! Figure 2 — amortized steady-state write cost of Full, ChooseBest
+//! (δ = 1/20), and TestMixed across dataset sizes 20–100 MB, under
+//! Uniform (2a) and Normal(σ = 0.5 %, ω = 10⁴) (2b).
+//!
+//! Setup: K0 = 1 MB (250 blocks), 1 MB buffer cache, 50/50 insert/delete
+//! mix, measured after the §V-A steady-state criterion.
+//!
+//! ```text
+//! cargo run --release --bin fig2_amortized_small -- [--sizes=20,40,..] \
+//!     [--workload=uniform|normal|both] [--measure-mb=50] [--seed=1]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{prepared_tree, Args, Csv, ExperimentScale, PolicyCase, Table, WorkloadKind};
+use lsm_tree::PolicySpec;
+use workloads::{run_requests, volume_requests, CostMeter};
+
+fn main() {
+    let args = Args::from_env();
+    let sizes: Vec<u64> = args.list_or("sizes", &[20, 40, 60, 80, 100]);
+    let measure_mb: f64 = args.get_or("measure-mb", 100.0);
+    let seed: u64 = args.get_or("seed", 1);
+    let which = args.get("workload").unwrap_or("both").to_string();
+
+    let scale = ExperimentScale::small();
+    let cases = [
+        PolicyCase { name: "Full", spec: PolicySpec::Full, preserve: true },
+        PolicyCase { name: "ChooseBest", spec: PolicySpec::ChooseBest, preserve: true },
+        PolicyCase { name: "TestMixed", spec: PolicySpec::TestMixed, preserve: true },
+    ];
+    let workloads: Vec<WorkloadKind> = match which.as_str() {
+        "uniform" => vec![WorkloadKind::Uniform],
+        "normal" => vec![WorkloadKind::normal_default()],
+        _ => vec![WorkloadKind::Uniform, WorkloadKind::normal_default()],
+    };
+
+    let cfg = scale.config(100);
+    let requests = volume_requests(measure_mb, cfg.record_size());
+    let mut csv = Csv::new("fig2_amortized_small", &["workload", "size_mb", "policy", "writes_per_mb"]);
+
+    for kind in &workloads {
+        println!("\n== Figure 2 ({}) — blocks written per 1MB of requests ==", kind.name());
+        let mut table = Table::new(
+            std::iter::once("size_mb".to_string())
+                .chain(cases.iter().map(|c| c.name.to_string())),
+        );
+        for &size in &sizes {
+            let mut row = vec![size.to_string()];
+            for case in &cases {
+                let bytes = scale.dataset_bytes(size);
+                let (mut tree, mut wl) = prepared_tree(&cfg, case, *kind, seed, bytes);
+                let meter = CostMeter::start(&tree);
+                run_requests(&mut tree, &mut *wl, requests).expect("measurement run");
+                let r = meter.read(&tree);
+                row.push(fmt_f(r.writes_per_mb, 1));
+                csv.row(&[
+                    kind.name().to_string(),
+                    size.to_string(),
+                    case.name.to_string(),
+                    format!("{:.2}", r.writes_per_mb),
+                ]);
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,119 @@
+//! Figure 6 — steady-state write cost across dataset sizes for all seven
+//! policies: Full-P, Full, RR-P, RR, ChooseBest-P, ChooseBest, Mixed, on
+//! Uniform (6a), Normal(σ = 0.5 %, ω = 10⁴) (6b), and TPC (6c).
+//!
+//! Shapes the paper reports, all measurable from this binary's output:
+//! * Mixed has the fewest writes everywhere (or ties ChooseBest);
+//! * the 3→4 level transition shows a *drop* in cost for Full and Mixed;
+//! * RR ≈ ChooseBest under Uniform/TPC but clearly worse under Normal;
+//! * "-P" variants ≈ their counterparts at 100-byte payloads under
+//!   Uniform, but visibly worse under Normal (skew → preservation).
+//!
+//! Default scale is the paper's setup divided by 8 (kept ratios: Γ, δ, ε,
+//! dataset/K2 — see EXPERIMENTS.md); `--paper-scale` runs full size.
+//!
+//! ```text
+//! cargo run --release --bin fig6_steady_state -- [--workload=all] \
+//!     [--sizes=200,400,...] [--measure-mb=60] [--paper-scale] [--seed=1] \
+//!     [--no-learn]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{policy_matrix, prepared_tree, Args, Csv, ExperimentScale, Table, WorkloadKind};
+use lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
+use lsm_tree::PolicySpec;
+use workloads::{run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = ExperimentScale::large(args.flag("paper-scale"));
+    let seed: u64 = args.get_or("seed", 1);
+    let measure_mb: f64 = args.get_or("measure-mb", 120.0);
+    let learn = !args.flag("no-learn");
+    let which = args.get("workload").unwrap_or("all").to_string();
+    let tag = args.get("tag").map(|t| format!("_{t}")).unwrap_or_default();
+
+    let default_sizes: &[u64] = &[200, 400, 800, 1200, 1600, 2000];
+    let tpc_sizes: &[u64] = &[200, 800, 1600, 3200];
+    let cases = policy_matrix();
+    let cfg = scale.config(100);
+    let requests = volume_requests(measure_mb, cfg.record_size());
+
+    let runs: Vec<(WorkloadKind, Vec<u64>)> = match which.as_str() {
+        "uniform" => vec![(WorkloadKind::Uniform, args.list_or("sizes", default_sizes))],
+        "normal" => vec![(WorkloadKind::normal_default(), args.list_or("sizes", default_sizes))],
+        "tpc" => vec![(WorkloadKind::Tpc, args.list_or("sizes", tpc_sizes))],
+        _ => vec![
+            (WorkloadKind::Uniform, args.list_or("sizes", default_sizes)),
+            (WorkloadKind::normal_default(), args.list_or("sizes", default_sizes)),
+            (WorkloadKind::Tpc, args.list_or("sizes", tpc_sizes)),
+        ],
+    };
+
+    let mut csv = Csv::new(
+        &format!("fig6_steady_state{tag}"),
+        &["workload", "paper_size_mb", "policy", "writes_per_mb", "reads_per_mb", "preserved_per_mb", "seconds_per_mb", "height"],
+    );
+
+    for (kind, sizes) in &runs {
+        println!(
+            "\n== Figure 6 ({}, scale {}) — blocks written per 1MB of requests ==",
+            kind.name(),
+            scale.name
+        );
+        let mut table = Table::new(
+            std::iter::once("size_mb".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
+        );
+        for &size in sizes {
+            let mut row = vec![size.to_string()];
+            for case in &cases {
+                let bytes = scale.dataset_bytes(size);
+                let (mut tree, mut wl) = prepared_tree(&cfg, case, *kind, seed, bytes);
+                if learn && matches!(case.spec, PolicySpec::Mixed(_)) {
+                    let opts = LearnOptions {
+                        cycles_per_measurement: 1,
+                        max_requests_per_measurement: requests * 40,
+                        ..LearnOptions::default()
+                    };
+                    let report =
+                        learn_mixed_params(&mut tree, &mut wl, &opts).expect("learning failed");
+                    eprintln!(
+                        "  [{} {}MB] learned Mixed params: thresholds {:?}, beta {}",
+                        kind.name(),
+                        size,
+                        report.params.thresholds,
+                        report.params.beta
+                    );
+                    wl.set_ratio(InsertRatio::HALF);
+                }
+                let meter = CostMeter::start(&tree);
+                run_requests(&mut tree, &mut *wl, requests).expect("measurement run");
+                let r = meter.read(&tree);
+                row.push(fmt_f(r.writes_per_mb, 0));
+                csv.row(&[
+                    kind.name().to_string(),
+                    size.to_string(),
+                    case.name.to_string(),
+                    format!("{:.2}", r.writes_per_mb),
+                    format!("{:.2}", r.blocks_read as f64 / r.volume_mb.max(1e-9)),
+                    format!("{:.2}", r.blocks_preserved as f64 / r.volume_mb.max(1e-9)),
+                    format!("{:.4}", r.seconds_per_mb()),
+                    tree.height().to_string(),
+                ]);
+                eprintln!(
+                    "  [{} {}MB] {}: {:.0} writes/MB (h={})",
+                    kind.name(),
+                    size,
+                    case.name,
+                    r.writes_per_mb,
+                    tree.height()
+                );
+                csv.write().expect("write csv");
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

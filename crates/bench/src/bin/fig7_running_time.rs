@@ -1,0 +1,68 @@
+//! Figure 7 — steady-state request processing time per 1 MB of requests
+//! under Normal, for all seven policies.
+//!
+//! The paper stresses that wall time is platform-dependent; the claim this
+//! binary verifies is *ordinal*: the ranking of policies by running time
+//! largely matches the ranking by writes, with Mixed winning (occasionally
+//! losing to ChooseBest by a small margin), and the range-selection CPU
+//! overhead staying a small fraction of total time.
+//!
+//! ```text
+//! cargo run --release --bin fig7_running_time -- [--sizes=200,...] \
+//!     [--measure-mb=60] [--paper-scale] [--seed=1]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{policy_matrix, prepared_tree, Args, Csv, ExperimentScale, Table, WorkloadKind};
+use lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
+use lsm_tree::PolicySpec;
+use workloads::{run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = ExperimentScale::large(args.flag("paper-scale"));
+    let seed: u64 = args.get_or("seed", 1);
+    let measure_mb: f64 = args.get_or("measure-mb", 120.0);
+    let sizes: Vec<u64> = args.list_or("sizes", &[200, 800, 1600, 2000]);
+
+    let kind = WorkloadKind::normal_default();
+    let cases = policy_matrix();
+    let cfg = scale.config(100);
+    let requests = volume_requests(measure_mb, cfg.record_size());
+    let mut csv = Csv::new("fig7_running_time", &["paper_size_mb", "policy", "seconds_per_mb", "writes_per_mb"]);
+
+    println!("\n== Figure 7 (Normal, scale {}) — seconds per 1MB of requests ==", scale.name);
+    let mut table = Table::new(
+        std::iter::once("size_mb".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
+    );
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for case in &cases {
+            let bytes = scale.dataset_bytes(size);
+            let (mut tree, mut wl) = prepared_tree(&cfg, case, kind, seed, bytes);
+            if matches!(case.spec, PolicySpec::Mixed(_)) {
+                let opts = LearnOptions {
+                    max_requests_per_measurement: requests * 40,
+                    ..LearnOptions::default()
+                };
+                learn_mixed_params(&mut tree, &mut wl, &opts).expect("learning failed");
+                wl.set_ratio(InsertRatio::HALF);
+            }
+            let meter = CostMeter::start(&tree);
+            run_requests(&mut tree, &mut *wl, requests).expect("measurement run");
+            let r = meter.read(&tree);
+            row.push(fmt_f(r.seconds_per_mb(), 4));
+            csv.row(&[
+                size.to_string(),
+                case.name.to_string(),
+                format!("{:.5}", r.seconds_per_mb()),
+                format!("{:.2}", r.writes_per_mb),
+            ]);
+            eprintln!("  [{size}MB] {}: {:.4} s/MB", case.name, r.seconds_per_mb());
+        }
+        table.row(row);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Figure 8 — effect of workload skew: steady-state write cost for a
+//! 300 MB dataset under Normal(σ, ω = 10⁴) as 2σ sweeps from 0.005 % to
+//! 20 % of the key domain, for all seven policies.
+//!
+//! Paper claims verified here (reading the sweep right to left, i.e.
+//! increasing skew):
+//! * ChooseBest(-P) pulls further ahead of RR(-P);
+//! * block-preserving policies pull further ahead of their "-P" twins;
+//! * Mixed keeps a comfortable lead across the whole range.
+//!
+//! ```text
+//! cargo run --release --bin fig8_skew_sweep -- [--size-mb=300] \
+//!     [--two-sigma-pct=0.005,0.05,1,5,20] [--measure-mb=60] [--seed=1]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{policy_matrix, prepared_tree, Args, Csv, ExperimentScale, Table, WorkloadKind};
+use lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
+use lsm_tree::PolicySpec;
+use workloads::{run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = ExperimentScale::large(args.flag("paper-scale"));
+    let seed: u64 = args.get_or("seed", 1);
+    let size_mb: u64 = args.get_or("size-mb", 300);
+    let measure_mb: f64 = args.get_or("measure-mb", 120.0);
+    let two_sigma_pct: Vec<f64> = args.list_or("two-sigma-pct", &[0.005, 0.05, 1.0, 5.0, 20.0]);
+
+    let cases = policy_matrix();
+    let cfg = scale.config(100);
+    let requests = volume_requests(measure_mb, cfg.record_size());
+    let mut csv = Csv::new("fig8_skew_sweep", &["two_sigma_pct", "policy", "writes_per_mb", "preserved_per_mb"]);
+
+    println!(
+        "\n== Figure 8 (Normal, {size_mb} MB paper-size, scale {}) — writes per 1MB vs skew ==",
+        scale.name
+    );
+    let mut table = Table::new(
+        std::iter::once("2sigma_%".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
+    );
+    for &pct in &two_sigma_pct {
+        let sigma_frac = pct / 100.0 / 2.0; // 2σ as a percentage → σ fraction
+        let kind = WorkloadKind::Normal { sigma: sigma_frac, omega: 10_000 };
+        let mut row = vec![format!("{pct}")];
+        for case in &cases {
+            let bytes = scale.dataset_bytes(size_mb);
+            let (mut tree, mut wl) = prepared_tree(&cfg, case, kind, seed, bytes);
+            if matches!(case.spec, PolicySpec::Mixed(_)) {
+                let opts = LearnOptions {
+                    max_requests_per_measurement: requests * 40,
+                    ..LearnOptions::default()
+                };
+                learn_mixed_params(&mut tree, &mut wl, &opts).expect("learning failed");
+                wl.set_ratio(InsertRatio::HALF);
+            }
+            let meter = CostMeter::start(&tree);
+            run_requests(&mut tree, &mut *wl, requests).expect("measurement run");
+            let r = meter.read(&tree);
+            row.push(fmt_f(r.writes_per_mb, 0));
+            csv.row(&[
+                format!("{pct}"),
+                case.name.to_string(),
+                format!("{:.2}", r.writes_per_mb),
+                format!("{:.2}", r.blocks_preserved as f64 / r.volume_mb.max(1e-9)),
+            ]);
+            eprintln!("  [2σ={pct}%] {}: {:.0} writes/MB", case.name, r.writes_per_mb);
+        }
+        table.row(row);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Figure 9 — effect of record payload size (25 B … 4000 B) on
+//! steady-state write cost for a 300 MB Uniform dataset, all seven
+//! policies.
+//!
+//! Paper claims verified here:
+//! * "-P" policies are flat across payload sizes (no preservation);
+//! * block-preserving policies improve as payloads grow (fewer records
+//!   per block → whole blocks fit gaps more often);
+//! * at 4000-byte payloads a block holds one record, every block can be
+//!   preserved, and all preserving policies converge to the same cost.
+//!
+//! ```text
+//! cargo run --release --bin fig9_payload_sweep -- [--size-mb=300] \
+//!     [--payloads=25,100,250,1000,4000] [--measure-mb=60] [--seed=1]
+//! ```
+
+use lsm_bench::report::fmt_f;
+use lsm_bench::{policy_matrix, prepared_tree, Args, Csv, ExperimentScale, Table, WorkloadKind};
+use lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
+use lsm_tree::PolicySpec;
+use workloads::{run_requests, volume_requests, CostMeter, InsertRatio};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = ExperimentScale::large(args.flag("paper-scale"));
+    let seed: u64 = args.get_or("seed", 1);
+    let size_mb: u64 = args.get_or("size-mb", 300);
+    let measure_mb: f64 = args.get_or("measure-mb", 120.0);
+    let payloads: Vec<usize> = args.list_or("payloads", &[25, 100, 250, 1000, 4000]);
+
+    let cases = policy_matrix();
+    let mut csv = Csv::new(
+        "fig9_payload_sweep",
+        &["payload_bytes", "policy", "writes_per_mb", "preserved_per_mb", "records_per_block"],
+    );
+
+    println!(
+        "\n== Figure 9 (Uniform, {size_mb} MB paper-size, scale {}) — writes per 1MB vs payload ==",
+        scale.name
+    );
+    let mut table = Table::new(
+        std::iter::once("payload_B".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
+    );
+    for &payload in &payloads {
+        let cfg = scale.config(payload);
+        let b = cfg.block_capacity();
+        let requests = volume_requests(measure_mb, cfg.record_size());
+        let mut row = vec![payload.to_string()];
+        for case in &cases {
+            let bytes = scale.dataset_bytes(size_mb);
+            let (mut tree, mut wl) = prepared_tree(&cfg, case, WorkloadKind::Uniform, seed, bytes);
+            if matches!(case.spec, PolicySpec::Mixed(_)) {
+                let opts = LearnOptions {
+                    max_requests_per_measurement: requests * 40,
+                    ..LearnOptions::default()
+                };
+                learn_mixed_params(&mut tree, &mut wl, &opts).expect("learning failed");
+                wl.set_ratio(InsertRatio::HALF);
+            }
+            let meter = CostMeter::start(&tree);
+            run_requests(&mut tree, &mut *wl, requests).expect("measurement run");
+            let r = meter.read(&tree);
+            row.push(fmt_f(r.writes_per_mb, 0));
+            csv.row(&[
+                payload.to_string(),
+                case.name.to_string(),
+                format!("{:.2}", r.writes_per_mb),
+                format!("{:.2}", r.blocks_preserved as f64 / r.volume_mb.max(1e-9)),
+                b.to_string(),
+            ]);
+            eprintln!("  [{payload}B, B={b}] {}: {:.0} writes/MB", case.name, r.writes_per_mb);
+        }
+        table.row(row);
+    }
+    table.print();
+    let path = csv.write().expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,171 @@
+//! Index configuration and geometry.
+//!
+//! Defaults follow the paper's experimental setup (§V): 4 KiB blocks,
+//! 4-byte keys + 100-byte payloads, order Γ = 10, top-level capacity K₀,
+//! maximum waste factor ε = 0.2, merge rate δ = 0.07.
+
+use crate::block::BLOCK_HEADER_LEN;
+use crate::error::{LsmError, Result};
+
+/// Static configuration of an LSM index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsmConfig {
+    /// Device block (frame) size in bytes. Paper: 4096.
+    pub block_size: usize,
+    /// Fixed payload size in bytes used for capacity math. Paper default:
+    /// 100-byte payloads next to 4-byte keys. Records with other payload
+    /// sizes are accepted as long as they fit a block, but `B` (records
+    /// per block) is computed from this value.
+    pub payload_size: usize,
+    /// Capacity of the memory-resident top level L0, in blocks. Paper:
+    /// 250 blocks (1 MB) for the small experiments, 4000 (16 MB) for §V.
+    pub k0_blocks: usize,
+    /// Γ — the order of the LSM-tree; level capacities grow by this
+    /// factor: `K_i = K0 · Γ^i`. Paper default 10.
+    pub gamma: usize,
+    /// ε — maximum waste factor per level (fraction of empty record slots).
+    /// Paper default 0.2.
+    pub waste_eps: f64,
+    /// δ — merge rate: fraction of a level selected by each partial merge.
+    /// Paper defaults: 0.07 (0.05 for the largest runs).
+    pub merge_rate: f64,
+    /// Data-block LRU cache capacity in blocks. Fence metadata (the
+    /// "internal B+tree nodes") is always memory-resident and is *not*
+    /// charged against this budget, matching the paper's pinning setup.
+    pub cache_blocks: usize,
+    /// Bloom-filter bits per key for per-block filters; 0 disables blooms.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig {
+            block_size: 4096,
+            payload_size: 100,
+            k0_blocks: 250,
+            gamma: 10,
+            waste_eps: 0.2,
+            merge_rate: 0.07,
+            cache_blocks: 256,
+            bloom_bits_per_key: 0,
+        }
+    }
+}
+
+impl LsmConfig {
+    /// Validate the configuration, returning it for chaining.
+    pub fn validated(self) -> Result<Self> {
+        if self.block_size <= BLOCK_HEADER_LEN {
+            return Err(LsmError::Config(format!(
+                "block_size {} must exceed the {}-byte header",
+                self.block_size, BLOCK_HEADER_LEN
+            )));
+        }
+        if self.block_capacity() == 0 {
+            return Err(LsmError::Config(format!(
+                "a {}-byte payload does not fit a {}-byte block",
+                self.payload_size, self.block_size
+            )));
+        }
+        if self.gamma < 2 {
+            return Err(LsmError::Config("gamma must be at least 2".into()));
+        }
+        if self.k0_blocks == 0 {
+            return Err(LsmError::Config("k0_blocks must be positive".into()));
+        }
+        if !(self.merge_rate > 0.0 && self.merge_rate <= 1.0) {
+            return Err(LsmError::Config("merge_rate must be in (0, 1]".into()));
+        }
+        if !(self.waste_eps > 0.0 && self.waste_eps <= 0.5) {
+            // The paper requires ε ≤ 0.5 (§II-B).
+            return Err(LsmError::Config("waste_eps must be in (0, 0.5]".into()));
+        }
+        if self.cache_blocks == 0 {
+            return Err(LsmError::Config("cache_blocks must be positive".into()));
+        }
+        Ok(self)
+    }
+
+    /// Serialized size of one record with the configured payload.
+    #[inline]
+    pub fn record_size(&self) -> usize {
+        8 + 1 + 4 + self.payload_size
+    }
+
+    /// `B` — the number of records per block (§II-A).
+    #[inline]
+    pub fn block_capacity(&self) -> usize {
+        (self.block_size - BLOCK_HEADER_LEN) / self.record_size()
+    }
+
+    /// Capacity of paper-level `i` (L0 = 0) in blocks: `K_i = K0 · Γ^i`.
+    pub fn level_capacity_blocks(&self, paper_level: usize) -> usize {
+        let mut cap = self.k0_blocks;
+        for _ in 0..paper_level {
+            cap = cap.saturating_mul(self.gamma);
+        }
+        cap
+    }
+
+    /// Capacity of L0 in records.
+    #[inline]
+    pub fn l0_capacity_records(&self) -> usize {
+        self.k0_blocks * self.block_capacity()
+    }
+
+    /// Partial-merge window from paper-level `i`, in blocks:
+    /// `max(1, ⌊δ·K_i⌋)`.
+    pub fn merge_window_blocks(&self, paper_level: usize) -> usize {
+        ((self.merge_rate * self.level_capacity_blocks(paper_level) as f64).floor() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_geometry() {
+        let c = LsmConfig::default().validated().unwrap();
+        assert_eq!(c.record_size(), 113);
+        // (4096 - 16) / 113 = 36 records per block.
+        assert_eq!(c.block_capacity(), 36);
+        assert_eq!(c.level_capacity_blocks(0), 250);
+        assert_eq!(c.level_capacity_blocks(1), 2500);
+        assert_eq!(c.level_capacity_blocks(2), 25000);
+        assert_eq!(c.l0_capacity_records(), 250 * 36);
+    }
+
+    #[test]
+    fn merge_window_is_delta_fraction() {
+        let c = LsmConfig { merge_rate: 0.05, ..LsmConfig::default() };
+        assert_eq!(c.merge_window_blocks(0), 12); // floor(0.05 * 250)
+        assert_eq!(c.merge_window_blocks(1), 125);
+    }
+
+    #[test]
+    fn merge_window_is_at_least_one_block() {
+        let c = LsmConfig { merge_rate: 0.001, k0_blocks: 10, ..LsmConfig::default() };
+        assert_eq!(c.merge_window_blocks(0), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_settings() {
+        assert!(LsmConfig { gamma: 1, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { merge_rate: 0.0, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { merge_rate: 1.5, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { waste_eps: 0.6, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { k0_blocks: 0, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { payload_size: 5000, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig { cache_blocks: 0, ..LsmConfig::default() }.validated().is_err());
+        assert!(LsmConfig::default().validated().is_ok());
+    }
+
+    #[test]
+    fn giant_payload_one_record_per_block() {
+        // Paper Fig 9: with 4000-byte payloads a block stores one record.
+        let c = LsmConfig { payload_size: 4000, ..LsmConfig::default() };
+        assert_eq!(c.block_capacity(), 1);
+        assert!(c.validated().is_ok());
+    }
+}

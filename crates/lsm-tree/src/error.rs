@@ -1,0 +1,59 @@
+//! Error types for the LSM-tree.
+
+use std::fmt;
+
+use sim_ssd::DeviceError;
+
+/// Result alias for tree operations.
+pub type Result<T> = std::result::Result<T, LsmError>;
+
+/// Errors surfaced by the LSM-tree.
+#[derive(Debug)]
+pub enum LsmError {
+    /// The storage substrate failed.
+    Device(DeviceError),
+    /// A frame could not be decoded into a data block.
+    Codec(String),
+    /// A record does not fit the configured geometry (e.g. payload larger
+    /// than a block).
+    RecordTooLarge {
+        /// Serialized record size.
+        record_bytes: usize,
+        /// Usable bytes per block.
+        block_payload_bytes: usize,
+    },
+    /// Configuration rejected at construction time.
+    Config(String),
+    /// An internal invariant was violated (a bug; surfaced instead of UB).
+    Invariant(String),
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::Device(e) => write!(f, "device error: {e}"),
+            LsmError::Codec(m) => write!(f, "codec error: {m}"),
+            LsmError::RecordTooLarge { record_bytes, block_payload_bytes } => write!(
+                f,
+                "record of {record_bytes} bytes exceeds block payload capacity {block_payload_bytes}"
+            ),
+            LsmError::Config(m) => write!(f, "invalid configuration: {m}"),
+            LsmError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsmError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for LsmError {
+    fn from(e: DeviceError) -> Self {
+        LsmError::Device(e)
+    }
+}

@@ -1,0 +1,456 @@
+//! Checkpoint & recovery: persisting the index's metadata.
+//!
+//! The paper notes that the internal B+tree nodes (our fence tables) "can
+//! be reconstructed from data blocks and hence need not be persisted"
+//! (§V, footnote). A production index still wants a cheap way to reopen
+//! without scanning the whole device, so this module provides a
+//! LevelDB-style **manifest**: a checksummed snapshot of the fence tables,
+//! per-level merge bookkeeping, policy cursors, and the memory-resident L0
+//! (which would otherwise need a write-ahead log).
+//!
+//! `LsmTree::checkpoint` writes the manifest to a sidecar file;
+//! `LsmTree::restore` reopens a device against one. The format is a
+//! hand-rolled little-endian binary layout (no serialization-format
+//! dependency), guarded by a magic, a version, and an FNV-1a checksum over
+//! the entire body.
+
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::{BufMut, BytesMut};
+
+use sim_ssd::{BlockDevice, BlockId};
+
+use crate::block::BlockHandle;
+use crate::config::LsmConfig;
+use crate::error::{LsmError, Result};
+use crate::level::Level;
+use crate::memtable::Memtable;
+use crate::record::{Key, OpKind, Record, Request};
+use crate::store::Store;
+use crate::tree::{LsmTree, TreeOptions};
+
+const MANIFEST_MAGIC: u32 = 0x4C_53_4D_4D; // "LSMM"
+const MANIFEST_VERSION: u32 = 1;
+
+/// Everything needed to reopen an index: geometry, level fence tables,
+/// waste bookkeeping, cursors, and the L0 contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The index geometry the manifest was taken under.
+    pub config: LsmConfig,
+    /// L0 records at checkpoint time.
+    pub memtable: Vec<Record>,
+    /// L0's round-robin cursor.
+    pub mem_rr_cursor: Option<Key>,
+    /// Per-level snapshots, top to bottom (`[0]` = L1).
+    pub levels: Vec<LevelSnapshot>,
+}
+
+/// Snapshot of one on-SSD level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSnapshot {
+    /// Fence entries (block id, key range, counts); Bloom filters are not
+    /// persisted — they regenerate as blocks are rewritten.
+    pub handles: Vec<HandleSnapshot>,
+    /// `m_i` — merges since the last compaction.
+    pub merges_since_compaction: u64,
+    /// Accumulated preservation slack.
+    pub slack_budget: f64,
+    /// `w_i` — net empty-slot increase since the last compaction.
+    pub waste_delta: i64,
+    /// Round-robin cursor.
+    pub rr_cursor: Option<Key>,
+}
+
+/// Persistable fence entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandleSnapshot {
+    /// Physical block id.
+    pub id: u64,
+    /// Smallest key.
+    pub min: Key,
+    /// Largest key.
+    pub max: Key,
+    /// Records in the block.
+    pub count: u32,
+    /// Tombstones among them.
+    pub tombstones: u32,
+}
+
+impl Manifest {
+    /// Capture the state of `tree`.
+    pub fn capture(tree: &LsmTree) -> Manifest {
+        Manifest {
+            config: tree.config().clone(),
+            memtable: tree.memtable().iter().cloned().collect(),
+            mem_rr_cursor: tree.mem_rr_cursor(),
+            levels: tree
+                .levels()
+                .iter()
+                .map(|lvl| LevelSnapshot {
+                    handles: lvl
+                        .handles()
+                        .iter()
+                        .map(|h| HandleSnapshot {
+                            id: h.id.raw(),
+                            min: h.min,
+                            max: h.max,
+                            count: h.count,
+                            tombstones: h.tombstones,
+                        })
+                        .collect(),
+                    merges_since_compaction: lvl.merges_since_compaction,
+                    slack_budget: lvl.slack_budget,
+                    waste_delta: lvl.waste_delta,
+                    rr_cursor: lvl.rr_cursor,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize to the binary manifest format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        let c = &self.config;
+        body.put_u64_le(c.block_size as u64);
+        body.put_u64_le(c.payload_size as u64);
+        body.put_u64_le(c.k0_blocks as u64);
+        body.put_u64_le(c.gamma as u64);
+        body.put_f64_le(c.waste_eps);
+        body.put_f64_le(c.merge_rate);
+        body.put_u64_le(c.cache_blocks as u64);
+        body.put_u64_le(c.bloom_bits_per_key as u64);
+        put_opt_key(&mut body, self.mem_rr_cursor);
+        body.put_u32_le(self.memtable.len() as u32);
+        for r in &self.memtable {
+            body.put_u64_le(r.key);
+            body.put_u8(if r.is_tombstone() { 1 } else { 0 });
+            body.put_u32_le(r.payload.len() as u32);
+            body.put_slice(&r.payload);
+        }
+        body.put_u32_le(self.levels.len() as u32);
+        for lvl in &self.levels {
+            body.put_u64_le(lvl.merges_since_compaction);
+            body.put_f64_le(lvl.slack_budget);
+            body.put_i64_le(lvl.waste_delta);
+            put_opt_key(&mut body, lvl.rr_cursor);
+            body.put_u32_le(lvl.handles.len() as u32);
+            for h in &lvl.handles {
+                body.put_u64_le(h.id);
+                body.put_u64_le(h.min);
+                body.put_u64_le(h.max);
+                body.put_u32_le(h.count);
+                body.put_u32_le(h.tombstones);
+            }
+        }
+
+        let mut out = Vec::with_capacity(body.len() + 16);
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse a manifest previously produced by [`Manifest::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.u32()?;
+        if magic != MANIFEST_MAGIC {
+            return Err(LsmError::Codec(format!("bad manifest magic 0x{magic:08x}")));
+        }
+        let version = r.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(LsmError::Codec(format!("unsupported manifest version {version}")));
+        }
+        let checksum = r.u64()?;
+        if fnv1a64(&bytes[r.pos..]) != checksum {
+            return Err(LsmError::Codec("manifest checksum mismatch".into()));
+        }
+        let config = LsmConfig {
+            block_size: r.u64()? as usize,
+            payload_size: r.u64()? as usize,
+            k0_blocks: r.u64()? as usize,
+            gamma: r.u64()? as usize,
+            waste_eps: r.f64()?,
+            merge_rate: r.f64()?,
+            cache_blocks: r.u64()? as usize,
+            bloom_bits_per_key: r.u64()? as usize,
+        };
+        let mem_rr_cursor = r.opt_key()?;
+        let n_mem = r.u32()? as usize;
+        let mut memtable = Vec::with_capacity(n_mem.min(1 << 20));
+        for _ in 0..n_mem {
+            let key = r.u64()?;
+            let op = if r.u8()? == 1 { OpKind::Delete } else { OpKind::Put };
+            let len = r.u32()? as usize;
+            let payload = bytes::Bytes::copy_from_slice(r.take(len)?);
+            memtable.push(Record { key, op, payload });
+        }
+        let n_levels = r.u32()? as usize;
+        let mut levels = Vec::with_capacity(n_levels.min(64));
+        for _ in 0..n_levels {
+            let merges_since_compaction = r.u64()?;
+            let slack_budget = r.f64()?;
+            let waste_delta = r.i64()?;
+            let rr_cursor = r.opt_key()?;
+            let n_handles = r.u32()? as usize;
+            let mut handles = Vec::with_capacity(n_handles.min(1 << 22));
+            for _ in 0..n_handles {
+                handles.push(HandleSnapshot {
+                    id: r.u64()?,
+                    min: r.u64()?,
+                    max: r.u64()?,
+                    count: r.u32()?,
+                    tombstones: r.u32()?,
+                });
+            }
+            levels.push(LevelSnapshot {
+                handles,
+                merges_since_compaction,
+                slack_budget,
+                waste_delta,
+                rr_cursor,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(LsmError::Codec("trailing bytes after manifest".into()));
+        }
+        Ok(Manifest { config, memtable, mem_rr_cursor, levels })
+    }
+
+    /// Every block id the manifest references.
+    pub fn used_block_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.levels.iter().flat_map(|l| l.handles.iter().map(|h| h.id))
+    }
+}
+
+fn put_opt_key(body: &mut BytesMut, k: Option<Key>) {
+    match k {
+        Some(k) => {
+            body.put_u8(1);
+            body.put_u64_le(k);
+        }
+        None => body.put_u8(0),
+    }
+}
+
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(LsmError::Codec("truncated manifest".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn opt_key(&mut self) -> Result<Option<Key>> {
+        Ok(if self.u8()? == 1 { Some(self.u64()?) } else { None })
+    }
+}
+
+impl LsmTree {
+    /// Write a checkpoint manifest for this index to `path` (atomically:
+    /// written to a temp file and renamed). The device itself is synced
+    /// first so the manifest never references unwritten blocks.
+    pub fn checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        self.store().device().sync()?;
+        let bytes = Manifest::capture(self).encode();
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(sim_ssd::DeviceError::Io)?;
+            f.write_all(&bytes).map_err(sim_ssd::DeviceError::Io)?;
+            f.sync_all().map_err(sim_ssd::DeviceError::Io)?;
+        }
+        std::fs::rename(&tmp, path).map_err(sim_ssd::DeviceError::Io)?;
+        Ok(())
+    }
+
+    /// Reopen an index from a checkpoint manifest and the device it
+    /// references. `opts` chooses the policy for the new incarnation (the
+    /// manifest stores data layout, not policy). Fails if the manifest is
+    /// corrupt or its geometry does not match the device.
+    pub fn restore<P: AsRef<Path>>(
+        path: P,
+        opts: TreeOptions,
+        device: Arc<dyn BlockDevice>,
+    ) -> Result<Self> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path.as_ref())
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(sim_ssd::DeviceError::Io)?;
+        let manifest = Manifest::decode(&bytes)?;
+        let cfg = manifest.config.clone().validated()?;
+        if device.block_size() != cfg.block_size {
+            return Err(LsmError::Config(format!(
+                "device block size {} != manifest {}",
+                device.block_size(),
+                cfg.block_size
+            )));
+        }
+        let store = Store::with_allocated(
+            device,
+            cfg.cache_blocks,
+            cfg.bloom_bits_per_key,
+            manifest.used_block_ids(),
+        );
+
+        let mut levels = Vec::with_capacity(manifest.levels.len().max(1));
+        for (idx, snap) in manifest.levels.iter().enumerate() {
+            let mut level = Level::new();
+            let mut prev_max: Option<u64> = None;
+            for h in &snap.handles {
+                // Defend against a syntactically valid but structurally
+                // corrupt manifest: handles must be ordered and disjoint.
+                if h.min > h.max || prev_max.is_some_and(|pm| pm >= h.min) {
+                    return Err(LsmError::Codec(format!(
+                        "manifest level L{} has unordered/overlapping handles",
+                        idx + 1
+                    )));
+                }
+                prev_max = Some(h.max);
+                level.push(BlockHandle {
+                    id: BlockId(h.id),
+                    min: h.min,
+                    max: h.max,
+                    count: h.count,
+                    tombstones: h.tombstones,
+                    bloom: None,
+                });
+            }
+            level.merges_since_compaction = snap.merges_since_compaction;
+            level.slack_budget = snap.slack_budget;
+            level.waste_delta = snap.waste_delta;
+            level.rr_cursor = snap.rr_cursor;
+            levels.push(level);
+        }
+        if levels.is_empty() {
+            levels.push(Level::new());
+        }
+
+        let mut mem = Memtable::new();
+        for r in manifest.memtable {
+            let req = match r.op {
+                OpKind::Put => Request::Put(r.key, r.payload),
+                OpKind::Delete => Request::Delete(r.key),
+            };
+            mem.apply(req);
+        }
+
+        Ok(LsmTree::assemble(cfg, opts, store, mem, levels, manifest.mem_rr_cursor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicySpec;
+
+    fn build_tree() -> LsmTree {
+        let cfg = LsmConfig {
+            block_size: 256,
+            payload_size: 4,
+            k0_blocks: 4,
+            gamma: 4,
+            cache_blocks: 64,
+            merge_rate: 0.25,
+            ..LsmConfig::default()
+        };
+        let mut t = LsmTree::with_mem_device(
+            cfg,
+            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            1 << 14,
+        )
+        .unwrap();
+        for k in 0..1500u64 {
+            t.put(k * 13 % 9973, vec![(k % 251) as u8; 4]).unwrap();
+        }
+        for k in (0..1500u64).step_by(3) {
+            t.delete(k * 13 % 9973).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let tree = build_tree();
+        let m = Manifest::capture(&tree);
+        let bytes = m.encode();
+        let back = Manifest::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(m.used_block_ids().count() > 0);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let tree = build_tree();
+        let bytes = Manifest::capture(&tree).encode();
+        for pos in [0usize, 5, 12, 40, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(Manifest::decode(&bad).is_err(), "corruption at {pos} accepted");
+        }
+        assert!(Manifest::decode(&bytes[..bytes.len() - 3]).is_err(), "truncation accepted");
+    }
+
+    #[test]
+    fn restore_rejects_structurally_corrupt_manifest() {
+        let tree = build_tree();
+        let mut m = Manifest::capture(&tree);
+        // Swap two handles of the largest level: ordered-disjoint breaks.
+        let lvl = m.levels.iter_mut().max_by_key(|l| l.handles.len()).unwrap();
+        assert!(lvl.handles.len() >= 2, "need at least two handles");
+        lvl.handles.swap(0, 1);
+        let bytes = m.encode();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lsm-man-corrupt-{}.manifest", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let dev = std::sync::Arc::new(sim_ssd::MemDevice::with_block_size(1 << 14, 256));
+        let got = LsmTree::restore(&path, TreeOptions::default(), dev);
+        assert!(matches!(got, Err(LsmError::Codec(_))), "corrupt manifest accepted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_wrong_magic_and_version() {
+        let tree = build_tree();
+        let mut bytes = Manifest::capture(&tree).encode();
+        bytes[0] ^= 0xFF;
+        assert!(Manifest::decode(&bytes).is_err());
+        let mut bytes = Manifest::capture(&tree).encode();
+        bytes[4] = 99;
+        assert!(Manifest::decode(&bytes).is_err());
+    }
+}

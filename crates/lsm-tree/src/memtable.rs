@@ -1,0 +1,216 @@
+//! L0 — the memory-resident top level.
+//!
+//! New data enters the index by "logging" modifications in L0 (§II-A): an
+//! insert adds a record; a delete or update for a key already in L0 is
+//! executed in place, otherwise it is logged as a new record (tombstones
+//! for deletes). L0 is an in-memory sorted index; for merge-policy purposes
+//! it is viewed as a sequence of *virtual blocks* of `B` consecutive
+//! records, so partial-merge window selection works uniformly across all
+//! levels.
+
+use std::collections::BTreeMap;
+
+use crate::record::{Key, OpKind, Record, Request};
+
+/// Metadata of one virtual block of L0 (or, generally, any run of records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Smallest key in the chunk.
+    pub min: Key,
+    /// Largest key in the chunk.
+    pub max: Key,
+    /// Records in the chunk.
+    pub count: u32,
+}
+
+/// The memory-resident top level.
+#[derive(Debug, Default, Clone)]
+pub struct Memtable {
+    map: BTreeMap<Key, Record>,
+}
+
+impl Memtable {
+    /// Empty L0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records (tombstones included — they occupy L0 capacity).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when L0 holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Apply one modification request (§II-A logging semantics).
+    pub fn apply(&mut self, req: Request) {
+        match req {
+            Request::Put(k, payload) => {
+                self.map.insert(k, Record { key: k, op: OpKind::Put, payload });
+            }
+            Request::Delete(k) => {
+                self.map.insert(k, Record::delete(k));
+            }
+        }
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: Key) -> Option<&Record> {
+        self.map.get(&key)
+    }
+
+    /// Iterate records with keys in `[lo, hi]` (empty when `lo > hi`).
+    pub fn range(&self, lo: Key, hi: Key) -> impl Iterator<Item = &Record> {
+        // BTreeMap::range panics on inverted bounds; clamp to a valid
+        // range and filter everything out instead.
+        let valid = lo <= hi;
+        let (lo, hi) = if valid { (lo, hi) } else { (0, 0) };
+        self.map.range(lo..=hi).filter(move |_| valid).map(|(_, r)| r)
+    }
+
+    /// Iterate all records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.map.values()
+    }
+
+    /// Chunk the current contents into virtual blocks of `b` records
+    /// (the last chunk may be shorter). Policies select merge windows over
+    /// these exactly as they select windows of physical blocks.
+    pub fn virtual_blocks(&self, b: usize) -> Vec<RunMeta> {
+        assert!(b > 0);
+        let mut out = Vec::with_capacity(self.map.len().div_ceil(b));
+        let mut iter = self.map.keys();
+        let mut remaining = self.map.len();
+        while remaining > 0 {
+            let take = remaining.min(b);
+            let first = *iter.next().expect("length accounted");
+            let mut last = first;
+            for _ in 1..take {
+                last = *iter.next().expect("length accounted");
+            }
+            out.push(RunMeta { min: first, max: last, count: take as u32 });
+            remaining -= take;
+        }
+        out
+    }
+
+    /// Remove and return every record, in key order.
+    pub fn extract_all(&mut self) -> Vec<Record> {
+        let map = std::mem::take(&mut self.map);
+        map.into_values().collect()
+    }
+
+    /// Remove and return the records of virtual blocks
+    /// `[start_block, start_block + num_blocks)` given chunk size `b`,
+    /// in key order.
+    pub fn extract_window(&mut self, start_block: usize, num_blocks: usize, b: usize) -> Vec<Record> {
+        let start = start_block * b;
+        let len = num_blocks * b;
+        let keys: Vec<Key> = self.map.keys().skip(start).take(len).copied().collect();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            out.push(self.map.remove(&k).expect("key collected from map"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn put(k: Key) -> Request {
+        Request::Put(k, Bytes::from_static(b"v"))
+    }
+
+    #[test]
+    fn apply_upserts_and_tombstones() {
+        let mut m = Memtable::new();
+        m.apply(put(5));
+        m.apply(put(5));
+        assert_eq!(m.len(), 1);
+        m.apply(Request::Delete(5));
+        assert_eq!(m.len(), 1, "tombstone replaces, not removes");
+        assert!(m.get(5).unwrap().is_tombstone());
+        m.apply(put(5));
+        assert!(!m.get(5).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let mut m = Memtable::new();
+        m.apply(Request::Put(3, bytes::Bytes::new()));
+        assert_eq!(m.range(5, 2).count(), 0);
+    }
+
+    #[test]
+    fn range_and_iter_are_ordered() {
+        let mut m = Memtable::new();
+        for k in [9u64, 1, 5, 3, 7] {
+            m.apply(put(k));
+        }
+        let keys: Vec<Key> = m.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![1, 3, 5, 7, 9]);
+        let mid: Vec<Key> = m.range(3, 7).map(|r| r.key).collect();
+        assert_eq!(mid, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn virtual_blocks_chunk_correctly() {
+        let mut m = Memtable::new();
+        for k in 0..7u64 {
+            m.apply(put(k * 10));
+        }
+        let vb = m.virtual_blocks(3);
+        assert_eq!(vb.len(), 3);
+        assert_eq!(vb[0], RunMeta { min: 0, max: 20, count: 3 });
+        assert_eq!(vb[1], RunMeta { min: 30, max: 50, count: 3 });
+        assert_eq!(vb[2], RunMeta { min: 60, max: 60, count: 1 });
+    }
+
+    #[test]
+    fn virtual_blocks_of_empty_table() {
+        let m = Memtable::new();
+        assert!(m.virtual_blocks(4).is_empty());
+    }
+
+    #[test]
+    fn extract_all_empties_in_order() {
+        let mut m = Memtable::new();
+        for k in [4u64, 2, 8] {
+            m.apply(put(k));
+        }
+        let recs = m.extract_all();
+        assert_eq!(recs.iter().map(|r| r.key).collect::<Vec<_>>(), vec![2, 4, 8]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn extract_window_takes_positional_chunk() {
+        let mut m = Memtable::new();
+        for k in 0..10u64 {
+            m.apply(put(k));
+        }
+        // blocks of 3: [0,1,2][3,4,5][6,7,8][9]; take blocks 1..3
+        let recs = m.extract_window(1, 2, 3);
+        assert_eq!(recs.iter().map(|r| r.key).collect::<Vec<_>>(), vec![3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.len(), 4);
+        let left: Vec<Key> = m.iter().map(|r| r.key).collect();
+        assert_eq!(left, vec![0, 1, 2, 9]);
+    }
+
+    #[test]
+    fn extract_window_clamps_at_end() {
+        let mut m = Memtable::new();
+        for k in 0..5u64 {
+            m.apply(put(k));
+        }
+        let recs = m.extract_window(1, 5, 2); // far past the end
+        assert_eq!(recs.len(), 3);
+        assert_eq!(m.len(), 2);
+    }
+}

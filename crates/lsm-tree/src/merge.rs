@@ -1,0 +1,901 @@
+//! The flexible, block-preserving merge operation (§II-B).
+//!
+//! A merge takes a run of records leaving a level — either records
+//! extracted from the in-memory L0 or a *subsequence* `X` of a level's data
+//! blocks — and merges them into the overlapping blocks `Y` of the target
+//! level, producing the output run `Z`:
+//!
+//! 1. `Y` is the minimal run of target blocks whose key ranges intersect
+//!    `X`'s key span; it is bulk-deleted from the target.
+//! 2. Records of `X` and `Y` are merged in one pass. Records sharing a key
+//!    are consolidated to their net effect; tombstones are dropped once no
+//!    deeper level can hold the key.
+//! 3. **Block preservation**: whenever the next record to output begins an
+//!    input block whose whole key range fits before the next record of the
+//!    other input, the block can be adopted into `Z` unmodified — zero
+//!    writes — provided the pairwise-waste checks and the slack budget
+//!    `w ≤ m·ε·δ·K·B − B + 1` allow it.
+//! 4. `Z` is bulk-inserted where `Y` was; pairwise waste violations at the
+//!    seams are repaired by fusing neighbouring blocks (at most one extra
+//!    write per seam); a level whose overall waste exceeds ε is compacted
+//!    in one pass.
+
+use std::sync::Arc;
+
+use crate::block::{BlockHandle, DataBlock};
+use crate::error::Result;
+use crate::level::Level;
+use crate::record::{consolidate, Key, Record};
+use crate::store::Store;
+
+/// What a merge pushes down into the target level.
+#[derive(Debug)]
+pub enum MergeSource {
+    /// Records extracted from the memory-resident L0 (already sorted).
+    Records(Vec<Record>),
+    /// A subsequence of data blocks removed from an on-SSD level.
+    Blocks(Vec<BlockHandle>),
+}
+
+impl MergeSource {
+    /// Number of records entering the merge.
+    pub fn record_count(&self) -> u64 {
+        match self {
+            MergeSource::Records(r) => r.len() as u64,
+            MergeSource::Blocks(hs) => hs.iter().map(|h| u64::from(h.count)).sum(),
+        }
+    }
+
+    /// Key span `[min, max]` of the source (None when empty).
+    pub fn key_span(&self) -> Option<(Key, Key)> {
+        match self {
+            MergeSource::Records(r) => {
+                if r.is_empty() {
+                    None
+                } else {
+                    Some((r[0].key, r[r.len() - 1].key))
+                }
+            }
+            MergeSource::Blocks(hs) => {
+                if hs.is_empty() {
+                    None
+                } else {
+                    Some((hs[0].min, hs[hs.len() - 1].max))
+                }
+            }
+        }
+    }
+}
+
+/// Result of one merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Blocks written into the target (including seam fix-ups).
+    pub writes: u64,
+    /// Input blocks adopted into the output without rewriting.
+    pub preserved: u64,
+    /// Input blocks whose records were read (logical reads).
+    pub reads: u64,
+    /// Records that survived into the target.
+    pub out_records: u64,
+    /// Largest key of the merged range (drives round-robin cursors).
+    pub max_key: Key,
+}
+
+/// Result of a compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Blocks written by the rewrite.
+    pub writes: u64,
+    /// Blocks read.
+    pub reads: u64,
+}
+
+/// One stream of records entering a merge: either an owned record run or a
+/// lazily-opened sequence of blocks. Blocks are only read when their
+/// records are actually needed, so preservation decisions cost no I/O —
+/// they are made from fence metadata alone (§III-C).
+struct Stream<'a> {
+    store: &'a Store,
+    recs: Vec<Record>,
+    rpos: usize,
+    handles: Vec<BlockHandle>,
+    hpos: usize,
+    current: Option<Arc<DataBlock>>,
+    cpos: usize,
+    is_blocks: bool,
+    logical_reads: u64,
+    /// Blocks that were opened (their storage is released after the merge).
+    opened: Vec<BlockHandle>,
+}
+
+impl<'a> Stream<'a> {
+    fn from_source(store: &'a Store, src: MergeSource) -> Self {
+        match src {
+            MergeSource::Records(recs) => Stream {
+                store,
+                recs,
+                rpos: 0,
+                handles: Vec::new(),
+                hpos: 0,
+                current: None,
+                cpos: 0,
+                is_blocks: false,
+                logical_reads: 0,
+                opened: Vec::new(),
+            },
+            MergeSource::Blocks(handles) => Stream {
+                store,
+                recs: Vec::new(),
+                rpos: 0,
+                handles,
+                hpos: 0,
+                current: None,
+                cpos: 0,
+                is_blocks: true,
+                logical_reads: 0,
+                opened: Vec::new(),
+            },
+        }
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        if self.is_blocks {
+            match &self.current {
+                Some(block) => Some(block.records[self.cpos].key),
+                None => self.handles.get(self.hpos).map(|h| h.min),
+            }
+        } else {
+            self.recs.get(self.rpos).map(|r| r.key)
+        }
+    }
+
+    /// The upcoming unopened block, if the stream is exactly at its start.
+    fn block_at_start(&self) -> Option<&BlockHandle> {
+        if self.is_blocks && self.current.is_none() {
+            self.handles.get(self.hpos)
+        } else {
+            None
+        }
+    }
+
+    /// Consume the upcoming block wholesale (preservation). Caller must
+    /// have verified `block_at_start()` is `Some`.
+    fn take_block(&mut self) -> BlockHandle {
+        debug_assert!(self.current.is_none());
+        let h = self.handles[self.hpos].clone();
+        self.hpos += 1;
+        h
+    }
+
+    fn next_record(&mut self) -> Result<Record> {
+        if !self.is_blocks {
+            let r = self.recs[self.rpos].clone();
+            self.rpos += 1;
+            return Ok(r);
+        }
+        if self.current.is_none() {
+            let h = self.handles[self.hpos].clone();
+            let block = self.store.read_block(&h)?;
+            self.logical_reads += 1;
+            self.opened.push(h);
+            self.current = Some(block);
+            self.cpos = 0;
+        }
+        let block = self.current.as_ref().expect("just opened");
+        let r = block.records[self.cpos].clone();
+        self.cpos += 1;
+        if self.cpos == block.len() {
+            self.current = None;
+            self.cpos = 0;
+            self.hpos += 1;
+        }
+        Ok(r)
+    }
+
+}
+
+/// The merge engine: all block-level mutation of levels goes through here.
+pub struct MergeEngine<'a> {
+    store: &'a Store,
+    /// `B` — records per block.
+    b: usize,
+    /// ε — maximum waste factor.
+    eps: f64,
+    /// Whether block preservation is enabled (the `-P` policy variants
+    /// disable it).
+    preserve: bool,
+    /// Whether the pairwise waste constraint is enforced. Always true in
+    /// normal operation; the ablation harness turns it off to demonstrate
+    /// why §II-B needs it (nearly-empty block runs accumulate otherwise).
+    pairwise: bool,
+}
+
+impl<'a> MergeEngine<'a> {
+    /// An engine over `store` with geometry `b` (records/block) and waste
+    /// bound `eps`. `preserve` enables block-preserving merges.
+    pub fn new(store: &'a Store, b: usize, eps: f64, preserve: bool) -> Self {
+        MergeEngine { store, b, eps, preserve, pairwise: true }
+    }
+
+    /// Disable or enable the pairwise waste constraint (ablation only).
+    pub fn with_pairwise(mut self, pairwise: bool) -> Self {
+        self.pairwise = pairwise;
+        self
+    }
+
+    /// Merge `src` into `target`. `below` are the levels deeper than the
+    /// target (empty when the target is the bottom level) — used to decide
+    /// when tombstones may be dropped.
+    ///
+    /// The engine updates the target's waste bookkeeping (`m`, slack, `w`)
+    /// and repairs pairwise-waste violations at the seams, but the caller
+    /// remains responsible for the level-wise waste check (compaction) and
+    /// for source-side fix-ups.
+    pub fn merge_into(
+        &self,
+        target: &mut Level,
+        below: &[Level],
+        src: MergeSource,
+    ) -> Result<MergeOutcome> {
+        let Some((kmin, kmax)) = src.key_span() else {
+            return Ok(MergeOutcome::default());
+        };
+        let src_records = src.record_count();
+
+        // Bulk-delete the overlapping run Y from the target.
+        let yrange = target.overlap_indices(kmin, kmax);
+        let insert_pos = yrange.start;
+        let y_handles = target.remove_range(yrange);
+
+        // Waste bookkeeping for the preservation budget (§II-B): this
+        // merge earns ε · (records merged in) of slack.
+        target.merges_since_compaction += 1;
+        target.slack_budget += self.eps * src_records as f64;
+
+        let mut xs = Stream::from_source(self.store, src);
+        let mut ys = Stream::from_source(self.store, MergeSource::Blocks(y_handles));
+
+        let mut out: Vec<BlockHandle> = Vec::new();
+        let mut buffer: Vec<Record> = Vec::new();
+        let mut outcome = MergeOutcome { max_key: kmax, ..MergeOutcome::default() };
+        let mut w = target.waste_delta;
+
+        let prev_target_count: Option<u32> =
+            insert_pos.checked_sub(1).map(|i| target.handles()[i].count);
+
+        let may_exist_below =
+            |key: Key| below.iter().any(|l| l.key_in_range_of_some_block(key));
+        let is_bottom = below.is_empty();
+
+        // Index into `ys.opened` up to which empty slots have been
+        // subtracted from `w`. The paper updates w by "subtracting those in
+        // the Y blocks already processed", i.e. at open time.
+        let mut ys_subtracted = 0usize;
+
+        loop {
+            while ys_subtracted < ys.opened.len() {
+                w -= ys.opened[ys_subtracted].empty_slots(self.b) as i64;
+                ys_subtracted += 1;
+            }
+            let xk = xs.peek_key();
+            let yk = ys.peek_key();
+            let (from_x, key) = match (xk, yk) {
+                (None, None) => break,
+                (Some(x), None) => (true, x),
+                (None, Some(y)) => (false, y),
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        // Consolidate the colliding pair: X is the newer level.
+                        let upper = xs.next_record()?;
+                        let lower = ys.next_record()?;
+                        if let Some(r) = consolidate(upper, Some(lower), may_exist_below(x)) {
+                            self.push_record(&mut buffer, &mut out, r, &mut outcome)?;
+                        }
+                        continue;
+                    } else if x < y {
+                        (true, x)
+                    } else {
+                        (false, y)
+                    }
+                }
+            };
+            let other_next = if from_x { yk } else { xk };
+
+            // Preservation opportunity?
+            if self.preserve {
+                let side = if from_x { &xs } else { &ys };
+                if let Some(h) = side.block_at_start() {
+                    if other_next.is_none_or(|k| h.max < k)
+                        && self.preservation_allowed(
+                            h,
+                            &buffer,
+                            out.last(),
+                            prev_target_count,
+                            w,
+                            target.slack_budget,
+                            from_x,
+                            is_bottom,
+                        )
+                    {
+                        // Flush the buffered output, then adopt the block.
+                        if !buffer.is_empty() {
+                            let flushed = std::mem::take(&mut buffer);
+                            w += (self.b - flushed.len()) as i64;
+                            self.write_out(flushed, &mut out, &mut outcome)?;
+                        }
+                        let h = if from_x { xs.take_block() } else { ys.take_block() };
+                        if from_x {
+                            // An adopted X block adds its empty slots to the
+                            // target's waste; an adopted Y block is net zero
+                            // (its slots were already part of the target).
+                            w += h.empty_slots(self.b) as i64;
+                        }
+                        outcome.preserved += 1;
+                        outcome.out_records += u64::from(h.count);
+                        out.push(h);
+                        continue;
+                    }
+                }
+            }
+
+            // Ordinary path: stream one record.
+            let r = if from_x { xs.next_record()? } else { ys.next_record()? };
+            if let Some(keep) = consolidate(r, None, may_exist_below(key)) {
+                self.push_record(&mut buffer, &mut out, keep, &mut outcome)?;
+            }
+        }
+        while ys_subtracted < ys.opened.len() {
+            w -= ys.opened[ys_subtracted].empty_slots(self.b) as i64;
+            ys_subtracted += 1;
+        }
+
+        // Final partial block. If it would violate the pairwise constraint
+        // against the previous output block, fuse the two instead (at most
+        // one extra write — the §II-B bound).
+        if !buffer.is_empty() {
+            let prev_ok = !self.pairwise
+                || match out.last() {
+                    Some(prev) => (prev.count as usize) + buffer.len() > self.b,
+                    None => match prev_target_count {
+                        Some(c) => (c as usize) + buffer.len() > self.b,
+                        None => true,
+                    },
+                };
+            if !prev_ok && !out.is_empty() {
+                let prev = out.pop().expect("checked non-empty");
+                let prev_block = self.store.read_block(&prev)?;
+                outcome.reads += 1;
+                let mut fused: Vec<Record> = prev_block.records.clone();
+                let fused_from_buffer = buffer.len() as u64;
+                fused.append(&mut buffer);
+                w -= prev.empty_slots(self.b) as i64;
+                self.store.free_block(&prev)?;
+                w += (self.b - fused.len()) as i64;
+                // write_out re-counts prev's records; compensate so
+                // out_records stays the number of surviving records.
+                outcome.out_records -= fused.len() as u64 - fused_from_buffer;
+                self.write_out(fused, &mut out, &mut outcome)?;
+            } else {
+                let flushed = std::mem::take(&mut buffer);
+                w += (self.b - flushed.len()) as i64;
+                self.write_out(flushed, &mut out, &mut outcome)?;
+            }
+        }
+
+        // Subtract the empty slots of every Y block whose records were
+        // consumed (they left the target).
+        for h in &ys.opened {
+            w -= h.empty_slots(self.b) as i64;
+        }
+        outcome.reads += xs.logical_reads + ys.logical_reads;
+
+        // Release consumed input blocks.
+        for h in xs.opened.iter().chain(ys.opened.iter()) {
+            self.store.free_block(h)?;
+        }
+
+        // Splice Z into the target where Y was.
+        let z_len = out.len();
+        target.insert_at(insert_pos, out);
+
+        // Seam repairs (§II-B cases 1 & 3, applied at both ends of Z). The
+        // preservation checks already guarantee pairwise validity *inside*
+        // Z and against the preceding block in the common case; these
+        // checks catch the degenerate small-merge cases, costing at most
+        // one extra write each.
+        if z_len == 0 {
+            // Everything consolidated away: Y's removal left one new seam.
+            if let Some(fix) = self.fix_pair_if_needed(target, insert_pos, &mut w)? {
+                outcome.writes += fix.writes;
+                outcome.reads += fix.reads;
+            }
+        } else {
+            let mut end = insert_pos + z_len; // index of first block after Z
+            if let Some(fix) = self.fix_pair_if_needed(target, insert_pos, &mut w)? {
+                outcome.writes += fix.writes;
+                outcome.reads += fix.reads;
+                end -= 1; // front fuse shifted everything left by one
+            }
+            if let Some(fix) = self.fix_pair_if_needed(target, end, &mut w)? {
+                outcome.writes += fix.writes;
+                outcome.reads += fix.reads;
+            }
+        }
+
+        target.waste_delta = w;
+        Ok(outcome)
+    }
+
+    /// All §II-B conditions for adopting block `h` into the output.
+    #[allow(clippy::too_many_arguments)]
+    fn preservation_allowed(
+        &self,
+        h: &BlockHandle,
+        buffer: &[Record],
+        last_out: Option<&BlockHandle>,
+        prev_target_count: Option<u32>,
+        w: i64,
+        slack_budget: f64,
+        from_x: bool,
+        is_bottom: bool,
+    ) -> bool {
+        // Tombstones must not reach the bottom level; a block containing
+        // them cannot be adopted there.
+        if is_bottom && h.tombstones > 0 {
+            return false;
+        }
+        let prev_count: Option<u32> = if self.pairwise {
+            last_out.map(|b| b.count).or(prev_target_count)
+        } else {
+            None
+        };
+        if buffer.is_empty() {
+            // No buffered block will be written; check prev vs h directly.
+            if let Some(pc) = prev_count {
+                if (pc as usize) + (h.count as usize) <= self.b {
+                    return false;
+                }
+            }
+        } else {
+            // The buffer becomes a (possibly non-full) block b≺: check
+            // prev vs b≺ and b≺ vs h.
+            if let Some(pc) = prev_count {
+                if (pc as usize) + buffer.len() <= self.b {
+                    return false;
+                }
+            }
+            if self.pairwise && buffer.len() + (h.count as usize) <= self.b {
+                return false;
+            }
+        }
+        // Slack budget: the flush of b≺ adds its empty slots; adopting an
+        // X block adds the block's own empty slots (a Y block is net zero).
+        let mut prospective = w;
+        if !buffer.is_empty() {
+            prospective += (self.b - buffer.len()) as i64;
+        }
+        if from_x {
+            prospective += h.empty_slots(self.b) as i64;
+        }
+        (prospective as f64) <= slack_budget - (self.b as f64 - 1.0)
+    }
+
+    fn push_record(
+        &self,
+        buffer: &mut Vec<Record>,
+        out: &mut Vec<BlockHandle>,
+        r: Record,
+        outcome: &mut MergeOutcome,
+    ) -> Result<()> {
+        buffer.push(r);
+        if buffer.len() == self.b {
+            let flushed = std::mem::take(buffer);
+            // A full block adds zero empty slots; no change to w.
+            self.write_out(flushed, out, outcome)?;
+        }
+        Ok(())
+    }
+
+    fn write_out(
+        &self,
+        records: Vec<Record>,
+        out: &mut Vec<BlockHandle>,
+        outcome: &mut MergeOutcome,
+    ) -> Result<()> {
+        outcome.out_records += records.len() as u64;
+        let h = self.store.write_block(records)?;
+        outcome.writes += 1;
+        out.push(h);
+        Ok(())
+    }
+
+    /// If blocks `idx-1` and `idx` of `level` violate the pairwise waste
+    /// constraint, fuse them into one block. Used for the seams created by
+    /// bulk deletes and inserts.
+    pub fn fix_pair_if_needed(
+        &self,
+        level: &mut Level,
+        idx: usize,
+        w: &mut i64,
+    ) -> Result<Option<CompactOutcome>> {
+        if !self.pairwise || idx == 0 || idx >= level.num_blocks() {
+            return Ok(None);
+        }
+        let (a, b) = (&level.handles()[idx - 1], &level.handles()[idx]);
+        if (a.count as usize) + (b.count as usize) > self.b {
+            return Ok(None);
+        }
+        let (a, b) = (a.clone(), b.clone());
+        let block_a = self.store.read_block(&a)?;
+        let block_b = self.store.read_block(&b)?;
+        let mut records = Vec::with_capacity(block_a.len() + block_b.len());
+        records.extend(block_a.records.iter().cloned());
+        records.extend(block_b.records.iter().cloned());
+        let fused = self.store.write_block(records)?;
+        *w += fused.empty_slots(self.b) as i64;
+        *w -= a.empty_slots(self.b) as i64;
+        *w -= b.empty_slots(self.b) as i64;
+        self.store.free_block(&a)?;
+        self.store.free_block(&b)?;
+        level.replace_pair_with(idx - 1, fused);
+        Ok(Some(CompactOutcome { writes: 1, reads: 2 }))
+    }
+
+    /// Rewrite `level` compactly in one pass (§II-B compaction), resetting
+    /// its waste bookkeeping. Returns the I/O spent.
+    pub fn compact_level(&self, level: &mut Level) -> Result<CompactOutcome> {
+        let old = level.take_all();
+        let mut outcome = CompactOutcome::default();
+        let mut buffer: Vec<Record> = Vec::with_capacity(self.b);
+        let mut new_handles: Vec<BlockHandle> = Vec::with_capacity(old.len());
+        for h in &old {
+            let block = self.store.read_block(h)?;
+            outcome.reads += 1;
+            for r in &block.records {
+                buffer.push(r.clone());
+                if buffer.len() == self.b {
+                    new_handles.push(self.store.write_block(std::mem::take(&mut buffer))?);
+                    outcome.writes += 1;
+                }
+            }
+        }
+        if !buffer.is_empty() {
+            new_handles.push(self.store.write_block(buffer)?);
+            outcome.writes += 1;
+        }
+        for h in &old {
+            self.store.free_block(h)?;
+        }
+        level.insert_at(0, new_handles);
+        level.reset_waste_accounting();
+        Ok(outcome)
+    }
+
+    /// Does `level` currently need a compaction? True when its waste factor
+    /// exceeds ε *and* compaction would actually reduce its block count.
+    pub fn needs_compaction(&self, level: &Level) -> bool {
+        if level.num_blocks() < 2 {
+            return false;
+        }
+        let minimal = (level.records() as usize).div_ceil(self.b);
+        level.num_blocks() > minimal && level.waste_factor(self.b) > self.eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpKind;
+
+    // Geometry for tests: 256-byte blocks, 4-byte payloads.
+    // record = 8+1+4+4 = 17 bytes; B = (256-16)/17 = 14. Use explicit B.
+    const BS: usize = 256;
+    const B: usize = 14;
+    const EPS: f64 = 0.2;
+
+    fn store() -> Store {
+        Store::in_memory(4096, BS, 64)
+    }
+
+    fn put(k: Key) -> Record {
+        Record::put(k, vec![k as u8; 4])
+    }
+
+    fn puts(keys: impl IntoIterator<Item = Key>) -> Vec<Record> {
+        keys.into_iter().map(put).collect()
+    }
+
+    /// Build a level from record chunks, one block per chunk.
+    fn level_of(store: &Store, chunks: &[Vec<Record>]) -> Level {
+        let mut l = Level::new();
+        for chunk in chunks {
+            let h = store.write_block(chunk.clone()).unwrap();
+            l.push(h);
+        }
+        l
+    }
+
+    fn read_all_keys(store: &Store, level: &Level) -> Vec<Key> {
+        let mut out = Vec::new();
+        for h in level.handles() {
+            let b = store.read_block(h).unwrap();
+            out.extend(b.records.iter().map(|r| r.key));
+        }
+        out
+    }
+
+    #[test]
+    fn merge_records_into_empty_level_packs_full_blocks() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = Level::new();
+        let recs = puts(0..30u64);
+        let out = eng
+            .merge_into(&mut target, &[], MergeSource::Records(recs))
+            .unwrap();
+        // 30 records at B=14 → blocks of 14,14,2 — but the trailing 2 is
+        // fused with the previous block? 14+2=16 > 14, pairwise fine, so 3.
+        assert_eq!(out.writes, 3);
+        assert_eq!(out.out_records, 30);
+        assert_eq!(target.num_blocks(), 3);
+        assert_eq!(target.records(), 30);
+        assert_eq!(read_all_keys(&s, &target), (0..30u64).collect::<Vec<_>>());
+        assert!(target.validate(B, EPS).is_ok());
+    }
+
+    #[test]
+    fn merge_consolidates_puts_upper_wins() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = level_of(&s, &[puts(0..10u64)]);
+        let newer: Vec<Record> = (0..10u64).map(|k| Record::put(k, vec![0xFF; 4])).collect();
+        eng.merge_into(&mut target, &[], MergeSource::Records(newer)).unwrap();
+        assert_eq!(target.records(), 10);
+        for h in target.handles() {
+            let b = s.read_block(h).unwrap();
+            for r in &b.records {
+                assert_eq!(&r.payload[..], &[0xFF; 4], "upper version must win");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_cancel_and_vanish_at_bottom() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = level_of(&s, &[puts(0..10u64)]);
+        let dels: Vec<Record> = (0..5u64).map(Record::delete).collect();
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(dels)).unwrap();
+        assert_eq!(target.records(), 5);
+        assert_eq!(read_all_keys(&s, &target), vec![5, 6, 7, 8, 9]);
+        assert_eq!(out.out_records, 5);
+    }
+
+    #[test]
+    fn tombstones_ride_down_when_key_may_exist_below() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let below = level_of(&s, &[puts(0..10u64)]);
+        let mut target = Level::new();
+        let dels: Vec<Record> = (2..4u64).map(Record::delete).collect();
+        eng.merge_into(&mut target, std::slice::from_ref(&below), MergeSource::Records(dels))
+            .unwrap();
+        assert_eq!(target.records(), 2, "tombstones kept for deeper levels");
+        let h = &target.handles()[0];
+        let blk = s.read_block(h).unwrap();
+        assert!(blk.records.iter().all(|r| r.op == OpKind::Delete));
+    }
+
+    #[test]
+    fn lone_tombstone_dropped_when_nothing_below() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let below = level_of(&s, &[puts(100..110u64)]); // disjoint keys
+        let mut target = Level::new();
+        let dels: Vec<Record> = (2..4u64).map(Record::delete).collect();
+        let out = eng
+            .merge_into(&mut target, std::slice::from_ref(&below), MergeSource::Records(dels))
+            .unwrap();
+        assert_eq!(out.out_records, 0);
+        assert!(target.is_empty());
+    }
+
+    #[test]
+    fn disjoint_x_blocks_are_preserved_into_gap() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        // Target: [0..14) and [100..114); X: one full block [40..54).
+        let mut target = level_of(&s, &[puts(0..14u64), puts(100..114u64)]);
+        // Earn slack first: pretend earlier merges banked budget.
+        target.slack_budget = 100.0;
+        let x = level_of(&s, &[puts(40..54u64)]);
+        let x_handles = x.handles().to_vec();
+        let io_before = s.io_snapshot();
+        let out = eng
+            .merge_into(&mut target, &[], MergeSource::Blocks(x_handles))
+            .unwrap();
+        let io_after = s.io_snapshot();
+        assert_eq!(out.preserved, 1, "whole X block falls in the gap");
+        assert_eq!(out.writes, 0);
+        assert_eq!(io_after.writes - io_before.writes, 0, "no device writes at all");
+        assert_eq!(target.num_blocks(), 3);
+        assert_eq!(target.records(), 42);
+        assert!(target.validate(B, EPS).is_ok());
+    }
+
+    #[test]
+    fn preservation_disabled_rewrites_everything() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, false);
+        let mut target = level_of(&s, &[puts(0..14u64), puts(100..114u64)]);
+        target.slack_budget = 100.0;
+        let x = level_of(&s, &[puts(40..54u64)]);
+        let out = eng
+            .merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec()))
+            .unwrap();
+        assert_eq!(out.preserved, 0);
+        assert!(out.writes >= 1);
+    }
+
+    #[test]
+    fn slack_budget_blocks_preservation_of_sparse_blocks() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = level_of(&s, &[puts(0..14u64), puts(100..114u64)]);
+        // No banked slack: budget after this merge = eps * 8 ≈ 1.6, and
+        // preserving a block with 6 empty slots needs w ≤ budget − B + 1,
+        // which fails. (The 8-record X block has 6 empty slots.)
+        assert_eq!(target.slack_budget, 0.0);
+        let x = level_of(&s, &[puts(40..48u64)]); // 8 records, 6 empty slots
+        let out = eng
+            .merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec()))
+            .unwrap();
+        assert_eq!(out.preserved, 0, "slack check must refuse");
+        assert_eq!(out.writes, 1);
+        assert!(target.validate(B, EPS).is_ok());
+    }
+
+    #[test]
+    fn y_blocks_outside_key_span_survive_untouched() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = level_of(&s, &[puts(0..14u64), puts(50..64u64), puts(100..114u64)]);
+        let before_first = target.handles()[0].id;
+        let before_last = target.handles()[2].id;
+        // X overlaps only the middle block.
+        let recs = puts(55..60u64);
+        eng.merge_into(&mut target, &[], MergeSource::Records(recs)).unwrap();
+        assert_eq!(target.handles()[0].id, before_first);
+        assert_eq!(target.handles()[target.num_blocks() - 1].id, before_last);
+        assert_eq!(target.records(), 42, "55..60 already present: consolidation");
+    }
+
+    #[test]
+    fn trailing_y_blocks_preserved_when_x_exhausts_first() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        // Y = two full blocks 0..14, 20..34. X = 3 records hitting the
+        // first block only; but key span [0,2] overlaps just block 0,
+        // so block 1 is never part of Y. Make X span both: keys 0, 1, 25.
+        let mut target = level_of(&s, &[puts(0..14u64), puts(20..34u64)]);
+        target.slack_budget = 100.0;
+        let recs = vec![put(0), put(1), put(25)];
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(recs)).unwrap();
+        // Both Y blocks are read and rewritten except where preservation
+        // applies; block 1 contains key 25 (overwritten) so it can't be
+        // preserved wholesale. Just check logical consistency.
+        assert_eq!(target.records(), 28);
+        assert!(out.writes >= 1);
+        assert!(target.validate(B, EPS).is_ok());
+    }
+
+    #[test]
+    fn seam_fix_fuses_tiny_neighbours() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        // Target has a small block [0..4) and a small block [20..24):
+        // 4 + 4 ≤ 14 would violate pairwise, so build them apart with a
+        // middle block, then merge records that consolidate the middle
+        // away, forcing the seam check.
+        let mut target = level_of(&s, &[puts(0..4u64), puts(10..14u64), puts(20..24u64)]);
+        // This layout violates pairwise from the start (4+4 ≤ 14) — it is
+        // a synthetic pre-state. Delete the middle block's records so the
+        // merge leaves [0..4) adjacent to [20..24) and must fuse them.
+        let dels: Vec<Record> = (10..14u64).map(Record::delete).collect();
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(dels)).unwrap();
+        assert_eq!(target.records(), 8);
+        assert_eq!(target.num_blocks(), 1, "seam fix must fuse tiny neighbours");
+        assert!(out.writes >= 1);
+        assert!(target.validate(B, EPS).is_ok());
+    }
+
+    #[test]
+    fn empty_source_is_a_no_op() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = level_of(&s, &[puts(0..14u64)]);
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(vec![])).unwrap();
+        assert_eq!(out, MergeOutcome::default());
+        assert_eq!(target.num_blocks(), 1);
+    }
+
+    #[test]
+    fn compact_level_rewrites_minimally() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        // Three blocks of 6 records each (pairwise ok: 6+6 < 14? No —
+        // 12 ≤ 14 violates pairwise; this is a synthetic wasteful state).
+        let mut level = level_of(&s, &[puts(0..6u64), puts(20..26u64), puts(40..46u64)]);
+        level.merges_since_compaction = 5;
+        level.waste_delta = 24;
+        let out = eng.compact_level(&mut level).unwrap();
+        assert_eq!(out.reads, 3);
+        assert_eq!(out.writes, 2); // 18 records → 14 + 4
+        assert_eq!(level.num_blocks(), 2);
+        assert_eq!(level.records(), 18);
+        assert_eq!(level.merges_since_compaction, 0);
+        assert_eq!(level.waste_delta, 0);
+        assert_eq!(read_all_keys(&s, &level).len(), 18);
+    }
+
+    #[test]
+    fn needs_compaction_logic() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let level = level_of(&s, &[puts(0..14u64), puts(20..34u64)]);
+        assert!(!eng.needs_compaction(&level), "full blocks, no waste");
+        // Wasteful but minimal-block-count level: 2 blocks, 16 records.
+        let sparse = level_of(&s, &[puts(0..8u64), puts(20..28u64)]);
+        assert!(!eng.needs_compaction(&sparse), "ceil(16/14)=2 is minimal");
+        // Wasteful and fusible: 3 blocks of 8 → minimal is 2.
+        let fusible = level_of(&s, &[puts(0..8u64), puts(20..28u64), puts(40..48u64)]);
+        assert!(eng.needs_compaction(&fusible));
+        let single = level_of(&s, &[puts(0..2u64)]);
+        assert!(!eng.needs_compaction(&single), "single block exempt");
+    }
+
+    #[test]
+    fn merge_blocks_source_frees_consumed_blocks() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, false); // no preservation
+        let mut target = level_of(&s, &[puts(5..19u64)]);
+        let x = level_of(&s, &[puts(0..14u64)]);
+        let live_before = s.live_blocks();
+        eng.merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec())).unwrap();
+        // X block and old Y block freed; new blocks allocated. Live count
+        // must equal exactly the target's block count.
+        assert_eq!(s.live_blocks(), target.num_blocks() as u64);
+        assert!(live_before >= 2);
+        assert_eq!(target.records(), 19); // 0..19 all distinct keys
+    }
+
+    #[test]
+    fn waste_delta_tracks_level_empty_slots() {
+        let s = store();
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut target = Level::new();
+        // Merge 20 records: blocks 14 + 6 → waste_delta should equal the
+        // level's actual empty slots (started from a compacted-empty state).
+        eng.merge_into(&mut target, &[], MergeSource::Records(puts(0..20u64))).unwrap();
+        assert_eq!(target.waste_delta as u64, target.empty_slots(B));
+        // Second merge into the same level keeps the invariant.
+        eng.merge_into(&mut target, &[], MergeSource::Records(puts(100..120u64))).unwrap();
+        assert_eq!(target.waste_delta as u64, target.empty_slots(B));
+    }
+
+    #[test]
+    fn merge_source_metadata() {
+        let src = MergeSource::Records(puts(3..7u64));
+        assert_eq!(src.record_count(), 4);
+        assert_eq!(src.key_span(), Some((3, 6)));
+        let empty = MergeSource::Records(vec![]);
+        assert_eq!(empty.record_count(), 0);
+        assert_eq!(empty.key_span(), None);
+        let s = store();
+        let lvl = level_of(&s, &[puts(0..5u64), puts(10..15u64)]);
+        let src = MergeSource::Blocks(lvl.handles().to_vec());
+        assert_eq!(src.record_count(), 10);
+        assert_eq!(src.key_span(), Some((0, 14)));
+    }
+}

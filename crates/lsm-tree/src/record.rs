@@ -1,0 +1,200 @@
+//! Index records.
+//!
+//! An LSM index logs *modifications*: inserts and updates carry a payload,
+//! deletes are logged as tombstone records that cancel earlier versions
+//! during merges (§II-A of the paper). Updates are represented as `Put`
+//! records — during a merge the upper (newer) record for a key wins.
+
+use bytes::Bytes;
+
+/// Key type. The paper uses 4-byte unsigned integers in `[0, 10^9]`;
+/// `u64` is strictly more general and keeps the arithmetic simple.
+pub type Key = u64;
+
+/// The kind of modification a record logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Insert or update: key now maps to the payload.
+    Put,
+    /// Delete: key is removed; cancels older versions below.
+    Delete,
+}
+
+/// One index record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The record key.
+    pub key: Key,
+    /// Put or Delete.
+    pub op: OpKind,
+    /// Payload bytes (empty for deletes).
+    pub payload: Bytes,
+}
+
+impl Record {
+    /// A Put record.
+    pub fn put(key: Key, payload: impl Into<Bytes>) -> Self {
+        Record { key, op: OpKind::Put, payload: payload.into() }
+    }
+
+    /// A Delete tombstone.
+    pub fn delete(key: Key) -> Self {
+        Record { key, op: OpKind::Delete, payload: Bytes::new() }
+    }
+
+    /// True for tombstones.
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.op == OpKind::Delete
+    }
+
+    /// Serialized size of this record inside a data block:
+    /// `key (8) + op (1) + payload_len (4) + payload`.
+    #[inline]
+    pub fn encoded_len(&self) -> usize {
+        8 + 1 + 4 + self.payload.len()
+    }
+}
+
+/// A modification request against the index — what workloads produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Insert or update `key` with the payload.
+    Put(Key, Bytes),
+    /// Delete `key`.
+    Delete(Key),
+}
+
+impl Request {
+    /// The key the request addresses.
+    pub fn key(&self) -> Key {
+        match self {
+            Request::Put(k, _) => *k,
+            Request::Delete(k) => *k,
+        }
+    }
+
+    /// Bytes of "request volume" this request represents. The paper reports
+    /// costs per MB *worth of requests*: a request counts as one record's
+    /// worth of bytes (key + metadata + payload for puts; key + metadata
+    /// for deletes is rounded up to the same record size so that a 50/50
+    /// workload has a well-defined volume).
+    pub fn volume_bytes(&self, record_size: usize) -> usize {
+        let _ = self;
+        record_size
+    }
+}
+
+/// Anything that produces an endless stream of requests. Workload
+/// generators implement this; the Mixed-policy learner consumes it.
+pub trait RequestSource {
+    /// Produce the next request.
+    fn next_request(&mut self) -> Request;
+}
+
+impl<T: RequestSource + ?Sized> RequestSource for &mut T {
+    fn next_request(&mut self) -> Request {
+        (**self).next_request()
+    }
+}
+
+impl<T: RequestSource + ?Sized> RequestSource for Box<T> {
+    fn next_request(&mut self) -> Request {
+        (**self).next_request()
+    }
+}
+
+/// Merge-time consolidation of two records with the same key, where `upper`
+/// is from the higher (newer) level. Returns the surviving record, if any.
+///
+/// Rules (§II-A: "only their net effect (if any) will be produced"):
+/// * Put over anything → the new Put.
+/// * Delete over Put → both disappear if it is safe to drop the tombstone
+///   (no older version can exist below, or we are merging into the bottom
+///   level); otherwise the tombstone survives and continues downward.
+/// * Delete over Delete → the single (newer) tombstone.
+///
+/// `may_exist_below` tells whether some level *below the merge target*
+/// could still hold this key; the caller computes it from fence metadata.
+pub fn consolidate(upper: Record, lower: Option<Record>, may_exist_below: bool) -> Option<Record> {
+    match upper.op {
+        OpKind::Put => Some(upper),
+        OpKind::Delete => {
+            let cancelled_something = lower.is_some();
+            if may_exist_below {
+                // Older versions may lurk deeper: the tombstone must ride on.
+                Some(upper)
+            } else if cancelled_something {
+                // Net effect of (delete, insert) is nothing.
+                None
+            } else {
+                // Lone tombstone with nothing below to cancel: drop it.
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_constructors() {
+        let p = Record::put(5, vec![1, 2, 3]);
+        assert_eq!(p.key, 5);
+        assert!(!p.is_tombstone());
+        assert_eq!(p.encoded_len(), 8 + 1 + 4 + 3);
+
+        let d = Record::delete(9);
+        assert!(d.is_tombstone());
+        assert!(d.payload.is_empty());
+        assert_eq!(d.encoded_len(), 13);
+    }
+
+    #[test]
+    fn put_always_wins() {
+        let up = Record::put(1, vec![9]);
+        let low = Record::put(1, vec![1]);
+        let out = consolidate(up.clone(), Some(low), true).unwrap();
+        assert_eq!(out.payload[..], [9]);
+        let out2 = consolidate(up.clone(), None, false).unwrap();
+        assert_eq!(out2, up);
+    }
+
+    #[test]
+    fn delete_cancels_put_when_safe() {
+        let up = Record::delete(1);
+        let low = Record::put(1, vec![1]);
+        assert_eq!(consolidate(up, Some(low), false), None);
+    }
+
+    #[test]
+    fn delete_survives_when_key_may_exist_below() {
+        let up = Record::delete(1);
+        let low = Record::put(1, vec![1]);
+        let out = consolidate(up, Some(low), true).unwrap();
+        assert!(out.is_tombstone());
+    }
+
+    #[test]
+    fn lone_delete_dropped_at_safe_depth() {
+        assert_eq!(consolidate(Record::delete(3), None, false), None);
+        assert!(consolidate(Record::delete(3), None, true).unwrap().is_tombstone());
+    }
+
+    #[test]
+    fn delete_over_delete_keeps_one() {
+        let out = consolidate(Record::delete(4), Some(Record::delete(4)), true).unwrap();
+        assert!(out.is_tombstone());
+        assert_eq!(consolidate(Record::delete(4), Some(Record::delete(4)), false), None);
+    }
+
+    #[test]
+    fn request_key_and_volume() {
+        let r = Request::Put(7, Bytes::from_static(b"x"));
+        assert_eq!(r.key(), 7);
+        assert_eq!(r.volume_bytes(113), 113);
+        assert_eq!(Request::Delete(9).key(), 9);
+    }
+}

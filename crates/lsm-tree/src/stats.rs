@@ -1,0 +1,175 @@
+//! Cost accounting, broken down by level.
+//!
+//! The paper measures the number of data-block writes, per level and in
+//! total (§III: "we break the cost down by level, considering the cost of
+//! merging into each Li"). [`TreeStats`] mirrors that accounting;
+//! [`TreeEvent`]s give the Mixed-policy learner and the figure harnesses
+//! the cycle structure they need.
+
+use crate::record::Key;
+
+/// Was a merge full or partial?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeKind {
+    /// The whole source level was merged down.
+    Full,
+    /// A δ-fraction window of the source was merged down.
+    Partial,
+}
+
+/// Per-level counters. Index convention: `levels[i]` in [`TreeStats`] is
+/// paper-level `L_{i+1}` (L0 never incurs I/O).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Merges into this level.
+    pub merges_in: u64,
+    /// Data blocks written in this level by merges (the paper's metric).
+    pub blocks_written: u64,
+    /// Data blocks of this level read by merges.
+    pub blocks_read: u64,
+    /// Input blocks preserved (re-linked without rewriting).
+    pub blocks_preserved: u64,
+    /// Records merged into this level.
+    pub records_in: u64,
+    /// Compactions of this level.
+    pub compactions: u64,
+    /// Blocks written by those compactions.
+    pub compaction_writes: u64,
+    /// Pairwise waste fix-ups (two neighbours fused into one block).
+    pub pairwise_fixes: u64,
+}
+
+impl LevelStats {
+    /// All block writes charged to this level (merges + compactions +
+    /// pairwise fixes are already inside `blocks_written`).
+    pub fn total_writes(&self) -> u64 {
+        self.blocks_written
+    }
+}
+
+/// Whole-tree counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Per-level counters; `levels[0]` is L1.
+    pub levels: Vec<LevelStats>,
+    /// Put requests applied.
+    pub puts: u64,
+    /// Delete requests applied.
+    pub deletes: u64,
+    /// Point lookups served.
+    pub lookups: u64,
+    /// Blocks read by lookups (not merges).
+    pub lookup_block_reads: u64,
+    /// Lookups answered without any block read thanks to Bloom filters.
+    pub bloom_skips: u64,
+}
+
+impl TreeStats {
+    /// Counter bundle for paper-level `i ≥ 1`, growing the vector on demand.
+    pub fn level_mut(&mut self, paper_level: usize) -> &mut LevelStats {
+        assert!(paper_level >= 1, "L0 incurs no I/O");
+        let idx = paper_level - 1;
+        if self.levels.len() <= idx {
+            self.levels.resize(idx + 1, LevelStats::default());
+        }
+        &mut self.levels[idx]
+    }
+
+    /// Counter bundle for paper-level `i ≥ 1` (zeroes if never touched).
+    pub fn level(&self, paper_level: usize) -> LevelStats {
+        assert!(paper_level >= 1);
+        self.levels.get(paper_level - 1).copied().unwrap_or_default()
+    }
+
+    /// Total data-block writes across all levels — the paper's primary
+    /// cost measure.
+    pub fn total_blocks_written(&self) -> u64 {
+        self.levels.iter().map(|l| l.blocks_written).sum()
+    }
+
+    /// Total data-block reads by merges.
+    pub fn total_blocks_read(&self) -> u64 {
+        self.levels.iter().map(|l| l.blocks_read).sum()
+    }
+
+    /// Total preserved blocks.
+    pub fn total_blocks_preserved(&self) -> u64 {
+        self.levels.iter().map(|l| l.blocks_preserved).sum()
+    }
+
+    /// Total requests applied.
+    pub fn total_requests(&self) -> u64 {
+        self.puts + self.deletes
+    }
+}
+
+/// Notable events, recorded when event tracking is enabled on the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeEvent {
+    /// A merge into `paper_level` completed.
+    MergeInto {
+        /// Target paper-level (≥ 1).
+        paper_level: usize,
+        /// Full or partial.
+        kind: MergeKind,
+        /// Records brought down from the source.
+        src_records: u64,
+        /// Blocks written into the target by this merge (fix-ups included).
+        writes: u64,
+        /// Input blocks preserved unmodified.
+        preserved: u64,
+        /// Largest key of the merged range (drives RR cursors and marks
+        /// merge progress through the key space).
+        max_key: Key,
+    },
+    /// A level was compacted.
+    Compaction {
+        /// Paper-level compacted.
+        paper_level: usize,
+        /// Blocks written by the rewrite.
+        writes: u64,
+    },
+    /// The tree grew: the overflowing bottom level was relabelled one
+    /// deeper and an empty level took its place (§II-A).
+    LevelAdded {
+        /// New height h (number of levels including L0).
+        new_height: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_mut_grows_on_demand() {
+        let mut s = TreeStats::default();
+        s.level_mut(3).blocks_written += 7;
+        assert_eq!(s.levels.len(), 3);
+        assert_eq!(s.level(3).blocks_written, 7);
+        assert_eq!(s.level(1), LevelStats::default());
+        assert_eq!(s.level(9), LevelStats::default());
+    }
+
+    #[test]
+    fn totals_sum_levels() {
+        let mut s = TreeStats::default();
+        s.level_mut(1).blocks_written = 10;
+        s.level_mut(1).blocks_read = 4;
+        s.level_mut(2).blocks_written = 5;
+        s.level_mut(2).blocks_preserved = 2;
+        assert_eq!(s.total_blocks_written(), 15);
+        assert_eq!(s.total_blocks_read(), 4);
+        assert_eq!(s.total_blocks_preserved(), 2);
+        s.puts = 3;
+        s.deletes = 2;
+        assert_eq!(s.total_requests(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "L0 incurs no I/O")]
+    fn level_zero_is_rejected() {
+        let mut s = TreeStats::default();
+        let _ = s.level_mut(0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The tree's private view of the storage substrate: allocation + codec +
+//! caching in one place.
+//!
+//! Every data-block write in the whole index funnels through
+//! [`Store::write_block`], so the device's write counter is exactly the
+//! paper's cost metric.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sim_ssd::{BlockAllocator, BlockDevice, LruCache, MemDevice};
+
+use crate::block::{BlockHandle, DataBlock};
+use crate::bloom::BloomFilter;
+use crate::error::Result;
+use crate::record::Record;
+
+/// Storage services for one LSM index.
+pub struct Store {
+    device: Arc<dyn BlockDevice>,
+    alloc: BlockAllocator,
+    cache: Mutex<LruCache<sim_ssd::BlockId, Arc<DataBlock>>>,
+    bloom_bits_per_key: usize,
+}
+
+impl Store {
+    /// Wrap a device. `cache_blocks` is the LRU capacity in blocks;
+    /// `bloom_bits_per_key == 0` disables per-block Bloom filters.
+    pub fn new(device: Arc<dyn BlockDevice>, cache_blocks: usize, bloom_bits_per_key: usize) -> Self {
+        let capacity = device.capacity();
+        Store {
+            device,
+            alloc: BlockAllocator::new(capacity),
+            cache: Mutex::new(LruCache::new(cache_blocks.max(1))),
+            bloom_bits_per_key,
+        }
+    }
+
+    /// Convenience constructor: in-memory device of `capacity_blocks`.
+    pub fn in_memory(capacity_blocks: u64, block_size: usize, cache_blocks: usize) -> Self {
+        let dev = Arc::new(MemDevice::with_block_size(capacity_blocks, block_size));
+        Store::new(dev, cache_blocks, 0)
+    }
+
+    /// Attach to a device whose `used` block ids already hold live data
+    /// (recovery from a manifest).
+    pub fn with_allocated<I: IntoIterator<Item = u64>>(
+        device: Arc<dyn BlockDevice>,
+        cache_blocks: usize,
+        bloom_bits_per_key: usize,
+        used: I,
+    ) -> Self {
+        let capacity = device.capacity();
+        Store {
+            device,
+            alloc: BlockAllocator::with_allocated(capacity, used),
+            cache: Mutex::new(LruCache::new(cache_blocks.max(1))),
+            bloom_bits_per_key,
+        }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.device
+    }
+
+    /// Allocate, encode, and write a new data block; returns its fence
+    /// entry. Exactly one device write.
+    pub fn write_block(&self, records: Vec<Record>) -> Result<BlockHandle> {
+        debug_assert!(!records.is_empty(), "refusing to write an empty data block");
+        let block = DataBlock::new(records);
+        let frame = block.encode(self.device.block_size())?;
+        let id = self.alloc.alloc()?;
+        if let Err(e) = self.device.write(id, &frame) {
+            self.alloc.free(id);
+            return Err(e.into());
+        }
+        let bloom = if self.bloom_bits_per_key > 0 {
+            let keys: Vec<u64> = block.records.iter().map(|r| r.key).collect();
+            Some(Arc::new(BloomFilter::build(&keys, self.bloom_bits_per_key)))
+        } else {
+            None
+        };
+        let handle = BlockHandle::describe(id, &block, bloom);
+        self.cache.lock().insert(id, Arc::new(block));
+        Ok(handle)
+    }
+
+    /// Read a block through the cache.
+    pub fn read_block(&self, handle: &BlockHandle) -> Result<Arc<DataBlock>> {
+        if let Some(hit) = self.cache.lock().get(&handle.id) {
+            return Ok(hit);
+        }
+        let frame = self.device.read(handle.id)?;
+        let block = Arc::new(DataBlock::decode(&frame)?);
+        self.cache.lock().insert(handle.id, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Release a block: TRIM on the device, id back to the allocator,
+    /// cached copy dropped.
+    pub fn free_block(&self, handle: &BlockHandle) -> Result<()> {
+        self.cache.lock().remove(&handle.id);
+        self.device.trim(handle.id)?;
+        self.alloc.free(handle.id);
+        Ok(())
+    }
+
+    /// Device I/O counters (reads/writes/trims so far).
+    pub fn io_snapshot(&self) -> sim_ssd::IoSnapshot {
+        self.device.io_snapshot()
+    }
+
+    /// Buffer-cache statistics.
+    pub fn cache_stats(&self) -> sim_ssd::cache::CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Blocks currently allocated to the index.
+    pub fn live_blocks(&self) -> u64 {
+        self.alloc.live_blocks()
+    }
+
+    /// Blocks still available on the device.
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.free_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    fn store() -> Store {
+        Store::in_memory(64, 256, 8)
+    }
+
+    fn recs(keys: &[u64]) -> Vec<Record> {
+        keys.iter().map(|&k| Record::put(k, vec![k as u8; 4])).collect()
+    }
+
+    #[test]
+    fn write_read_free_cycle() {
+        let s = store();
+        let h = s.write_block(recs(&[1, 5, 9])).unwrap();
+        assert_eq!((h.min, h.max, h.count), (1, 9, 3));
+        let b = s.read_block(&h).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(s.live_blocks(), 1);
+        s.free_block(&h).unwrap();
+        assert_eq!(s.live_blocks(), 0);
+        let io = s.io_snapshot();
+        assert_eq!((io.writes, io.trims), (1, 1));
+    }
+
+    #[test]
+    fn reads_served_from_cache_do_not_touch_device() {
+        let s = store();
+        let h = s.write_block(recs(&[1, 2])).unwrap();
+        for _ in 0..5 {
+            s.read_block(&h).unwrap();
+        }
+        // write_block seeds the cache, so no device read at all.
+        assert_eq!(s.io_snapshot().reads, 0);
+        assert!(s.cache_stats().hits >= 5);
+    }
+
+    #[test]
+    fn cache_miss_goes_to_device() {
+        let dev = Arc::new(MemDevice::with_block_size(64, 256));
+        let s = Store::new(dev, 1, 0); // cache of one block
+        let h1 = s.write_block(recs(&[1])).unwrap();
+        let _h2 = s.write_block(recs(&[2])).unwrap(); // evicts h1
+        s.read_block(&h1).unwrap();
+        assert_eq!(s.io_snapshot().reads, 1);
+    }
+
+    #[test]
+    fn bloom_built_when_enabled() {
+        let dev = Arc::new(MemDevice::with_block_size(64, 256));
+        let s = Store::new(dev, 8, 10);
+        let h = s.write_block(recs(&[10, 20])).unwrap();
+        let bloom = h.bloom.as_ref().expect("bloom enabled");
+        assert!(bloom.may_contain(10));
+        assert!(bloom.may_contain(20));
+    }
+
+    #[test]
+    fn bloom_skipped_when_disabled() {
+        let s = Store::in_memory(16, 256, 4);
+        let h = s.write_block(recs(&[1])).unwrap();
+        assert!(h.bloom.is_none());
+    }
+
+    #[test]
+    fn failed_write_releases_the_block_id() {
+        let dev = Arc::new(MemDevice::with_block_size(8, 256));
+        let s = Store::new(Arc::clone(&dev) as Arc<dyn BlockDevice>, 4, 0);
+        dev.inject_write_failure_in(1);
+        assert!(s.write_block(recs(&[1])).is_err());
+        assert_eq!(s.live_blocks(), 0);
+        // And the id is reusable afterwards.
+        let h = s.write_block(recs(&[1])).unwrap();
+        assert_eq!(h.count, 1);
+    }
+}

@@ -1,0 +1,737 @@
+//! The LSM-tree facade: requests in, merges down, lookups across levels.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use sim_ssd::BlockDevice;
+
+use crate::block::BLOCK_HEADER_LEN;
+use crate::config::LsmConfig;
+use crate::error::{LsmError, Result};
+use crate::level::Level;
+use crate::memtable::Memtable;
+use crate::merge::{MergeEngine, MergeSource};
+use crate::policy::window::runs_of_handles;
+use crate::policy::{MergeChoice, MergeCtx, MergePolicy, PolicySpec};
+use crate::record::{Key, OpKind, Request};
+use crate::stats::{MergeKind, TreeEvent, TreeStats};
+use crate::store::Store;
+
+/// Behavioural options of a tree, orthogonal to the data geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeOptions {
+    /// Which merge policy runs the index.
+    pub policy: PolicySpec,
+    /// Block-preserving merges (§II-B). The paper's "-P" policy variants
+    /// set this to `false`.
+    pub preserve_blocks: bool,
+    /// Record [`TreeEvent`]s (needed by the Mixed learner and the figure
+    /// harnesses; off by default to keep long runs lean).
+    pub record_events: bool,
+    /// Enforce the pairwise waste constraint (§II-B). Only the ablation
+    /// harness ever sets this to false.
+    pub enforce_pairwise: bool,
+    /// Enforce the level-wise waste constraint via compactions (§II-B).
+    /// Only the ablation harness ever sets this to false.
+    pub enforce_level_waste: bool,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            policy: PolicySpec::ChooseBest,
+            preserve_blocks: true,
+            record_events: false,
+            enforce_pairwise: true,
+            enforce_level_waste: true,
+        }
+    }
+}
+
+/// An LSM-tree over a block device.
+pub struct LsmTree {
+    cfg: LsmConfig,
+    preserve_blocks: bool,
+    record_events: bool,
+    enforce_pairwise: bool,
+    enforce_level_waste: bool,
+    store: Store,
+    mem: Memtable,
+    /// On-SSD levels; `levels[i]` is paper-level `L_{i+1}`.
+    levels: Vec<Level>,
+    policy: Box<dyn MergePolicy>,
+    policy_name: &'static str,
+    /// RR cursor for merges out of L0 (cursors of on-SSD levels live in
+    /// the levels themselves).
+    mem_rr_cursor: Option<Key>,
+    stats: TreeStats,
+    events: Vec<TreeEvent>,
+}
+
+impl LsmTree {
+    /// Create a tree over an existing device.
+    pub fn new(cfg: LsmConfig, opts: TreeOptions, device: Arc<dyn BlockDevice>) -> Result<Self> {
+        let cfg = cfg.validated()?;
+        if device.block_size() != cfg.block_size {
+            return Err(LsmError::Config(format!(
+                "device block size {} != configured {}",
+                device.block_size(),
+                cfg.block_size
+            )));
+        }
+        let store = Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key);
+        let policy = opts.policy.build();
+        let policy_name = policy.name();
+        Ok(LsmTree {
+            cfg,
+            preserve_blocks: opts.preserve_blocks,
+            record_events: opts.record_events,
+            enforce_pairwise: opts.enforce_pairwise,
+            enforce_level_waste: opts.enforce_level_waste,
+            store,
+            mem: Memtable::new(),
+            levels: vec![Level::new()],
+            policy,
+            policy_name,
+            mem_rr_cursor: None,
+            stats: TreeStats::default(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Create a tree over a fresh in-memory simulated SSD of
+    /// `device_blocks` blocks.
+    pub fn with_mem_device(cfg: LsmConfig, opts: TreeOptions, device_blocks: u64) -> Result<Self> {
+        let dev = Arc::new(sim_ssd::MemDevice::with_block_size(device_blocks, cfg.block_size));
+        Self::new(cfg, opts, dev)
+    }
+
+    /// Assemble a tree from recovered parts (the manifest restore path).
+    pub(crate) fn assemble(
+        cfg: LsmConfig,
+        opts: TreeOptions,
+        store: Store,
+        mem: Memtable,
+        levels: Vec<Level>,
+        mem_rr_cursor: Option<Key>,
+    ) -> Self {
+        debug_assert!(!levels.is_empty());
+        let policy = opts.policy.build();
+        let policy_name = policy.name();
+        LsmTree {
+            cfg,
+            preserve_blocks: opts.preserve_blocks,
+            record_events: opts.record_events,
+            enforce_pairwise: opts.enforce_pairwise,
+            enforce_level_waste: opts.enforce_level_waste,
+            store,
+            mem,
+            levels,
+            policy,
+            policy_name,
+            mem_rr_cursor,
+            stats: TreeStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// L0's round-robin cursor (persisted by checkpoints).
+    pub fn mem_rr_cursor(&self) -> Option<Key> {
+        self.mem_rr_cursor
+    }
+
+    // ------------------------------------------------------------------
+    // Modification requests
+    // ------------------------------------------------------------------
+
+    /// Insert or update `key`.
+    pub fn put(&mut self, key: Key, payload: impl Into<Bytes>) -> Result<()> {
+        self.apply(Request::Put(key, payload.into()))
+    }
+
+    /// Delete `key`.
+    pub fn delete(&mut self, key: Key) -> Result<()> {
+        self.apply(Request::Delete(key))
+    }
+
+    /// Apply one request and run any merges it triggers.
+    pub fn apply(&mut self, req: Request) -> Result<()> {
+        match &req {
+            Request::Put(_, payload) => {
+                let record_bytes = 13 + payload.len();
+                let room = self.cfg.block_size - BLOCK_HEADER_LEN;
+                if record_bytes > room {
+                    return Err(LsmError::RecordTooLarge {
+                        record_bytes,
+                        block_payload_bytes: room,
+                    });
+                }
+                self.stats.puts += 1;
+            }
+            Request::Delete(_) => self.stats.deletes += 1,
+        }
+        self.mem.apply(req);
+        self.run_cascade()
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups
+    // ------------------------------------------------------------------
+
+    /// Point lookup: newest visible version of `key`, if any.
+    pub fn get(&mut self, key: Key) -> Result<Option<Bytes>> {
+        self.stats.lookups += 1;
+        if let Some(r) = self.mem.get(key) {
+            return Ok(match r.op {
+                OpKind::Put => Some(r.payload.clone()),
+                OpKind::Delete => None,
+            });
+        }
+        for level in &self.levels {
+            let Some(handle) = level.find_block_for(key) else { continue };
+            if let Some(bloom) = &handle.bloom {
+                if !bloom.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+            }
+            let block = self.store.read_block(handle)?;
+            self.stats.lookup_block_reads += 1;
+            if let Some(r) = block.find(key) {
+                return Ok(match r.op {
+                    OpKind::Put => Some(r.payload.clone()),
+                    OpKind::Delete => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    /// Read-only point lookup: like [`LsmTree::get`] but without touching
+    /// statistics, so it works through a shared reference — the basis for
+    /// concurrent readers (see [`crate::shared::SharedLsmTree`]).
+    pub fn peek(&self, key: Key) -> Result<Option<Bytes>> {
+        if let Some(r) = self.mem.get(key) {
+            return Ok(match r.op {
+                OpKind::Put => Some(r.payload.clone()),
+                OpKind::Delete => None,
+            });
+        }
+        for level in &self.levels {
+            let Some(handle) = level.find_block_for(key) else { continue };
+            if let Some(bloom) = &handle.bloom {
+                if !bloom.may_contain(key) {
+                    continue;
+                }
+            }
+            let block = self.store.read_block(handle)?;
+            if let Some(r) = block.find(key) {
+                return Ok(match r.op {
+                    OpKind::Put => Some(r.payload.clone()),
+                    OpKind::Delete => None,
+                });
+            }
+        }
+        Ok(None)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Static configuration.
+    pub fn config(&self) -> &LsmConfig {
+        &self.cfg
+    }
+
+    /// Height `h` — number of levels including L0.
+    pub fn height(&self) -> usize {
+        self.levels.len() + 1
+    }
+
+    /// The on-SSD levels; index `i` is paper-level `L_{i+1}`.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The memory-resident L0.
+    pub fn memtable(&self) -> &Memtable {
+        &self.mem
+    }
+
+    /// Storage services (device counters, cache statistics).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Cost counters.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Name of the active policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// Total records in the index (upper bound: shadowed versions and
+    /// tombstones count until merges consolidate them).
+    pub fn record_count(&self) -> u64 {
+        self.mem.len() as u64 + self.levels.iter().map(Level::records).sum::<u64>()
+    }
+
+    /// Approximate logical size in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        self.record_count() * self.cfg.record_size() as u64
+    }
+
+    /// Replace the merge policy (the Mixed learner uses this between
+    /// measurements; data and statistics are unaffected).
+    pub fn set_policy(&mut self, policy: Box<dyn MergePolicy>) {
+        self.policy_name = policy.name();
+        self.policy = policy;
+    }
+
+    /// Enable or disable event recording.
+    pub fn set_record_events(&mut self, on: bool) {
+        self.record_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Drain the recorded events.
+    pub fn take_events(&mut self) -> Vec<TreeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Is block preservation active?
+    pub fn preserves_blocks(&self) -> bool {
+        self.preserve_blocks
+    }
+
+    // ------------------------------------------------------------------
+    // Merge machinery
+    // ------------------------------------------------------------------
+
+    fn emit(&mut self, event: TreeEvent) {
+        if self.record_events {
+            self.events.push(event);
+        }
+    }
+
+    /// Run merges until no level overflows (§II-A).
+    fn run_cascade(&mut self) -> Result<()> {
+        loop {
+            if self.mem.len() >= self.cfg.l0_capacity_records() {
+                self.merge_from_memtable()?;
+                continue;
+            }
+            let h = self.levels.len();
+            let mut acted = false;
+            for vec_idx in 0..h {
+                let paper = vec_idx + 1;
+                if self.levels[vec_idx].num_blocks() >= self.cfg.level_capacity_blocks(paper) {
+                    if vec_idx + 1 == h {
+                        self.grow();
+                    } else {
+                        self.merge_from_level(vec_idx)?;
+                    }
+                    acted = true;
+                    break;
+                }
+            }
+            if !acted {
+                return Ok(());
+            }
+        }
+    }
+
+    /// The overflowing bottom level `L_{h-1}` becomes `L_h`; an empty
+    /// level takes its place (§II-A).
+    fn grow(&mut self) {
+        let at = self.levels.len() - 1;
+        self.levels.insert(at, Level::new());
+        let new_height = self.height();
+        self.emit(TreeEvent::LevelAdded { new_height });
+    }
+
+    fn merge_from_memtable(&mut self) -> Result<()> {
+        let b = self.cfg.block_capacity();
+        let runs = self.mem.virtual_blocks(b);
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let ctx = MergeCtx {
+            src_runs: &runs,
+            target: &self.levels[0],
+            window_blocks: self.cfg.merge_window_blocks(0),
+            target_paper_level: 1,
+            target_capacity: self.cfg.level_capacity_blocks(1),
+            target_is_bottom: self.levels.len() == 1,
+            src_rr_cursor: self.mem_rr_cursor,
+        };
+        let choice = self.policy.choose(&ctx);
+        let (records, kind) = match choice {
+            MergeChoice::Full => (self.mem.extract_all(), MergeKind::Full),
+            MergeChoice::Window(w) => {
+                (self.mem.extract_window(w.start, w.len, b), MergeKind::Partial)
+            }
+        };
+        let src_records = records.len() as u64;
+        self.do_merge(0, MergeSource::Records(records), src_records, kind)?;
+        Ok(())
+    }
+
+    fn merge_from_level(&mut self, src_vec_idx: usize) -> Result<()> {
+        debug_assert!(src_vec_idx + 1 < self.levels.len(), "bottom level never merges down");
+        let src_paper = src_vec_idx + 1;
+        let runs = runs_of_handles(self.levels[src_vec_idx].handles());
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let ctx = MergeCtx {
+            src_runs: &runs,
+            target: &self.levels[src_vec_idx + 1],
+            window_blocks: self.cfg.merge_window_blocks(src_paper),
+            target_paper_level: src_paper + 1,
+            target_capacity: self.cfg.level_capacity_blocks(src_paper + 1),
+            target_is_bottom: src_vec_idx + 2 == self.levels.len(),
+            src_rr_cursor: self.levels[src_vec_idx].rr_cursor,
+        };
+        let choice = self.policy.choose(&ctx);
+        let (range, kind) = match choice {
+            MergeChoice::Full => (0..runs.len(), MergeKind::Full),
+            MergeChoice::Window(w) => (w.start..w.start + w.len, MergeKind::Partial),
+        };
+        let range_start = range.start;
+        let x = self.levels[src_vec_idx].remove_range(range);
+        let src_records: u64 = x.iter().map(|h| u64::from(h.count)).sum();
+
+        // Source-side waste maintenance (§II-B cases 1 & 2).
+        let engine = MergeEngine::new(
+            &self.store,
+            self.cfg.block_capacity(),
+            self.cfg.waste_eps,
+            self.preserve_blocks,
+        )
+        .with_pairwise(self.enforce_pairwise);
+        let src_level = &mut self.levels[src_vec_idx];
+        let mut w = src_level.waste_delta;
+        let seam_fix = engine.fix_pair_if_needed(src_level, range_start, &mut w)?;
+        src_level.waste_delta = w;
+        if let Some(fix) = seam_fix {
+            let ls = self.stats.level_mut(src_paper);
+            ls.pairwise_fixes += 1;
+            ls.blocks_written += fix.writes;
+            ls.blocks_read += fix.reads;
+        }
+        if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[src_vec_idx]) {
+            self.compact(src_vec_idx)?;
+        }
+
+        self.do_merge(src_vec_idx + 1, MergeSource::Blocks(x), src_records, kind)?;
+        Ok(())
+    }
+
+    /// Merge `src` into `levels[target_vec_idx]` and do target-side
+    /// maintenance, statistics, and events.
+    fn do_merge(
+        &mut self,
+        target_vec_idx: usize,
+        src: MergeSource,
+        src_records: u64,
+        kind: MergeKind,
+    ) -> Result<()> {
+        let target_paper = target_vec_idx + 1;
+        let engine = MergeEngine::new(
+            &self.store,
+            self.cfg.block_capacity(),
+            self.cfg.waste_eps,
+            self.preserve_blocks,
+        )
+        .with_pairwise(self.enforce_pairwise);
+        let (target_slice, below) = self.levels[target_vec_idx..].split_at_mut(1);
+        let target = &mut target_slice[0];
+        let outcome = engine.merge_into(target, below, src)?;
+
+        // Cursor of the *source* (one above the target).
+        if target_vec_idx == 0 {
+            self.mem_rr_cursor = Some(outcome.max_key);
+        } else {
+            self.levels[target_vec_idx - 1].rr_cursor = Some(outcome.max_key);
+        }
+
+        {
+            let ls = self.stats.level_mut(target_paper);
+            ls.merges_in += 1;
+            ls.blocks_written += outcome.writes;
+            ls.blocks_read += outcome.reads;
+            ls.blocks_preserved += outcome.preserved;
+            ls.records_in += src_records;
+        }
+        self.emit(TreeEvent::MergeInto {
+            paper_level: target_paper,
+            kind,
+            src_records,
+            writes: outcome.writes,
+            preserved: outcome.preserved,
+            max_key: outcome.max_key,
+        });
+
+        // Target-side level-wise waste check (§II-B case 4).
+        if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[target_vec_idx]) {
+            self.compact(target_vec_idx)?;
+        }
+        Ok(())
+    }
+
+    fn compact(&mut self, vec_idx: usize) -> Result<()> {
+        let paper = vec_idx + 1;
+        let engine = MergeEngine::new(
+            &self.store,
+            self.cfg.block_capacity(),
+            self.cfg.waste_eps,
+            self.preserve_blocks,
+        );
+        let out = engine.compact_level(&mut self.levels[vec_idx])?;
+        let ls = self.stats.level_mut(paper);
+        ls.compactions += 1;
+        ls.compaction_writes += out.writes;
+        ls.blocks_written += out.writes;
+        ls.blocks_read += out.reads;
+        self.emit(TreeEvent::Compaction { paper_level: paper, writes: out.writes });
+        Ok(())
+    }
+
+    fn engine(&self) -> MergeEngine<'_> {
+        MergeEngine::new(
+            &self.store,
+            self.cfg.block_capacity(),
+            self.cfg.waste_eps,
+            self.preserve_blocks,
+        )
+        .with_pairwise(self.enforce_pairwise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MixedParams;
+
+    fn tiny_cfg() -> LsmConfig {
+        // 256-byte blocks, 4-byte payloads → record 17 B, B = 14.
+        LsmConfig {
+            block_size: 256,
+            payload_size: 4,
+            k0_blocks: 4, // L0 holds 56 records
+            gamma: 4,
+            cache_blocks: 64,
+            merge_rate: 0.25,
+            ..LsmConfig::default()
+        }
+    }
+
+    fn tree_with(policy: PolicySpec) -> LsmTree {
+        LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions { policy, record_events: true, ..TreeOptions::default() },
+            1 << 16,
+        )
+        .unwrap()
+    }
+
+    fn payload(k: Key) -> Vec<u8> {
+        vec![(k % 251) as u8; 4]
+    }
+
+    #[test]
+    fn put_get_delete_before_any_merge() {
+        let mut t = tree_with(PolicySpec::Full);
+        t.put(10, payload(10)).unwrap();
+        assert_eq!(t.get(10).unwrap().as_deref(), Some(&payload(10)[..]));
+        t.delete(10).unwrap();
+        assert_eq!(t.get(10).unwrap(), None);
+        assert_eq!(t.get(999).unwrap(), None);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn memtable_overflow_triggers_merge_into_l1() {
+        let mut t = tree_with(PolicySpec::Full);
+        let cap = t.config().l0_capacity_records();
+        for k in 0..cap as u64 {
+            t.put(k * 7, payload(k)).unwrap();
+        }
+        assert!(t.memtable().len() < cap, "memtable must have spilled");
+        assert!(t.levels()[0].num_blocks() > 0);
+        assert!(t.stats().level(1).merges_in >= 1);
+        assert!(t.stats().level(1).blocks_written >= 1);
+        // All keys still visible.
+        for k in 0..cap as u64 {
+            assert_eq!(t.get(k * 7).unwrap().as_deref(), Some(&payload(k)[..]), "key {k}");
+        }
+    }
+
+    fn fill(t: &mut LsmTree, n: u64, stride: u64) {
+        for k in 0..n {
+            t.put(k * stride, payload(k)).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_grows_levels_under_sustained_inserts() {
+        for spec in [
+            PolicySpec::Full,
+            PolicySpec::RoundRobin,
+            PolicySpec::ChooseBest,
+            PolicySpec::TestMixed,
+        ] {
+            let mut t = tree_with(spec.clone());
+            fill(&mut t, 4000, 13);
+            assert!(t.height() >= 3, "{:?} should have grown: h={}", spec, t.height());
+            // Spot-check lookups across levels.
+            for k in [0u64, 13, 1300, 39 * 13, 3999 * 13] {
+                assert!(t.get(k).unwrap().is_some(), "{spec:?} lost key {k}");
+            }
+            assert_eq!(t.get(5).unwrap(), None);
+            // Structural invariants hold for every level.
+            let b = t.config().block_capacity();
+            for (i, lvl) in t.levels().iter().enumerate() {
+                lvl.validate(b, t.config().waste_eps)
+                    .unwrap_or_else(|e| panic!("{spec:?} L{}: {e}", i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_flow_down_and_disappear() {
+        let mut t = tree_with(PolicySpec::ChooseBest);
+        fill(&mut t, 2000, 11);
+        for k in 0..1000u64 {
+            t.delete(k * 11).unwrap();
+        }
+        for k in 0..1000u64 {
+            assert_eq!(t.get(k * 11).unwrap(), None, "key {k} must be deleted");
+        }
+        for k in 1000..2000u64 {
+            assert!(t.get(k * 11).unwrap().is_some(), "key {k} must survive");
+        }
+        // The bottom level never stores tombstones.
+        let bottom = t.levels().last().unwrap();
+        for h in bottom.handles() {
+            assert_eq!(h.tombstones, 0, "tombstone reached the bottom level");
+        }
+    }
+
+    #[test]
+    fn updates_replace_payloads() {
+        let mut t = tree_with(PolicySpec::RoundRobin);
+        fill(&mut t, 1500, 7);
+        for k in 0..500u64 {
+            t.put(k * 7, vec![0xEE; 4]).unwrap();
+        }
+        for k in 0..500u64 {
+            assert_eq!(t.get(k * 7).unwrap().as_deref(), Some(&[0xEE; 4][..]));
+        }
+    }
+
+    #[test]
+    fn events_are_recorded_and_drained() {
+        let mut t = tree_with(PolicySpec::Full);
+        fill(&mut t, 500, 3);
+        let events = t.take_events();
+        assert!(events.iter().any(|e| matches!(e, TreeEvent::MergeInto { paper_level: 1, .. })));
+        assert!(t.take_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let mut t = tree_with(PolicySpec::ChooseBest);
+        t.put(1, payload(1)).unwrap();
+        t.put(2, payload(2)).unwrap();
+        t.delete(1).unwrap();
+        t.get(2).unwrap();
+        let s = t.stats();
+        assert_eq!((s.puts, s.deletes, s.lookups), (2, 1, 1));
+        assert_eq!(s.total_requests(), 3);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut t = tree_with(PolicySpec::Full);
+        let err = t.put(1, vec![0u8; 1000]).unwrap_err();
+        assert!(matches!(err, LsmError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn mismatched_device_block_size_rejected() {
+        let dev = Arc::new(sim_ssd::MemDevice::with_block_size(16, 512));
+        match LsmTree::new(tiny_cfg(), TreeOptions::default(), dev) {
+            Err(LsmError::Config(_)) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("mismatched block size must be rejected"),
+        }
+    }
+
+    #[test]
+    fn mixed_policy_runs_end_to_end() {
+        let mut params = MixedParams { beta: true, default_tau: 0.4, ..MixedParams::default() };
+        params.thresholds.insert(2, 0.5);
+        let mut t = tree_with(PolicySpec::Mixed(params));
+        fill(&mut t, 3000, 5);
+        assert!(t.height() >= 3);
+        for k in [0u64, 5, 500 * 5, 2999 * 5] {
+            assert!(t.get(k).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn policy_swap_preserves_data() {
+        let mut t = tree_with(PolicySpec::Full);
+        fill(&mut t, 1000, 9);
+        t.set_policy(PolicySpec::ChooseBest.build());
+        assert_eq!(t.policy_name(), "ChooseBest");
+        fill(&mut t, 1000, 9); // overwrite same keys
+        for k in (0..1000u64).step_by(97) {
+            assert!(t.get(k * 9).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn preserve_flag_changes_write_counts() {
+        // Same workload with and without preservation: preserved blocks
+        // can only reduce writes.
+        let mut with = LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: true, record_events: false, ..TreeOptions::default() },
+            1 << 16,
+        )
+        .unwrap();
+        let mut without = LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: false, record_events: false, ..TreeOptions::default() },
+            1 << 16,
+        )
+        .unwrap();
+        fill(&mut with, 3000, 17);
+        fill(&mut without, 3000, 17);
+        let w_with = with.stats().total_blocks_written();
+        let w_without = without.stats().total_blocks_written();
+        assert!(
+            w_with <= w_without,
+            "preservation must not increase writes: {w_with} vs {w_without}"
+        );
+        assert!(with.stats().total_blocks_preserved() > 0, "some preservation expected");
+    }
+
+    #[test]
+    fn record_count_and_bytes() {
+        let mut t = tree_with(PolicySpec::Full);
+        fill(&mut t, 100, 2);
+        assert!(t.record_count() >= 100);
+        assert_eq!(t.approx_bytes(), t.record_count() * 17);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property tests: the LSM-tree behaves exactly like a `BTreeMap` model
+//! under arbitrary request sequences, for every policy, with and without
+//! block preservation — and every structural invariant of §II-B holds at
+//! every quiescent point.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use lsm_tree::policy::MixedParams;
+use lsm_tree::verify::check_tree;
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, Request, TreeOptions};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u64, u8),
+    Delete(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..key_space, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0..key_space).prop_map(Op::Delete),
+    ]
+}
+
+fn tiny_tree(policy: PolicySpec, preserve: bool) -> LsmTree {
+    let cfg = LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 2, // merges fire constantly: B = 14, L0 holds 28 records
+        gamma: 3,
+        cache_blocks: 32,
+        merge_rate: 0.4,
+        ..LsmConfig::default()
+    };
+    LsmTree::with_mem_device(
+        cfg,
+        TreeOptions { policy, preserve_blocks: preserve, record_events: false, ..TreeOptions::default() },
+        1 << 16,
+    )
+    .unwrap()
+}
+
+fn payload(v: u8) -> Vec<u8> {
+    vec![v; 4]
+}
+
+fn run_against_model(policy: PolicySpec, preserve: bool, ops: &[Op], key_space: u64) {
+    let mut tree = tiny_tree(policy.clone(), preserve);
+    let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Put(k, v) => {
+                tree.apply(Request::Put(k, Bytes::from(payload(v)))).unwrap();
+                model.insert(k, v);
+            }
+            Op::Delete(k) => {
+                tree.apply(Request::Delete(k)).unwrap();
+                model.remove(&k);
+            }
+        }
+        // Periodic invariant checks (every op would be quadratic).
+        if i % 64 == 63 {
+            check_tree(&tree, false)
+                .unwrap_or_else(|e| panic!("{policy:?} preserve={preserve} step {i}: {e}"));
+        }
+    }
+    check_tree(&tree, true).unwrap_or_else(|e| panic!("{policy:?} preserve={preserve}: {e}"));
+
+    // Point lookups agree with the model over the whole key space.
+    for k in 0..key_space {
+        let got = tree.get(k).unwrap();
+        let want = model.get(&k).map(|&v| payload(v));
+        assert_eq!(
+            got.as_deref(),
+            want.as_deref(),
+            "{policy:?} preserve={preserve}: lookup({k}) diverged"
+        );
+    }
+
+    // A full scan agrees with the model.
+    let scanned: Vec<(u64, Vec<u8>)> =
+        tree.scan(0, u64::MAX).map(|r| r.map(|(k, v)| (k, v.to_vec())).unwrap()).collect();
+    let expect: Vec<(u64, Vec<u8>)> = model.iter().map(|(&k, &v)| (k, payload(v))).collect();
+    assert_eq!(scanned, expect, "{policy:?} preserve={preserve}: scan diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn full_policy_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::Full, true, &ops, 300);
+    }
+
+    #[test]
+    fn full_no_preserve_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::Full, false, &ops, 300);
+    }
+
+    #[test]
+    fn rr_policy_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::RoundRobin, true, &ops, 300);
+    }
+
+    #[test]
+    fn rr_no_preserve_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::RoundRobin, false, &ops, 300);
+    }
+
+    #[test]
+    fn choose_best_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::ChooseBest, true, &ops, 300);
+    }
+
+    #[test]
+    fn choose_best_no_preserve_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::ChooseBest, false, &ops, 300);
+    }
+
+    #[test]
+    fn test_mixed_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        run_against_model(PolicySpec::TestMixed, true, &ops, 300);
+    }
+
+    #[test]
+    fn mixed_with_thresholds_matches_model(ops in prop::collection::vec(op_strategy(300), 200..800)) {
+        let mut params = MixedParams { beta: false, default_tau: 0.5, ..MixedParams::default() };
+        params.thresholds.insert(2, 0.3);
+        params.thresholds.insert(3, 0.7);
+        run_against_model(PolicySpec::Mixed(params), true, &ops, 300);
+    }
+
+    /// Skewed key distributions stress the window-selection paths.
+    #[test]
+    fn clustered_keys_match_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                3 => (0u64..40, any::<u8>()).prop_map(|(k, v)| Op::Put(k * 2, v)),
+                2 => (0u64..40, any::<u8>()).prop_map(|(k, v)| Op::Put(10_000 + k, v)),
+                2 => (0u64..40).prop_map(|k| Op::Delete(k * 2)),
+                1 => (0u64..40).prop_map(|k| Op::Delete(10_000 + k)),
+            ],
+            200..700,
+        )
+    ) {
+        let mut tree = tiny_tree(PolicySpec::ChooseBest, true);
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Put(k, v) => {
+                    tree.apply(Request::Put(k, Bytes::from(payload(v)))).unwrap();
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    tree.apply(Request::Delete(k)).unwrap();
+                    model.remove(&k);
+                }
+            }
+        }
+        check_tree(&tree, true).unwrap();
+        let scanned: Vec<u64> = tree.scan(0, u64::MAX).map(|r| r.unwrap().0).collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    /// Sequential (bulk-load-like) inserts followed by range deletes.
+    #[test]
+    fn sequential_load_matches_model(n in 100usize..600, delete_every in 2usize..6) {
+        let mut tree = tiny_tree(PolicySpec::ChooseBest, true);
+        let mut model: BTreeMap<u64, u8> = BTreeMap::new();
+        for k in 0..n as u64 {
+            tree.put(k, payload(k as u8)).unwrap();
+            model.insert(k, k as u8);
+        }
+        for k in (0..n as u64).step_by(delete_every) {
+            tree.delete(k).unwrap();
+            model.remove(&k);
+        }
+        check_tree(&tree, true).unwrap();
+        for k in 0..n as u64 {
+            prop_assert_eq!(tree.get(k).unwrap().is_some(), model.contains_key(&k));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Free-list block allocator.
+//!
+//! Levels in the modified LSM-tree occupy arbitrary, non-contiguous physical
+//! blocks (§II-B relaxes compact sequential storage because SSD random block
+//! accesses are cheap). [`BlockAllocator`] hands out block ids from a
+//! watermark and recycles freed ids LIFO, which keeps the working set of
+//! physical blocks small and makes wear statistics interpretable.
+
+use parking_lot::Mutex;
+
+use crate::device::BlockId;
+use crate::error::{DeviceError, Result};
+
+#[derive(Debug)]
+struct AllocState {
+    /// Next never-used block id.
+    watermark: u64,
+    /// Recycled ids, reused LIFO.
+    free: Vec<u64>,
+    /// Number of ids currently handed out.
+    live: u64,
+}
+
+/// Thread-safe allocator over the id space `0..capacity`.
+#[derive(Debug)]
+pub struct BlockAllocator {
+    capacity: u64,
+    state: Mutex<AllocState>,
+}
+
+impl BlockAllocator {
+    /// Allocator over `capacity` block ids.
+    pub fn new(capacity: u64) -> Self {
+        BlockAllocator {
+            capacity,
+            state: Mutex::new(AllocState { watermark: 0, free: Vec::new(), live: 0 }),
+        }
+    }
+
+    /// Rebuild an allocator whose `used` ids are already live (recovery
+    /// from a manifest): the watermark sits just past the largest used id
+    /// and every gap below it is on the free list.
+    pub fn with_allocated<I: IntoIterator<Item = u64>>(capacity: u64, used: I) -> Self {
+        let mut used: Vec<u64> = used.into_iter().collect();
+        used.sort_unstable();
+        used.dedup();
+        let watermark = used.last().map_or(0, |&m| m + 1);
+        assert!(watermark <= capacity, "used id beyond device capacity");
+        let mut free = Vec::new();
+        let mut next = 0u64;
+        for &id in &used {
+            free.extend(next..id);
+            next = id + 1;
+        }
+        // LIFO pop order: reuse low ids first.
+        free.reverse();
+        let live = used.len() as u64;
+        BlockAllocator { capacity, state: Mutex::new(AllocState { watermark, free, live }) }
+    }
+
+    /// Allocate one block id.
+    pub fn alloc(&self) -> Result<BlockId> {
+        let mut st = self.state.lock();
+        let id = if let Some(id) = st.free.pop() {
+            id
+        } else if st.watermark < self.capacity {
+            let id = st.watermark;
+            st.watermark += 1;
+            id
+        } else {
+            return Err(DeviceError::NoSpace);
+        };
+        st.live += 1;
+        Ok(BlockId(id))
+    }
+
+    /// Return a block id to the free list.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the id was never allocated, which would
+    /// indicate a double free in the caller.
+    pub fn free(&self, id: BlockId) {
+        let mut st = self.state.lock();
+        debug_assert!(id.0 < st.watermark, "freeing block {} never allocated", id.0);
+        debug_assert!(!st.free.contains(&id.0), "double free of block {}", id.0);
+        st.free.push(id.0);
+        st.live = st.live.saturating_sub(1);
+    }
+
+    /// Ids currently allocated and not freed.
+    pub fn live_blocks(&self) -> u64 {
+        self.state.lock().live
+    }
+
+    /// Ids available (never used + recycled).
+    pub fn free_blocks(&self) -> u64 {
+        let st = self.state.lock();
+        (self.capacity - st.watermark) + st.free.len() as u64
+    }
+
+    /// Total id space.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_sequentially_then_recycles() {
+        let a = BlockAllocator::new(4);
+        let b0 = a.alloc().unwrap();
+        let b1 = a.alloc().unwrap();
+        assert_eq!((b0, b1), (BlockId(0), BlockId(1)));
+        a.free(b0);
+        // LIFO recycling returns the freed id before new watermark ids.
+        assert_eq!(a.alloc().unwrap(), BlockId(0));
+        assert_eq!(a.alloc().unwrap(), BlockId(2));
+    }
+
+    #[test]
+    fn with_allocated_restores_gaps() {
+        let a = BlockAllocator::with_allocated(10, [1u64, 4, 5]);
+        assert_eq!(a.live_blocks(), 3);
+        assert_eq!(a.free_blocks(), 7);
+        // Gaps below the watermark come back first (low ids first).
+        assert_eq!(a.alloc().unwrap(), BlockId(0));
+        assert_eq!(a.alloc().unwrap(), BlockId(2));
+        assert_eq!(a.alloc().unwrap(), BlockId(3));
+        // Then fresh ids from the watermark.
+        assert_eq!(a.alloc().unwrap(), BlockId(6));
+        // Restored ids can be freed normally.
+        a.free(BlockId(4));
+        assert_eq!(a.alloc().unwrap(), BlockId(4));
+    }
+
+    #[test]
+    fn with_allocated_empty_is_fresh() {
+        let a = BlockAllocator::with_allocated(4, []);
+        assert_eq!(a.alloc().unwrap(), BlockId(0));
+        assert_eq!(a.live_blocks(), 1);
+    }
+
+    #[test]
+    fn exhausts_at_capacity() {
+        let a = BlockAllocator::new(2);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert!(matches!(a.alloc(), Err(DeviceError::NoSpace)));
+        a.free(BlockId(1));
+        assert_eq!(a.alloc().unwrap(), BlockId(1));
+    }
+
+    #[test]
+    fn live_and_free_accounting() {
+        let a = BlockAllocator::new(10);
+        assert_eq!(a.free_blocks(), 10);
+        let x = a.alloc().unwrap();
+        let _y = a.alloc().unwrap();
+        assert_eq!(a.live_blocks(), 2);
+        assert_eq!(a.free_blocks(), 8);
+        a.free(x);
+        assert_eq!(a.live_blocks(), 1);
+        assert_eq!(a.free_blocks(), 9);
+        assert_eq!(a.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let a = BlockAllocator::new(4);
+        let b = a.alloc().unwrap();
+        a.free(b);
+        a.free(b);
+    }
+}

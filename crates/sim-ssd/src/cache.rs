@@ -1,0 +1,349 @@
+//! Generic LRU buffer cache with pinning.
+//!
+//! The paper's setup gives each index an LRU buffer cache in addition to the
+//! memory-resident top level, and for partial-merge policies the internal
+//! B+tree nodes of the lower levels are *pinned* in memory (§V). This cache
+//! supports both behaviours: plain LRU residency for data blocks and pinned
+//! entries that are never evicted.
+//!
+//! The implementation is an intrusive doubly-linked list over a slab of
+//! entries plus a hash index — O(1) lookup, insert, touch and eviction.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    pins: u32,
+    prev: usize,
+    next: usize,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 if no lookups yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache mapping `K` to `V`, with at most `capacity` resident
+/// entries. Pinned entries count against capacity but are never evicted;
+/// if every resident entry is pinned, inserts of new keys are refused.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache holding up to `capacity` entries (must be ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        LruCache {
+            capacity,
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            index: HashMap::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Evict the least recently used unpinned entry. Returns false when all
+    /// residents are pinned.
+    fn evict_one(&mut self) -> bool {
+        let mut cur = self.tail;
+        while cur != NIL {
+            if self.slab[cur].pins == 0 {
+                let key = self.slab[cur].key.clone();
+                self.unlink(cur);
+                self.index.remove(&key);
+                self.free.push(cur);
+                self.stats.evictions += 1;
+                return true;
+            }
+            cur = self.slab[cur].prev;
+        }
+        false
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.index.get(key).copied() {
+            Some(idx) => {
+                self.touch(idx);
+                self.stats.hits += 1;
+                Some(self.slab[idx].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without affecting recency or statistics.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.index.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Insert or replace `key`. Returns `false` if the entry could not be
+    /// made resident because every slot is pinned.
+    pub fn insert(&mut self, key: K, value: V) -> bool {
+        if let Some(&idx) = self.index.get(&key) {
+            self.slab[idx].value = value;
+            self.touch(idx);
+            return true;
+        }
+        if self.index.len() >= self.capacity && !self.evict_one() {
+            return false;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry { key: key.clone(), value, pins: 0, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slab.push(Entry { key: key.clone(), value, pins: 0, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, idx);
+        self.push_front(idx);
+        true
+    }
+
+    /// Drop `key` if resident (even if pinned — caller owns pin discipline).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.index.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Pin a resident entry so it cannot be evicted. Returns false if the
+    /// key is not resident.
+    pub fn pin(&mut self, key: &K) -> bool {
+        match self.index.get(key).copied() {
+            Some(idx) => {
+                self.slab[idx].pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one pin. Returns false if the key is not resident or not
+    /// pinned.
+    pub fn unpin(&mut self, key: &K) -> bool {
+        match self.index.get(key).copied() {
+            Some(idx) if self.slab[idx].pins > 0 => {
+                self.slab[idx].pins -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove every unpinned entry.
+    pub fn clear_unpinned(&mut self) {
+        let keys: Vec<K> = self
+            .index
+            .iter()
+            .filter(|&(_, &idx)| self.slab[idx].pins == 0)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in keys {
+            self.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_and_miss() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some("one"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replace_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn pinned_entries_survive_pressure() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        assert!(c.pin(&1));
+        c.insert(2, 20);
+        c.insert(3, 30); // must evict 2, not pinned 1
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn insert_fails_when_everything_pinned() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        c.pin(&1);
+        assert!(!c.insert(2, 20));
+        assert!(c.unpin(&1));
+        assert!(c.insert(2, 20));
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn remove_and_clear_unpinned() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i * 10);
+        }
+        c.pin(&2);
+        assert_eq!(c.remove(&0), Some(0));
+        c.clear_unpinned();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&2), Some(&20));
+    }
+
+    #[test]
+    fn nested_pins_require_matching_unpins() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 10);
+        c.pin(&1);
+        c.pin(&1);
+        c.unpin(&1);
+        assert!(!c.insert(2, 20), "still pinned once");
+        c.unpin(&1);
+        assert!(c.insert(2, 20));
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction_is_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..100u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&99), Some(99));
+        assert_eq!(c.get(&98), Some(98));
+        assert_eq!(c.get(&97), Some(97));
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1);
+        c.get(&1);
+        c.get(&2);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        let empty: LruCache<u32, u32> = LruCache::new(2);
+        assert_eq!(empty.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for device operations.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+/// Errors surfaced by block devices and the allocator.
+#[derive(Debug)]
+pub enum DeviceError {
+    /// A block id past the device capacity was addressed.
+    OutOfRange {
+        /// The offending block id.
+        block: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A read hit a block that was never written (or was trimmed).
+    Unwritten(u64),
+    /// A write buffer did not match the device block size.
+    BadFrameSize {
+        /// Bytes supplied by the caller.
+        got: usize,
+        /// The device's fixed block size.
+        expected: usize,
+    },
+    /// The device ran out of free blocks.
+    NoSpace,
+    /// An injected fault fired (failure-injection testing).
+    Injected(&'static str),
+    /// Underlying filesystem error (file-backed device only).
+    Io(std::io::Error),
+    /// A frame failed its integrity check.
+    Corrupt(u64),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity} blocks)")
+            }
+            DeviceError::Unwritten(b) => write!(f, "read of unwritten/trimmed block {b}"),
+            DeviceError::BadFrameSize { got, expected } => {
+                write!(f, "frame of {got} bytes does not match block size {expected}")
+            }
+            DeviceError::NoSpace => write!(f, "device has no free blocks"),
+            DeviceError::Injected(what) => write!(f, "injected fault: {what}"),
+            DeviceError::Io(e) => write!(f, "i/o error: {e}"),
+            DeviceError::Corrupt(b) => write!(f, "integrity check failed for block {b}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DeviceError {
+    fn from(e: std::io::Error) -> Self {
+        DeviceError::Io(e)
+    }
+}

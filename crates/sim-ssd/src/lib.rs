@@ -1,0 +1,46 @@
+//! # sim-ssd — block-storage substrate for LSM-on-SSD experiments
+//!
+//! This crate provides the storage layer underneath the `lsm-tree` crate,
+//! reproducing the experimental substrate of Thonangi & Yang, *On
+//! Log-Structured Merge for Solid-State Drives* (ICDE 2017):
+//!
+//! * [`BlockDevice`] — a block-granular storage trait (fixed-size frames,
+//!   default 4 KiB, matching the paper's setup).
+//! * [`MemDevice`] — an in-memory simulated SSD with **exact** read / write /
+//!   trim accounting and per-block wear counters. The paper's primary metric
+//!   is the count of data-block writes, instrumented "precisely, independent
+//!   of the platform"; `MemDevice` counts the same events at the same
+//!   granularity.
+//! * [`FileDevice`] — a file-backed device for running the same code against
+//!   a real filesystem.
+//! * [`BlockAllocator`] — a free-list block allocator. LSM levels in this
+//!   design may occupy non-contiguous physical blocks (§II-B of the paper
+//!   relaxes sequential level storage because SSD random reads are cheap),
+//!   so allocation is fully dynamic.
+//! * [`LruCache`] — a generic LRU buffer cache with pin support. The paper
+//!   pins internal B+tree nodes for partial-merge policies and gives the
+//!   rest to an LRU data-block cache.
+//! * [`CostModel`] — an SSD time/energy model used to convert I/O counts
+//!   into estimated device time (the paper's secondary metric).
+//! * Failure injection on both devices, for crash / error-path testing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod cache;
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod file;
+pub mod mem;
+pub mod stats;
+
+pub use alloc::BlockAllocator;
+pub use cache::LruCache;
+pub use cost::CostModel;
+pub use device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
+pub use error::{DeviceError, Result};
+pub use file::FileDevice;
+pub use mem::MemDevice;
+pub use stats::{IoSnapshot, IoStats};

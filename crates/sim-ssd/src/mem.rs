@@ -1,0 +1,280 @@
+//! In-memory simulated SSD.
+//!
+//! [`MemDevice`] stores frames in RAM and counts every operation. It also
+//! keeps a per-block *wear* counter (number of program operations), which
+//! lets experiments report the write-amplification and wear-levelling
+//! consequences of a merge policy — the motivation the paper gives for
+//! minimizing writes on SSDs (§I: writes "have a wear effect on SSDs, which
+//! decreases drive life").
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use crate::device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
+use crate::error::{DeviceError, Result};
+use crate::stats::{IoSnapshot, IoStats};
+
+/// Fault-injection plan for a [`MemDevice`].
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// Fail the Nth write from now (1 = the next write), then clear.
+    fail_write_in: Option<u64>,
+    /// Fail every write while set.
+    fail_all_writes: bool,
+}
+
+/// An in-memory block device with exact accounting and wear tracking.
+pub struct MemDevice {
+    block_size: usize,
+    frames: RwLock<Vec<Option<Bytes>>>,
+    wear: Mutex<Vec<u32>>,
+    stats: IoStats,
+    faults: Mutex<FaultPlan>,
+}
+
+impl MemDevice {
+    /// Create a device of `capacity` blocks with the default 4 KiB frames.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_block_size(capacity, DEFAULT_BLOCK_SIZE)
+    }
+
+    /// Create a device with a custom frame size (tests use tiny frames).
+    pub fn with_block_size(capacity: u64, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        MemDevice {
+            block_size,
+            frames: RwLock::new(vec![None; capacity as usize]),
+            wear: Mutex::new(vec![0; capacity as usize]),
+            stats: IoStats::new(),
+            faults: Mutex::new(FaultPlan::default()),
+        }
+    }
+
+    /// Arrange for the Nth write from now to fail (1 = the very next).
+    pub fn inject_write_failure_in(&self, nth: u64) {
+        assert!(nth >= 1);
+        self.faults.lock().fail_write_in = Some(nth);
+    }
+
+    /// Make every write fail until [`MemDevice::clear_faults`] is called.
+    pub fn fail_all_writes(&self) {
+        self.faults.lock().fail_all_writes = true;
+    }
+
+    /// Clear all injected faults.
+    pub fn clear_faults(&self) {
+        *self.faults.lock() = FaultPlan::default();
+    }
+
+    /// Wear (program count) of one block.
+    pub fn wear_of(&self, id: BlockId) -> u32 {
+        self.wear.lock()[id.0 as usize]
+    }
+
+    /// Summary of wear across the device: (max, mean over worn blocks,
+    /// number of blocks ever programmed).
+    pub fn wear_summary(&self) -> WearSummary {
+        let wear = self.wear.lock();
+        let mut max = 0u32;
+        let mut sum = 0u64;
+        let mut worn = 0u64;
+        for &w in wear.iter() {
+            if w > 0 {
+                worn += 1;
+                sum += u64::from(w);
+                max = max.max(w);
+            }
+        }
+        WearSummary {
+            max_wear: max,
+            total_programs: sum,
+            blocks_touched: worn,
+        }
+    }
+
+    fn check_range(&self, id: BlockId) -> Result<usize> {
+        let cap = self.capacity();
+        if id.0 >= cap {
+            return Err(DeviceError::OutOfRange { block: id.0, capacity: cap });
+        }
+        Ok(id.0 as usize)
+    }
+
+    fn maybe_fail_write(&self) -> Result<()> {
+        let mut faults = self.faults.lock();
+        if faults.fail_all_writes {
+            return Err(DeviceError::Injected("write (all-writes fault)"));
+        }
+        if let Some(n) = faults.fail_write_in {
+            if n <= 1 {
+                faults.fail_write_in = None;
+                return Err(DeviceError::Injected("write (scheduled fault)"));
+            }
+            faults.fail_write_in = Some(n - 1);
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate wear numbers for a [`MemDevice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearSummary {
+    /// Highest program count of any single block.
+    pub max_wear: u32,
+    /// Total program operations across the device.
+    pub total_programs: u64,
+    /// Number of distinct blocks ever programmed.
+    pub blocks_touched: u64,
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity(&self) -> u64 {
+        self.frames.read().len() as u64
+    }
+
+    fn read(&self, id: BlockId) -> Result<Bytes> {
+        let idx = self.check_range(id)?;
+        let frames = self.frames.read();
+        let frame = frames[idx].clone().ok_or(DeviceError::Unwritten(id.0))?;
+        self.stats.record_read();
+        Ok(frame)
+    }
+
+    fn write(&self, id: BlockId, frame: &[u8]) -> Result<()> {
+        let idx = self.check_range(id)?;
+        if frame.len() != self.block_size {
+            return Err(DeviceError::BadFrameSize { got: frame.len(), expected: self.block_size });
+        }
+        self.maybe_fail_write()?;
+        self.frames.write()[idx] = Some(Bytes::copy_from_slice(frame));
+        self.wear.lock()[idx] += 1;
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn trim(&self, id: BlockId) -> Result<()> {
+        let idx = self.check_range(id)?;
+        self.frames.write()[idx] = None;
+        self.stats.record_trim();
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.stats.record_sync();
+        Ok(())
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(dev: &MemDevice, fill: u8) -> Vec<u8> {
+        vec![fill; dev.block_size()]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dev = MemDevice::with_block_size(8, 64);
+        let f = frame(&dev, 0xAB);
+        dev.write(BlockId(3), &f).unwrap();
+        let got = dev.read(BlockId(3)).unwrap();
+        assert_eq!(&got[..], &f[..]);
+    }
+
+    #[test]
+    fn read_unwritten_fails() {
+        let dev = MemDevice::with_block_size(4, 64);
+        assert!(matches!(dev.read(BlockId(0)), Err(DeviceError::Unwritten(0))));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let dev = MemDevice::with_block_size(4, 64);
+        let f = vec![0; 64];
+        assert!(matches!(
+            dev.write(BlockId(4), &f),
+            Err(DeviceError::OutOfRange { block: 4, capacity: 4 })
+        ));
+        assert!(matches!(dev.read(BlockId(9)), Err(DeviceError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn wrong_frame_size_rejected() {
+        let dev = MemDevice::with_block_size(4, 64);
+        assert!(matches!(
+            dev.write(BlockId(0), &[1, 2, 3]),
+            Err(DeviceError::BadFrameSize { got: 3, expected: 64 })
+        ));
+    }
+
+    #[test]
+    fn trim_forgets_content() {
+        let dev = MemDevice::with_block_size(4, 64);
+        dev.write(BlockId(1), &frame(&dev, 1)).unwrap();
+        dev.trim(BlockId(1)).unwrap();
+        assert!(matches!(dev.read(BlockId(1)), Err(DeviceError::Unwritten(1))));
+    }
+
+    #[test]
+    fn counters_track_each_operation() {
+        let dev = MemDevice::with_block_size(4, 64);
+        dev.write(BlockId(0), &frame(&dev, 0)).unwrap();
+        dev.write(BlockId(1), &frame(&dev, 1)).unwrap();
+        dev.read(BlockId(0)).unwrap();
+        dev.trim(BlockId(1)).unwrap();
+        dev.sync().unwrap();
+        let s = dev.io_snapshot();
+        assert_eq!((s.writes, s.reads, s.trims, s.syncs), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn failed_operations_do_not_count() {
+        let dev = MemDevice::with_block_size(4, 64);
+        let _ = dev.write(BlockId(9), &frame(&dev, 0)); // out of range
+        let _ = dev.read(BlockId(0)); // unwritten
+        let s = dev.io_snapshot();
+        assert_eq!((s.writes, s.reads), (0, 0));
+    }
+
+    #[test]
+    fn wear_counts_programs_not_trims() {
+        let dev = MemDevice::with_block_size(4, 64);
+        for _ in 0..3 {
+            dev.write(BlockId(2), &frame(&dev, 7)).unwrap();
+        }
+        dev.trim(BlockId(2)).unwrap();
+        assert_eq!(dev.wear_of(BlockId(2)), 3);
+        let w = dev.wear_summary();
+        assert_eq!(w.max_wear, 3);
+        assert_eq!(w.total_programs, 3);
+        assert_eq!(w.blocks_touched, 1);
+    }
+
+    #[test]
+    fn scheduled_fault_fires_once() {
+        let dev = MemDevice::with_block_size(4, 64);
+        dev.inject_write_failure_in(2);
+        dev.write(BlockId(0), &frame(&dev, 0)).unwrap();
+        assert!(dev.write(BlockId(1), &frame(&dev, 1)).is_err());
+        dev.write(BlockId(1), &frame(&dev, 1)).unwrap();
+    }
+
+    #[test]
+    fn fail_all_writes_until_cleared() {
+        let dev = MemDevice::with_block_size(4, 64);
+        dev.fail_all_writes();
+        assert!(dev.write(BlockId(0), &frame(&dev, 0)).is_err());
+        assert!(dev.write(BlockId(0), &frame(&dev, 0)).is_err());
+        dev.clear_faults();
+        dev.write(BlockId(0), &frame(&dev, 0)).unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! I/O accounting.
+//!
+//! The paper's primary performance measure is the number of data-block
+//! writes on the SSD, tracked "precisely, independent of the platform
+//! running experiments" (§V). [`IoStats`] is that instrument: a set of
+//! atomic counters every device implementation updates on each operation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic I/O counters. Cheap to update from any thread.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    trims: AtomicU64,
+    syncs: AtomicU64,
+}
+
+impl IoStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one block read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one block write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one TRIM.
+    #[inline]
+    pub fn record_trim(&self) {
+        self.trims.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one sync/flush.
+    #[inline]
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot (each counter read atomically).
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            trims: self.trims.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of device counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written (programmed).
+    pub writes: u64,
+    /// Blocks trimmed.
+    pub trims: u64,
+    /// Sync operations.
+    pub syncs: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier`, for measuring an interval.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            trims: self.trims - earlier.trims,
+            syncs: self.syncs - earlier.syncs,
+        }
+    }
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        self.since(&rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_trim();
+        s.record_sync();
+        let snap = s.snapshot();
+        assert_eq!(
+            snap,
+            IoSnapshot { reads: 2, writes: 1, trims: 1, syncs: 1 }
+        );
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let s = IoStats::new();
+        s.record_write();
+        let a = s.snapshot();
+        s.record_write();
+        s.record_write();
+        s.record_read();
+        let b = s.snapshot();
+        let d = b - a;
+        assert_eq!(d.writes, 2);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.trims, 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the storage substrate: the LRU cache against a
+//! reference model, the allocator against a set model, and device
+//! round-trips under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use sim_ssd::{BlockAllocator, BlockDevice, BlockId, LruCache, MemDevice};
+
+// ---------------------------------------------------------------------
+// LRU cache vs a straightforward reference model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Get(u16),
+    Insert(u16, u32),
+    Remove(u16),
+    Pin(u16),
+    Unpin(u16),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| CacheOp::Insert(k % 40, v)),
+        4 => any::<u16>().prop_map(|k| CacheOp::Get(k % 40)),
+        1 => any::<u16>().prop_map(|k| CacheOp::Remove(k % 40)),
+        1 => any::<u16>().prop_map(|k| CacheOp::Pin(k % 40)),
+        1 => any::<u16>().prop_map(|k| CacheOp::Unpin(k % 40)),
+    ]
+}
+
+/// Reference model: a vector ordered most-recently-used first.
+#[derive(Default)]
+struct ModelLru {
+    entries: Vec<(u16, u32, u32)>, // (key, value, pins)
+    capacity: usize,
+}
+
+impl ModelLru {
+    fn find(&self, k: u16) -> Option<usize> {
+        self.entries.iter().position(|e| e.0 == k)
+    }
+    fn get(&mut self, k: u16) -> Option<u32> {
+        let i = self.find(k)?;
+        let e = self.entries.remove(i);
+        let v = e.1;
+        self.entries.insert(0, e);
+        Some(v)
+    }
+    fn insert(&mut self, k: u16, v: u32) -> bool {
+        if let Some(i) = self.find(k) {
+            let mut e = self.entries.remove(i);
+            e.1 = v;
+            self.entries.insert(0, e);
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict least-recently-used unpinned entry.
+            let victim = self.entries.iter().rposition(|e| e.2 == 0);
+            match victim {
+                Some(i) => {
+                    self.entries.remove(i);
+                }
+                None => return false,
+            }
+        }
+        self.entries.insert(0, (k, v, 0));
+        true
+    }
+    fn remove(&mut self, k: u16) -> Option<u32> {
+        let i = self.find(k)?;
+        Some(self.entries.remove(i).1)
+    }
+    fn pin(&mut self, k: u16) -> bool {
+        match self.find(k) {
+            Some(i) => {
+                self.entries[i].2 += 1;
+                true
+            }
+            None => false,
+        }
+    }
+    fn unpin(&mut self, k: u16) -> bool {
+        match self.find(k) {
+            Some(i) if self.entries[i].2 > 0 => {
+                self.entries[i].2 -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lru_cache_matches_reference_model(
+        capacity in 1usize..12,
+        ops in prop::collection::vec(cache_op(), 1..300),
+    ) {
+        let mut cache: LruCache<u16, u32> = LruCache::new(capacity);
+        let mut model = ModelLru { capacity, ..ModelLru::default() };
+        for op in ops {
+            match op {
+                CacheOp::Get(k) => prop_assert_eq!(cache.get(&k), model.get(k)),
+                CacheOp::Insert(k, v) => prop_assert_eq!(cache.insert(k, v), model.insert(k, v)),
+                CacheOp::Remove(k) => prop_assert_eq!(cache.remove(&k), model.remove(k)),
+                CacheOp::Pin(k) => prop_assert_eq!(cache.pin(&k), model.pin(k)),
+                CacheOp::Unpin(k) => prop_assert_eq!(cache.unpin(&k), model.unpin(k)),
+            }
+            prop_assert_eq!(cache.len(), model.entries.len());
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Allocator: no double-handouts, frees recycle, capacity respected.
+    // -----------------------------------------------------------------
+    #[test]
+    fn allocator_never_hands_out_a_live_id(
+        capacity in 1u64..64,
+        ops in prop::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let alloc = BlockAllocator::new(capacity);
+        let mut live = std::collections::HashSet::new();
+        for take in ops {
+            if take {
+                match alloc.alloc() {
+                    Ok(id) => {
+                        prop_assert!(live.insert(id.0), "double allocation of {id}");
+                        prop_assert!(id.0 < capacity);
+                    }
+                    Err(_) => prop_assert_eq!(live.len() as u64, capacity),
+                }
+            } else if let Some(&id) = live.iter().next() {
+                live.remove(&id);
+                alloc.free(BlockId(id));
+            }
+            prop_assert_eq!(alloc.live_blocks(), live.len() as u64);
+        }
+    }
+
+    #[test]
+    fn allocator_restore_equals_replay(used in prop::collection::btree_set(0u64..64, 0..32)) {
+        let capacity = 64;
+        let restored = BlockAllocator::with_allocated(capacity, used.iter().copied());
+        prop_assert_eq!(restored.live_blocks(), used.len() as u64);
+        // Draining every free id never yields a used one and covers
+        // exactly the complement.
+        let mut seen = std::collections::BTreeSet::new();
+        while let Ok(id) = restored.alloc() {
+            prop_assert!(!used.contains(&id.0), "restored allocator reissued live id {id}");
+            prop_assert!(seen.insert(id.0));
+        }
+        prop_assert_eq!(seen.len() as u64, capacity - used.len() as u64);
+    }
+
+    // -----------------------------------------------------------------
+    // Device: last write wins, trims forget, counters exact.
+    // -----------------------------------------------------------------
+    #[test]
+    fn device_is_a_key_value_store_of_frames(
+        ops in prop::collection::vec((0u64..16, any::<u8>(), any::<bool>()), 1..200),
+    ) {
+        let dev = MemDevice::with_block_size(16, 32);
+        let mut model: std::collections::HashMap<u64, u8> = Default::default();
+        let mut writes = 0u64;
+        let mut trims = 0u64;
+        for (id, fill, is_write) in ops {
+            if is_write {
+                dev.write(BlockId(id), &[fill; 32]).unwrap();
+                model.insert(id, fill);
+                writes += 1;
+            } else {
+                dev.trim(BlockId(id)).unwrap();
+                model.remove(&id);
+                trims += 1;
+            }
+        }
+        for id in 0..16u64 {
+            match model.get(&id) {
+                Some(&fill) => {
+                    prop_assert_eq!(&dev.read(BlockId(id)).unwrap()[..], &[fill; 32][..])
+                }
+                None => prop_assert!(dev.read(BlockId(id)).is_err()),
+            }
+        }
+        let snap = dev.io_snapshot();
+        prop_assert_eq!(snap.writes, writes);
+        prop_assert_eq!(snap.trims, trims);
+        prop_assert_eq!(dev.wear_summary().total_programs, writes);
+    }
+}

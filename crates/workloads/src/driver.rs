@@ -1,0 +1,235 @@
+//! Experiment drivers: grow to size, reach steady state, measure
+//! amortized costs — the §V protocol shared by every figure.
+
+use std::time::{Duration, Instant};
+
+use lsm_tree::{LsmTree, RequestSource, Result};
+
+use crate::InsertRatio;
+
+/// A request source whose insert/delete mix can be changed — all three
+/// paper workloads implement this.
+pub trait Workload: RequestSource {
+    /// Set the insert ratio (1.0 = insert-only, 0.5 = the steady mix).
+    fn set_ratio(&mut self, ratio: InsertRatio);
+}
+
+impl Workload for crate::Uniform {
+    fn set_ratio(&mut self, ratio: InsertRatio) {
+        crate::Uniform::set_ratio(self, ratio);
+    }
+}
+impl Workload for crate::Normal {
+    fn set_ratio(&mut self, ratio: InsertRatio) {
+        crate::Normal::set_ratio(self, ratio);
+    }
+}
+impl Workload for crate::Tpc {
+    fn set_ratio(&mut self, ratio: InsertRatio) {
+        crate::Tpc::set_ratio(self, ratio);
+    }
+}
+
+/// Number of requests that make up `mb` megabytes of request volume, given
+/// the record size (the paper reports costs "per 1MB worth of requests").
+pub fn volume_requests(mb: f64, record_size: usize) -> u64 {
+    ((mb * 1024.0 * 1024.0) / record_size as f64).round() as u64
+}
+
+/// Apply `n` requests from `source` to `tree`.
+pub fn run_requests<S: RequestSource + ?Sized>(tree: &mut LsmTree, source: &mut S, n: u64) -> Result<()> {
+    for _ in 0..n {
+        tree.apply(source.next_request())?;
+    }
+    Ok(())
+}
+
+/// Grow the index with inserts only until its logical size reaches
+/// `target_bytes` (§V-A fill phase). Returns the number of requests used.
+pub fn fill_to_bytes<W: Workload + ?Sized>(
+    tree: &mut LsmTree,
+    workload: &mut W,
+    target_bytes: u64,
+) -> Result<u64> {
+    workload.set_ratio(InsertRatio::INSERT_ONLY);
+    let mut n = 0u64;
+    while tree.approx_bytes() < target_bytes {
+        tree.apply(workload.next_request())?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Switch to the 50/50 mix and run until at least one full
+/// second-to-last-level's worth of data has been merged into the bottom
+/// level (§V-A steady-state criterion). Returns the requests used.
+pub fn reach_steady_state<W: Workload + ?Sized>(
+    tree: &mut LsmTree,
+    workload: &mut W,
+    max_requests: u64,
+) -> Result<u64> {
+    workload.set_ratio(InsertRatio::HALF);
+    let bottom = tree.height() - 1;
+    if bottom < 2 {
+        // Two-level tree: every merge already lands in the bottom.
+        return Ok(0);
+    }
+    let second_to_last_records =
+        (tree.config().level_capacity_blocks(bottom - 1) * tree.config().block_capacity()) as u64;
+    let start = tree.stats().level(bottom).records_in;
+    let mut n = 0u64;
+    while n < max_requests && tree.stats().level(bottom).records_in < start + second_to_last_records
+    {
+        tree.apply(workload.next_request())?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// A measurement window over a tree: snapshot on `start`, diff on `read`.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    stats: lsm_tree::TreeStats,
+    io: sim_ssd::IoSnapshot,
+    t0: Instant,
+    requests0: u64,
+}
+
+impl CostMeter {
+    /// Begin a measurement window.
+    pub fn start(tree: &LsmTree) -> Self {
+        CostMeter {
+            stats: tree.stats().clone(),
+            io: tree.store().io_snapshot(),
+            t0: Instant::now(),
+            requests0: tree.stats().total_requests(),
+        }
+    }
+
+    /// Read the window: costs incurred since `start`.
+    pub fn read(&self, tree: &LsmTree) -> CostReading {
+        let now = tree.stats();
+        let record_size = tree.config().record_size();
+        let requests = now.total_requests() - self.requests0;
+        let volume_mb = (requests * record_size as u64) as f64 / (1024.0 * 1024.0);
+        let blocks_written = now.total_blocks_written() - self.stats.total_blocks_written();
+        let blocks_read = now.total_blocks_read() - self.stats.total_blocks_read();
+        let preserved = now.total_blocks_preserved() - self.stats.total_blocks_preserved();
+        let per_level: Vec<u64> = (1..=tree.levels().len())
+            .map(|l| now.level(l).blocks_written - self.stats.level(l).blocks_written)
+            .collect();
+        CostReading {
+            requests,
+            volume_mb,
+            blocks_written,
+            blocks_read,
+            blocks_preserved: preserved,
+            writes_per_mb: if volume_mb > 0.0 { blocks_written as f64 / volume_mb } else { 0.0 },
+            per_level_writes: per_level,
+            device: tree.store().io_snapshot() - self.io,
+            elapsed: self.t0.elapsed(),
+        }
+    }
+}
+
+/// Costs measured over a window.
+#[derive(Debug, Clone)]
+pub struct CostReading {
+    /// Requests applied in the window.
+    pub requests: u64,
+    /// Request volume in MB (requests × record size).
+    pub volume_mb: f64,
+    /// Data blocks written (the paper's primary metric).
+    pub blocks_written: u64,
+    /// Data blocks read by merges.
+    pub blocks_read: u64,
+    /// Blocks preserved (adopted without rewriting).
+    pub blocks_preserved: u64,
+    /// Blocks written per MB of requests — the y-axis of Figures 2, 6,
+    /// 8, 9, 10.
+    pub writes_per_mb: f64,
+    /// Blocks written per level (`[0]` = L1).
+    pub per_level_writes: Vec<u64>,
+    /// Raw device counter difference.
+    pub device: sim_ssd::IoSnapshot,
+    /// Wall-clock time of the window (Figure 7's metric).
+    pub elapsed: Duration,
+}
+
+impl CostReading {
+    /// Seconds of wall-clock per MB of requests (Figure 7).
+    pub fn seconds_per_mb(&self) -> f64 {
+        if self.volume_mb > 0.0 {
+            self.elapsed.as_secs_f64() / self.volume_mb
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+    use lsm_tree::{LsmConfig, PolicySpec, TreeOptions};
+
+    fn tiny_tree(policy: PolicySpec) -> LsmTree {
+        let cfg = LsmConfig {
+            block_size: 256,
+            payload_size: 4,
+            k0_blocks: 4,
+            gamma: 4,
+            cache_blocks: 64,
+            merge_rate: 0.25,
+            ..LsmConfig::default()
+        };
+        LsmTree::with_mem_device(cfg, TreeOptions { policy, ..TreeOptions::default() }, 1 << 17)
+            .unwrap()
+    }
+
+    #[test]
+    fn volume_requests_math() {
+        // 1 MB of 113-byte records ≈ 9279 requests.
+        assert_eq!(volume_requests(1.0, 113), 9279);
+        assert_eq!(volume_requests(0.0, 113), 0);
+    }
+
+    #[test]
+    fn fill_reaches_target_size() {
+        let mut t = tiny_tree(PolicySpec::ChooseBest);
+        let mut w = Uniform::new(5, 1 << 24, 4, InsertRatio::INSERT_ONLY);
+        let n = fill_to_bytes(&mut t, &mut w, 40_000).unwrap();
+        assert!(t.approx_bytes() >= 40_000);
+        assert!(n >= 40_000 / 17);
+    }
+
+    #[test]
+    fn steady_state_merges_into_bottom() {
+        let mut t = tiny_tree(PolicySpec::ChooseBest);
+        let mut w = Uniform::new(6, 1 << 24, 4, InsertRatio::INSERT_ONLY);
+        fill_to_bytes(&mut t, &mut w, 40_000).unwrap();
+        assert!(t.height() >= 3);
+        let bottom = t.height() - 1;
+        let before = t.stats().level(bottom).records_in;
+        let n = reach_steady_state(&mut t, &mut w, 2_000_000).unwrap();
+        assert!(n > 0);
+        assert!(t.stats().level(bottom).records_in > before);
+    }
+
+    #[test]
+    fn cost_meter_windows_are_differences() {
+        let mut t = tiny_tree(PolicySpec::Full);
+        let mut w = Uniform::new(7, 1 << 24, 4, InsertRatio::HALF);
+        run_requests(&mut t, &mut w, 2_000).unwrap();
+        let meter = CostMeter::start(&t);
+        run_requests(&mut t, &mut w, 2_000).unwrap();
+        let r = meter.read(&t);
+        assert_eq!(r.requests, 2_000);
+        assert!(r.volume_mb > 0.0);
+        assert!(r.blocks_written > 0);
+        assert!(r.writes_per_mb > 0.0);
+        assert_eq!(r.per_level_writes.len(), t.levels().len());
+        assert_eq!(r.per_level_writes.iter().sum::<u64>(), r.blocks_written);
+        assert!(r.seconds_per_mb() >= 0.0);
+    }
+}

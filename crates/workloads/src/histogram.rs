@@ -1,0 +1,187 @@
+//! Log-bucketed latency histogram (HdrHistogram-style, dependency-free).
+//!
+//! The paper's §I case for partial merges is *availability*: a full merge
+//! stalls the index for as long as it takes to rewrite the next level,
+//! while ChooseBest bounds every merge (Theorem 2). Request-latency tails
+//! make that visible; this histogram records nanosecond latencies into
+//! buckets of ~4 % relative width so p50…p999.9 can be reported without
+//! storing every sample.
+
+/// A histogram over `u64` values (nanoseconds, block counts, …) with
+/// logarithmic buckets: 16 linear sub-buckets per power of two.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+    sum: u128,
+}
+
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+fn bucket_of(value: u64) -> usize {
+    let v = value.max(1);
+    let msb = 63 - v.leading_zeros() as u64;
+    if msb < SUB_BITS as u64 {
+        return v as usize;
+    }
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) - SUB; // 0..SUB within this octave
+    ((msb - SUB_BITS as u64 + 1) * SUB + sub) as usize
+}
+
+fn bucket_upper_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = (idx / SUB) - 1;
+    let sub = idx % SUB;
+    (SUB + sub + 1) << octave
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; bucket_of(u64::MAX) + 1], total: 0, max: 0, sum: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples (exact).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`, accurate to the bucket's ~4 %
+    /// relative width (the true max is returned for q ≥ 1 − 1/total).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+        // Buckets are ~4% wide: quantiles must land within ~8%.
+        for (q, expect) in [(0.5, 5_000f64), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.08,
+                "q={q}: got {got}, expected ≈{expect}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn heavy_tail_is_visible() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..9_990 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert!(h.quantile(0.5) <= 110);
+        assert!(h.quantile(0.9995) >= 900_000, "p99.95 = {}", h.quantile(0.9995));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.quantile(0.5), 42);
+        assert_eq!(h.max(), 42);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.quantile(0.25) < 100);
+        assert!(a.quantile(0.75) >= 9_000);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        let mut prev = 0;
+        for idx in 0..200 {
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= prev, "bucket {idx}: {ub} < {prev}");
+            prev = ub;
+        }
+        // bucket_of and upper bounds agree: value ≤ upper_bound(bucket).
+        for v in [1u64, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
+            assert!(v <= bucket_upper_bound(bucket_of(v)), "value {v}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! An indexable set of live keys with O(1) insert, remove, membership, and
+//! uniform sampling — the bookkeeping both `Uniform` and `Normal` need to
+//! "draw delete keys uniformly at random from keys that are currently
+//! indexed" (§V).
+
+use std::collections::HashMap;
+
+use lsm_tree::Key;
+use rand::Rng;
+
+/// A set of keys supporting uniform random sampling.
+#[derive(Debug, Default, Clone)]
+pub struct KeySet {
+    keys: Vec<Key>,
+    pos: HashMap<Key, usize>,
+}
+
+impl KeySet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: Key) -> bool {
+        self.pos.contains_key(&key)
+    }
+
+    /// Insert `key`; returns false if it was already present.
+    pub fn insert(&mut self, key: Key) -> bool {
+        if self.pos.contains_key(&key) {
+            return false;
+        }
+        self.pos.insert(key, self.keys.len());
+        self.keys.push(key);
+        true
+    }
+
+    /// Remove `key`; returns false if absent.
+    pub fn remove(&mut self, key: Key) -> bool {
+        let Some(idx) = self.pos.remove(&key) else { return false };
+        self.keys.swap_remove(idx);
+        if idx < self.keys.len() {
+            self.pos.insert(self.keys[idx], idx);
+        }
+        true
+    }
+
+    /// Sample a key uniformly at random (None when empty).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<Key> {
+        if self.keys.is_empty() {
+            None
+        } else {
+            Some(self.keys[rng.gen_range(0..self.keys.len())])
+        }
+    }
+
+    /// Sample a key uniformly and remove it.
+    pub fn sample_remove<R: Rng>(&mut self, rng: &mut R) -> Option<Key> {
+        let key = self.sample(rng)?;
+        self.remove(key);
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = KeySet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = KeySet::new();
+        for k in 0..100 {
+            s.insert(k);
+        }
+        for k in (0..100).step_by(3) {
+            assert!(s.remove(k));
+        }
+        for k in 0..100u64 {
+            assert_eq!(s.contains(k), k % 3 != 0, "key {k}");
+        }
+        // Every remaining key must still be removable (positions valid).
+        for k in 0..100u64 {
+            if k % 3 != 0 {
+                assert!(s.remove(k), "key {k}");
+            }
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut s = KeySet::new();
+        for k in 0..10 {
+            s.insert(k);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "key {k} sampled {c} times");
+        }
+    }
+
+    #[test]
+    fn sample_from_empty_is_none() {
+        let s = KeySet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(s.sample(&mut rng), None);
+        let mut s2 = KeySet::new();
+        assert_eq!(s2.sample_remove(&mut rng), None);
+    }
+
+    #[test]
+    fn sample_remove_depletes() {
+        let mut s = KeySet::new();
+        for k in 0..50 {
+            s.insert(k);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(k) = s.sample_remove(&mut rng) {
+            assert!(seen.insert(k), "duplicate sample {k}");
+        }
+        assert_eq!(seen.len(), 50);
+    }
+}

@@ -1,0 +1,196 @@
+//! The Normal workload (§V): skewed inserts from a moving normal
+//! distribution, uniform deletes.
+//!
+//! Parameterized by `(σ, ω)`: σ is the standard deviation as a *fraction
+//! of the key-domain length*, ω the number of inserts generated before the
+//! mean jumps to a fresh uniformly-random location. Samples are truncated
+//! (re-drawn) to the key space.
+
+use lsm_tree::{Key, Request, RequestSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{payload_for, InsertRatio, KeySet};
+
+/// Skewed insert workload with moving hotspot.
+#[derive(Debug, Clone)]
+pub struct Normal {
+    rng: StdRng,
+    live: KeySet,
+    domain: Key,
+    payload_len: usize,
+    insert_ratio: f64,
+    sigma_abs: f64,
+    omega: u64,
+    mean: f64,
+    inserts_since_move: u64,
+    /// Box–Muller produces samples in pairs; stash the spare.
+    spare_gauss: Option<f64>,
+}
+
+impl Normal {
+    /// New generator: `sigma_frac` is σ as a fraction of the domain (the
+    /// paper's default is 0.5% = 0.005), `omega` the number of inserts
+    /// between hotspot moves (paper: 10 000).
+    pub fn new(
+        seed: u64,
+        domain: Key,
+        payload_len: usize,
+        ratio: InsertRatio,
+        sigma_frac: f64,
+        omega: u64,
+    ) -> Self {
+        assert!(domain > 0 && sigma_frac > 0.0 && omega > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mean = rng.gen_range(0..domain) as f64;
+        Normal {
+            rng,
+            live: KeySet::new(),
+            domain,
+            payload_len,
+            insert_ratio: ratio.0,
+            sigma_abs: sigma_frac * domain as f64,
+            omega,
+            mean,
+            inserts_since_move: 0,
+            spare_gauss: None,
+        }
+    }
+
+    /// Number of currently live keys.
+    pub fn live_keys(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Current hotspot mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Change the insert/delete mix.
+    pub fn set_ratio(&mut self, ratio: InsertRatio) {
+        self.insert_ratio = ratio.0;
+    }
+
+    /// Standard normal via Box–Muller (no extra dependency).
+    fn gauss(&mut self) -> f64 {
+        if let Some(z) = self.spare_gauss.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f64::consts::PI * u2).sin_cos();
+            self.spare_gauss = Some(r * s);
+            return r * c;
+        }
+    }
+
+    fn fresh_key(&mut self) -> Key {
+        // Truncate to the key space by re-drawing; also re-draw on
+        // collision with a live key.
+        loop {
+            let x = self.mean + self.gauss() * self.sigma_abs;
+            if x < 0.0 || x >= self.domain as f64 {
+                continue;
+            }
+            let k = x as Key;
+            if !self.live.contains(k) {
+                return k;
+            }
+        }
+    }
+
+    fn maybe_move_mean(&mut self) {
+        self.inserts_since_move += 1;
+        if self.inserts_since_move >= self.omega {
+            self.inserts_since_move = 0;
+            self.mean = self.rng.gen_range(0..self.domain) as f64;
+        }
+    }
+}
+
+impl RequestSource for Normal {
+    fn next_request(&mut self) -> Request {
+        let insert = self.live.is_empty() || self.rng.gen_bool(self.insert_ratio);
+        if insert {
+            let k = self.fresh_key();
+            self.live.insert(k);
+            self.maybe_move_mean();
+            Request::Put(k, payload_for(k, self.payload_len))
+        } else {
+            let k = self.live.sample_remove(&mut self.rng).expect("live set non-empty");
+            Request::Delete(k)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_cluster_around_the_mean() {
+        let domain = 1_000_000u64;
+        let mut g = Normal::new(1, domain, 4, InsertRatio::INSERT_ONLY, 0.01, u64::MAX);
+        let mean = g.mean();
+        let sigma = 0.01 * domain as f64;
+        let mut within_2_sigma = 0;
+        let n = 2_000;
+        for _ in 0..n {
+            let Request::Put(k, _) = g.next_request() else { panic!("insert-only") };
+            if (k as f64 - mean).abs() <= 2.0 * sigma {
+                within_2_sigma += 1;
+            }
+        }
+        // ~95% in ±2σ; allow slack for truncation near domain edges.
+        assert!(within_2_sigma > n * 8 / 10, "only {within_2_sigma}/{n} within 2σ");
+    }
+
+    #[test]
+    fn mean_moves_every_omega_inserts() {
+        let mut g = Normal::new(2, 1 << 30, 4, InsertRatio::INSERT_ONLY, 0.005, 100);
+        let m0 = g.mean();
+        for _ in 0..100 {
+            g.next_request();
+        }
+        let m1 = g.mean();
+        assert_ne!(m0, m1, "mean should have jumped after ω inserts");
+        for _ in 0..99 {
+            g.next_request();
+        }
+        assert_eq!(g.mean(), m1, "mean stays put within a window");
+    }
+
+    #[test]
+    fn keys_stay_in_domain_and_unique() {
+        let mut g = Normal::new(3, 10_000, 4, InsertRatio::INSERT_ONLY, 0.2, 500);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3_000 {
+            let Request::Put(k, _) = g.next_request() else { panic!() };
+            assert!(k < 10_000);
+            assert!(seen.insert(k), "duplicate {k}");
+        }
+    }
+
+    #[test]
+    fn deletes_are_uniform_over_live() {
+        let mut g = Normal::new(4, 1 << 24, 4, InsertRatio::HALF, 0.005, 1000);
+        let mut model = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            match g.next_request() {
+                Request::Put(k, _) => {
+                    model.insert(k);
+                }
+                Request::Delete(k) => {
+                    assert!(model.remove(&k), "deleted non-live {k}");
+                }
+            }
+        }
+        assert_eq!(model.len(), g.live_keys());
+    }
+}

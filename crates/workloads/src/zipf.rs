@@ -1,0 +1,189 @@
+//! Zipfian workload — a YCSB-style skew generator beyond the paper's
+//! Normal distribution.
+//!
+//! The paper's skewed workload (`Normal`) is a moving Gaussian hotspot.
+//! Real key popularity is often Zipf-distributed instead: a fixed rank
+//! order where the r-th most popular key receives ∝ 1/r^θ of the traffic.
+//! This generator lets the ablation harness check that the policy
+//! rankings established on Normal carry over to heavy-tailed skew.
+//!
+//! Sampling uses the rejection-inversion method of Hörmann & Derflinger
+//! (1996) — exact Zipf samples in O(1) expected time, no dependency.
+
+use lsm_tree::{Key, Request, RequestSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{payload_for, InsertRatio, KeySet};
+
+/// Zipf-skewed insert/delete workload over `[0, domain)`.
+///
+/// Ranks are scattered over the key space with a Feistel-like permutation
+/// so popular keys are not physically adjacent (adjacent hot keys would
+/// conflate Zipf skew with sequential locality).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    rng: StdRng,
+    live: KeySet,
+    domain: Key,
+    payload_len: usize,
+    insert_ratio: f64,
+    theta: f64,
+    // Rejection-inversion precomputation.
+    h_half: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// New generator with exponent `theta` in (0, 1) ∪ (1, ∞) (use 0.99
+    /// for the YCSB default; θ must not be exactly 1).
+    pub fn new(seed: u64, domain: Key, payload_len: usize, ratio: InsertRatio, theta: f64) -> Self {
+        assert!(domain > 1);
+        assert!(theta > 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be positive and ≠ 1");
+        let h = |x: f64| ((1.0 + x).powf(1.0 - theta) - 1.0) / (1.0 - theta);
+        let h_half = h(0.5);
+        let s = 2.0 - {
+            // h_inv(h(1.5) - 2^-theta) — the spacing guard.
+            let y = h(1.5) - (2.0f64).powf(-theta);
+            (1.0 + (1.0 - theta) * y).powf(1.0 / (1.0 - theta)) - 1.0
+        };
+        Zipf {
+            rng: StdRng::seed_from_u64(seed),
+            live: KeySet::new(),
+            domain,
+            payload_len,
+            insert_ratio: ratio.0,
+            theta,
+            h_half,
+            s,
+        }
+    }
+
+    /// Number of live keys.
+    pub fn live_keys(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Change the insert/delete mix.
+    pub fn set_ratio(&mut self, ratio: InsertRatio) {
+        self.insert_ratio = ratio.0;
+    }
+
+    /// Draw a Zipf rank in `[0, domain)` (0 = most popular).
+    pub fn sample_rank(&mut self) -> u64 {
+        let n = self.domain as f64;
+        let theta = self.theta;
+        let h = |x: f64| ((1.0 + x).powf(1.0 - theta) - 1.0) / (1.0 - theta);
+        let h_inv = |y: f64| (1.0 + (1.0 - theta) * y).powf(1.0 / (1.0 - theta)) - 1.0;
+        let h_n = h(n - 0.5);
+        loop {
+            let u: f64 = self.rng.gen();
+            let y = u * (h_n - self.h_half) + self.h_half;
+            let x = h_inv(y);
+            let k = (x + 0.5).floor().max(0.0);
+            if k - x <= self.s || y >= h(k + 0.5) - (1.0 + k).powf(-theta) {
+                return (k as u64).min(self.domain - 1);
+            }
+        }
+    }
+
+    /// Scatter rank → key with an odd-multiplier permutation so hot keys
+    /// spread across the key space.
+    fn rank_to_key(&self, rank: u64) -> Key {
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % self.domain
+    }
+}
+
+impl RequestSource for Zipf {
+    fn next_request(&mut self) -> Request {
+        let insert = self.live.is_empty() || self.rng.gen_bool(self.insert_ratio);
+        if insert {
+            // Zipf-popular keys get overwritten repeatedly: unlike Uniform
+            // we allow updates of live keys (that is the point of skew).
+            let rank = self.sample_rank();
+            let k = self.rank_to_key(rank);
+            self.live.insert(k);
+            Request::Put(k, payload_for(k, self.payload_len))
+        } else {
+            let k = self.live.sample_remove(&mut self.rng).expect("live non-empty");
+            Request::Delete(k)
+        }
+    }
+}
+
+impl crate::driver::Workload for Zipf {
+    fn set_ratio(&mut self, ratio: InsertRatio) {
+        Zipf::set_ratio(self, ratio);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_heavy_tailed() {
+        let mut g = Zipf::new(1, 1_000_000, 4, InsertRatio::INSERT_ONLY, 0.99);
+        let n = 50_000;
+        let mut top10 = 0u64;
+        let mut top1000 = 0u64;
+        for _ in 0..n {
+            let r = g.sample_rank();
+            if r < 10 {
+                top10 += 1;
+            }
+            if r < 1000 {
+                top1000 += 1;
+            }
+        }
+        // θ = 0.99 over 10^6 ranks: the head must carry orders of
+        // magnitude more traffic than its uniform share (10/10^6 = 0.001 %
+        // and 0.1 % respectively).
+        assert!(top10 * 100 / n >= 10, "top10 share too small: {top10}/{n}");
+        assert!(top1000 * 100 / n >= 35, "top1000 share too small: {top1000}/{n}");
+    }
+
+    #[test]
+    fn ranks_stay_in_domain() {
+        let mut g = Zipf::new(2, 1000, 4, InsertRatio::INSERT_ONLY, 0.5);
+        for _ in 0..10_000 {
+            assert!(g.sample_rank() < 1000);
+        }
+        let mut g = Zipf::new(3, 1000, 4, InsertRatio::INSERT_ONLY, 1.5);
+        for _ in 0..10_000 {
+            assert!(g.sample_rank() < 1000);
+        }
+    }
+
+    #[test]
+    fn requests_model_consistent() {
+        let mut g = Zipf::new(4, 100_000, 4, InsertRatio::HALF, 0.99);
+        let mut live = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            match g.next_request() {
+                Request::Put(k, _) => {
+                    live.insert(k);
+                }
+                Request::Delete(k) => {
+                    assert!(live.remove(&k), "deleted non-live {k}");
+                }
+            }
+        }
+        assert_eq!(live.len(), g.live_keys());
+    }
+
+    #[test]
+    fn hot_keys_are_scattered_not_adjacent() {
+        let g = Zipf::new(5, 1_000_000, 4, InsertRatio::INSERT_ONLY, 0.99);
+        let k0 = g.rank_to_key(0);
+        let k1 = g.rank_to_key(1);
+        let k2 = g.rank_to_key(2);
+        assert!(k0.abs_diff(k1) > 1000 && k1.abs_diff(k2) > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_one_rejected() {
+        let _ = Zipf::new(6, 1000, 4, InsertRatio::HALF, 1.0);
+    }
+}

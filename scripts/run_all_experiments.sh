@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every figure and ablation of EXPERIMENTS.md (sequentially;
+# several hours at default scale on one core). CSVs land in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p lsm-bench
+B=./target/release
+$B/fig1_key_distribution
+$B/fig2_amortized_small
+$B/fig3_cumulative_by_level
+$B/fig5_threshold_curve
+$B/fig6_steady_state
+$B/fig7_running_time
+$B/fig8_skew_sweep
+$B/fig9_payload_sweep
+$B/fig10_insert_only
+$B/abl_constraints
+$B/abl_delta_sweep
+$B/abl_eps_sweep
+$B/abl_aligned_windows
+$B/abl_learning_search
+$B/ext_query_costs
+$B/ext_stepped_merge
+$B/ext_latency_tail
+echo "all experiments regenerated under results/"

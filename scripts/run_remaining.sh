@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Stream 2 of the experiment suite (fig6 runs separately).
+set -x
+cd /root/repo
+B=./target/release
+$B/fig1_key_distribution --size-mb=20 --policy=rr
+$B/fig2_amortized_small
+$B/fig3_cumulative_by_level --total-mb=250 --step-mb=2.5
+$B/fig5_threshold_curve
+$B/fig8_skew_sweep --measure-mb=90
+$B/fig9_payload_sweep --payloads=25,100,1000,4000 --measure-mb=90
+$B/fig10_insert_only --points=8
+$B/abl_constraints
+$B/abl_delta_sweep
+$B/abl_eps_sweep
+$B/abl_aligned_windows
+$B/abl_learning_search
+# fig7 measures wall time: wait until the fig6 stream is idle, then run alone.
+while pgrep -x fig6_steady_state > /dev/null; do sleep 20; done
+$B/fig7_running_time --sizes=200,800,1600 --measure-mb=90
+echo "ALL EXPERIMENTS DONE"

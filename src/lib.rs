@@ -1,0 +1,30 @@
+//! # lsm-ssd-repro
+//!
+//! A from-scratch Rust reproduction of Thonangi & Yang, *On Log-Structured
+//! Merge for Solid-State Drives* (ICDE 2017): an LSM-tree whose merges are
+//! partial, range-flexible, and block-preserving, with the paper's merge
+//! policies (`Full`, `RR`, `ChooseBest`, `Mixed`) and the threshold
+//! learner for `Mixed`.
+//!
+//! This facade crate re-exports the three building blocks:
+//!
+//! * [`lsm_tree`] — the index itself (the paper's contribution);
+//! * [`sim_ssd`] — the block-device substrate with exact write accounting;
+//! * [`workloads`] — the evaluation's workload generators and drivers.
+//!
+//! ```
+//! use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
+//!
+//! let cfg = LsmConfig { k0_blocks: 4, ..LsmConfig::default() };
+//! let opts = TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() };
+//! let mut index = LsmTree::with_mem_device(cfg, opts, 1 << 14).unwrap();
+//! index.put(1, &b"hello"[..]).unwrap();
+//! assert!(index.get(1).unwrap().is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use lsm_tree;
+pub use sim_ssd;
+pub use workloads;

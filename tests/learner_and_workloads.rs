@@ -1,0 +1,145 @@
+//! Integration of the Mixed-policy learner with the real workload
+//! generators, plus end-to-end TPC semantics through the index.
+
+use lsm_ssd_repro::lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
+use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, RequestSource, TreeOptions};
+use lsm_ssd_repro::workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+    Tpc, Uniform,
+};
+
+fn cfg() -> LsmConfig {
+    LsmConfig {
+        block_size: 512,
+        payload_size: 20,
+        k0_blocks: 8,
+        gamma: 8,
+        cache_blocks: 128,
+        merge_rate: 0.1,
+        ..LsmConfig::default()
+    }
+}
+
+#[test]
+fn learner_fits_beta_and_improves_over_choosebest_at_small_bottom() {
+    let dataset = 300 * 1024;
+    let measure = volume_requests(4.0, cfg().record_size());
+
+    // Baseline ChooseBest.
+    let mut wl = Uniform::new(21, 1 << 30, 20, InsertRatio::INSERT_ONLY);
+    let mut base = LsmTree::with_mem_device(
+        cfg(),
+        TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    fill_to_bytes(&mut base, &mut wl, dataset).unwrap();
+    reach_steady_state(&mut base, &mut wl, 5_000_000).unwrap();
+    let meter = CostMeter::start(&base);
+    run_requests(&mut base, &mut wl, measure).unwrap();
+    let c_base = meter.read(&base).writes_per_mb;
+
+    // Learned Mixed.
+    let mut wl = Uniform::new(21, 1 << 30, 20, InsertRatio::INSERT_ONLY);
+    let mut tree = LsmTree::with_mem_device(
+        cfg(),
+        TreeOptions { policy: PolicySpec::TestMixed, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    fill_to_bytes(&mut tree, &mut wl, dataset).unwrap();
+    reach_steady_state(&mut tree, &mut wl, 5_000_000).unwrap();
+    wl.set_ratio(InsertRatio::HALF);
+    let opts = LearnOptions {
+        cycles_per_measurement: 1,
+        max_requests_per_measurement: 3_000_000,
+        ..LearnOptions::default()
+    };
+    let report = learn_mixed_params(&mut tree, &mut wl, &opts).unwrap();
+    assert_eq!(tree.policy_name(), "Mixed");
+    // h = 3 here: only β is learned, and with a small bottom level the
+    // paper says full merges into it win.
+    assert!(report.params.beta, "β should be true at a small bottom level");
+
+    let meter = CostMeter::start(&tree);
+    run_requests(&mut tree, &mut wl, measure).unwrap();
+    let c_mixed = meter.read(&tree).writes_per_mb;
+    assert!(
+        c_mixed < c_base * 1.02,
+        "learned Mixed ({c_mixed:.0}/MB) must beat or tie ChooseBest ({c_base:.0}/MB)"
+    );
+}
+
+#[test]
+fn learner_is_noop_safe_on_two_level_tree() {
+    // h = 2: nothing to learn; the learner must not hang or panic and
+    // must leave a working Mixed policy installed.
+    let mut tree = LsmTree::with_mem_device(cfg(), TreeOptions::default(), 1 << 16).unwrap();
+    let mut wl = Uniform::new(23, 1 << 30, 20, InsertRatio::HALF);
+    for _ in 0..500 {
+        tree.apply(wl.next_request()).unwrap();
+    }
+    assert_eq!(tree.height(), 2);
+    let opts = LearnOptions { max_requests_per_measurement: 50_000, ..LearnOptions::default() };
+    let report = learn_mixed_params(&mut tree, &mut wl, &opts).unwrap();
+    assert!(report.params.thresholds.is_empty());
+    tree.put(42, vec![1u8; 20]).unwrap();
+    assert!(tree.get(42).unwrap().is_some());
+}
+
+#[test]
+fn tpc_workload_round_trips_through_the_index() {
+    let mut tree = LsmTree::with_mem_device(cfg(), TreeOptions::default(), 1 << 16).unwrap();
+    let mut tpc = Tpc::new(31, 4, 10, 20, InsertRatio::INSERT_ONLY);
+    let mut inserted = Vec::new();
+    for _ in 0..20_000 {
+        let req = tpc.next_request();
+        if let lsm_ssd_repro::lsm_tree::Request::Put(k, _) = &req {
+            inserted.push(*k);
+        }
+        tree.apply(req).unwrap();
+    }
+    // Every order the generator issued is in the index.
+    for &k in inserted.iter().step_by(37) {
+        assert!(tree.get(k).unwrap().is_some(), "order {k:x} lost");
+    }
+    // Deliveries: switch to delete-heavy and drain; the index must agree
+    // with the generator's live-order count at the end.
+    tpc.set_ratio(InsertRatio(0.2));
+    for _ in 0..20_000 {
+        tree.apply(tpc.next_request()).unwrap();
+    }
+    let scanned = tree.scan(0, u64::MAX).count();
+    assert_eq!(scanned, tpc.live_orders());
+    lsm_ssd_repro::lsm_tree::verify::check_tree(&tree, true).unwrap();
+}
+
+#[test]
+fn normal_workload_creates_higher_preservation_than_uniform() {
+    // §V-B: skew concentrates keys and raises block-preservation rates.
+    let run = |kind: u8| -> f64 {
+        let mut tree = LsmTree::with_mem_device(cfg(), TreeOptions::default(), 1 << 17).unwrap();
+        let mut uni = Uniform::new(41, 1 << 30, 20, InsertRatio::INSERT_ONLY);
+        let mut norm = lsm_ssd_repro::workloads::Normal::new(
+            41,
+            1 << 30,
+            20,
+            InsertRatio::INSERT_ONLY,
+            0.002,
+            2_000,
+        );
+        for _ in 0..30_000 {
+            let req = if kind == 0 { uni.next_request() } else { norm.next_request() };
+            tree.apply(req).unwrap();
+        }
+        let s = tree.stats();
+        s.total_blocks_preserved() as f64
+            / (s.total_blocks_preserved() + s.total_blocks_written()).max(1) as f64
+    };
+    let uni_rate = run(0);
+    let norm_rate = run(1);
+    assert!(
+        norm_rate > uni_rate,
+        "skewed inserts should preserve more blocks: normal {norm_rate:.3} vs uniform {uni_rate:.3}"
+    );
+}

@@ -1,0 +1,260 @@
+//! Shape checks of the paper's claims, end to end on small geometries:
+//! these run in `cargo test` (debug) so they use reduced sizes, but they
+//! exercise the same code paths as the figure binaries.
+
+use lsm_ssd_repro::lsm_tree::{
+    LsmConfig, LsmTree, MergeKind, PolicySpec, TreeEvent, TreeOptions,
+};
+use lsm_ssd_repro::workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+    Normal, Uniform, Workload,
+};
+
+const DOMAIN: u64 = 1_000_000_000;
+
+fn cfg() -> LsmConfig {
+    // The paper's geometry ratios at 1/1000 scale: Γ = 10, δ = 0.05,
+    // B = 29 (512-byte blocks, 4-byte payloads, 17-byte records).
+    LsmConfig {
+        block_size: 512,
+        payload_size: 4,
+        k0_blocks: 12,
+        gamma: 10,
+        cache_blocks: 256,
+        merge_rate: 0.05,
+        ..LsmConfig::default()
+    }
+}
+
+fn steady(policy: PolicySpec, preserve: bool, wl: &mut dyn Workload, dataset: u64) -> LsmTree {
+    let mut tree = LsmTree::with_mem_device(
+        cfg(),
+        TreeOptions { policy, preserve_blocks: preserve, record_events: false, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    fill_to_bytes(&mut tree, wl, dataset).unwrap();
+    reach_steady_state(&mut tree, wl, 5_000_000).unwrap();
+    tree
+}
+
+fn measure(tree: &mut LsmTree, wl: &mut dyn Workload, mb: f64) -> f64 {
+    let n = volume_requests(mb, tree.config().record_size());
+    let meter = CostMeter::start(tree);
+    run_requests(tree, wl, n).unwrap();
+    meter.read(tree).writes_per_mb
+}
+
+/// §III-E / Figure 2: at this crate's test scale (1/1000 of the paper's),
+/// window granularity is too coarse for ChooseBest's full advantage, so
+/// the debug-mode check asserts the robust form of the claim: ChooseBest
+/// never does worse than Full, and TestMixed clearly beats Full. The
+/// strict `ChooseBest < Full` separation at the paper's scale is checked
+/// by `choose_best_strictly_beats_full_paper_scale` (run with
+/// `cargo test --release -- --ignored`) and by the Figure-2 binary.
+#[test]
+fn choose_best_no_worse_than_full_on_uniform() {
+    let dataset = 150 * 1024; // bottom L2 at ~25% of capacity
+    let mut wl = Uniform::new(3, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    let mut full = steady(PolicySpec::Full, true, &mut wl, dataset);
+    let c_full = measure(&mut full, &mut wl, 6.0);
+
+    let mut wl = Uniform::new(3, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    let mut cb = steady(PolicySpec::ChooseBest, true, &mut wl, dataset);
+    let c_cb = measure(&mut cb, &mut wl, 6.0);
+
+    assert!(
+        c_cb < c_full * 1.05,
+        "ChooseBest ({c_cb:.0}/MB) must not lose to Full ({c_full:.0}/MB) on Uniform"
+    );
+
+    let mut wl = Uniform::new(3, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    let mut tm = steady(PolicySpec::TestMixed, true, &mut wl, dataset);
+    let c_tm = measure(&mut tm, &mut wl, 6.0);
+    assert!(
+        c_tm < c_full * 0.9,
+        "TestMixed ({c_tm:.0}/MB) must clearly beat Full ({c_full:.0}/MB)"
+    );
+}
+
+/// The strict Figure-2 separation at (close to) the paper's small-setup
+/// scale. Expensive: run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "paper-scale run; use cargo test --release -- --ignored"]
+fn choose_best_strictly_beats_full_paper_scale() {
+    let cfg = LsmConfig { k0_blocks: 250, cache_blocks: 256, merge_rate: 1.0 / 20.0, ..LsmConfig::default() };
+    let dataset = 20 * 1024 * 1024;
+    let measure_req = volume_requests(100.0, cfg.record_size());
+    let mut costs = Vec::new();
+    for policy in [PolicySpec::Full, PolicySpec::ChooseBest] {
+        let mut wl = Uniform::new(3, DOMAIN, 100, InsertRatio::INSERT_ONLY);
+        let mut tree = LsmTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions { policy, ..TreeOptions::default() },
+            1 << 17,
+        )
+        .unwrap();
+        fill_to_bytes(&mut tree, &mut wl, dataset).unwrap();
+        reach_steady_state(&mut tree, &mut wl, 50_000_000).unwrap();
+        let meter = CostMeter::start(&tree);
+        run_requests(&mut tree, &mut wl, measure_req).unwrap();
+        costs.push(meter.read(&tree).writes_per_mb);
+    }
+    assert!(
+        costs[1] < costs[0] * 0.95,
+        "ChooseBest ({:.0}/MB) must strictly beat Full ({:.0}/MB) at paper scale",
+        costs[1],
+        costs[0]
+    );
+}
+
+/// Figure 2 / §IV-A: with a relatively empty bottom level, TestMixed
+/// (full merges into the bottom) beats plain ChooseBest.
+#[test]
+fn test_mixed_beats_choose_best_when_bottom_is_small() {
+    let dataset = 120 * 1024;
+    let mut wl = Uniform::new(5, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    let mut cb = steady(PolicySpec::ChooseBest, true, &mut wl, dataset);
+    let c_cb = measure(&mut cb, &mut wl, 6.0);
+
+    let mut wl = Uniform::new(5, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    let mut tm = steady(PolicySpec::TestMixed, true, &mut wl, dataset);
+    let c_tm = measure(&mut tm, &mut wl, 6.0);
+
+    assert!(
+        c_tm < c_cb,
+        "TestMixed ({c_tm:.0}/MB) must beat ChooseBest ({c_cb:.0}/MB) at a small bottom level"
+    );
+}
+
+/// §V-B / Figure 8: under a skewed workload ChooseBest clearly beats RR
+/// (RR only matches ChooseBest when the least-recently-merged region
+/// happens to be dense, which skew breaks).
+#[test]
+fn choose_best_beats_rr_under_skew() {
+    let dataset = 150 * 1024;
+    let sigma = 0.001;
+    let mut wl = Normal::new(7, DOMAIN, 4, InsertRatio::INSERT_ONLY, sigma, 2_000);
+    let mut rr = steady(PolicySpec::RoundRobin, true, &mut wl, dataset);
+    let c_rr = measure(&mut rr, &mut wl, 6.0);
+
+    let mut wl = Normal::new(7, DOMAIN, 4, InsertRatio::INSERT_ONLY, sigma, 2_000);
+    let mut cb = steady(PolicySpec::ChooseBest, true, &mut wl, dataset);
+    let c_cb = measure(&mut cb, &mut wl, 6.0);
+
+    assert!(
+        c_cb < c_rr,
+        "ChooseBest ({c_cb:.0}/MB) must beat RR ({c_rr:.0}/MB) under skew"
+    );
+}
+
+/// Theorem 2: under ChooseBest, *every* merge into `L_i` writes at most
+/// `δ(1/Γ + 1)·K_i` blocks (+ a constant for seam fix-ups). This is the
+/// paper's headline worst-case guarantee — unlike Full and RR, no merge
+/// ever rewrites the whole next level.
+#[test]
+fn choose_best_per_merge_bound_theorem2() {
+    let c = cfg();
+    let mut tree = LsmTree::with_mem_device(
+        c.clone(),
+        TreeOptions {
+            policy: PolicySpec::ChooseBest,
+            preserve_blocks: false, // preservation only lowers cost
+            record_events: true,
+            ..TreeOptions::default()
+        },
+        1 << 17,
+    )
+    .unwrap();
+    let mut wl = Uniform::new(11, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    fill_to_bytes(&mut tree, &mut wl, 250 * 1024).unwrap();
+    wl.set_ratio(InsertRatio::HALF);
+    run_requests(&mut tree, &mut wl, 60_000).unwrap();
+
+    let mut checked = 0;
+    for ev in tree.take_events() {
+        if let TreeEvent::MergeInto { paper_level, kind: MergeKind::Partial, writes, .. } = ev {
+            let k_src = c.level_capacity_blocks(paper_level - 1) as f64;
+            let k_i = c.level_capacity_blocks(paper_level) as f64;
+            // Effective merge rate: δK of the source clamps to one block
+            // at this scale (the theorem's δ is the realized fraction).
+            let delta_eff = (c.merge_window_blocks(paper_level - 1) as f64 / k_src).max(c.merge_rate);
+            // δ(1/Γ + 1)·K_i = δ·(K_{i-1} + K_i); +1 window-rounding block,
+            // +1 partial tail block, +2 seam fix-ups.
+            let bound = delta_eff * (k_src + k_i) + 4.0;
+            assert!(
+                (writes as f64) <= bound,
+                "merge into L{paper_level} wrote {writes} blocks > Theorem-2 bound {bound:.1}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 50, "expected many partial merges, saw {checked}");
+}
+
+/// §II-B: block preservation can only reduce writes, and with one-record
+/// blocks every block is preservable, collapsing the gap between policies.
+#[test]
+fn preservation_reduces_writes_and_dominates_at_huge_payloads() {
+    // Payload sized so B = 1 (one record fills more than half a block).
+    let big = LsmConfig { payload_size: 400, block_size: 512, ..cfg() };
+    // record = 413 B → one per 512-byte block
+    assert_eq!(big.block_capacity(), 1);
+    let mut on = LsmTree::with_mem_device(
+        big.clone(),
+        TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: true, record_events: false, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    let mut off = LsmTree::with_mem_device(
+        big,
+        TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: false, record_events: false, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    let mut wl = Uniform::new(13, DOMAIN, 400, InsertRatio::INSERT_ONLY);
+    fill_to_bytes(&mut on, &mut wl, 400 * 1024).unwrap();
+    let mut wl = Uniform::new(13, DOMAIN, 400, InsertRatio::INSERT_ONLY);
+    fill_to_bytes(&mut off, &mut wl, 400 * 1024).unwrap();
+
+    let w_on = on.stats().total_blocks_written();
+    let w_off = off.stats().total_blocks_written();
+    assert!(w_on < w_off / 2, "with B = 1, preservation should at least halve writes: {w_on} vs {w_off}");
+    assert!(on.stats().total_blocks_preserved() > 0);
+}
+
+/// Full policy really is periodic: merges into the bottom have (nearly)
+/// equal cost in steady state (Figure 3's equal-height steps).
+#[test]
+fn full_policy_bottom_merges_are_equal_steps() {
+    let mut tree = LsmTree::with_mem_device(
+        cfg(),
+        TreeOptions { policy: PolicySpec::Full, preserve_blocks: false, record_events: true, ..TreeOptions::default() },
+        1 << 17,
+    )
+    .unwrap();
+    let mut wl = Uniform::new(17, DOMAIN, 4, InsertRatio::INSERT_ONLY);
+    fill_to_bytes(&mut tree, &mut wl, 150 * 1024).unwrap();
+    reach_steady_state(&mut tree, &mut wl, 5_000_000).unwrap();
+    tree.take_events();
+    let bottom = tree.height() - 1;
+    run_requests(&mut tree, &mut wl, 400_000).unwrap();
+
+    let steps: Vec<u64> = tree
+        .take_events()
+        .into_iter()
+        .filter_map(|e| match e {
+            TreeEvent::MergeInto { paper_level, writes, .. } if paper_level == bottom => {
+                Some(writes)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(steps.len() >= 2, "need at least two bottom merges, saw {}", steps.len());
+    let min = *steps.iter().min().unwrap() as f64;
+    let max = *steps.iter().max().unwrap() as f64;
+    assert!(
+        max / min.max(1.0) < 1.5,
+        "steady-state bottom merges should cost roughly the same: {steps:?}"
+    );
+}
