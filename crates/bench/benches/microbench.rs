@@ -146,7 +146,7 @@ fn bench_policies_end_to_end(c: &mut Criterion) {
                     let cfg = LsmConfig { k0_blocks: 8, cache_blocks: 256, ..LsmConfig::default() };
                     LsmTree::with_mem_device(
                         cfg,
-                        TreeOptions { policy: spec.clone(), ..TreeOptions::default() },
+                        TreeOptions::builder().policy(spec.clone()).build(),
                         1 << 15,
                     )
                     .unwrap()
@@ -166,7 +166,9 @@ fn bench_policies_end_to_end(c: &mut Criterion) {
 
 fn bench_merge_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("merge_engine");
-    g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300)).sample_size(20);
+    g.measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
     for (name, preserve) in [("preserving", true), ("plain", false)] {
         g.bench_function(name, |b| {
             b.iter_batched(

@@ -48,9 +48,9 @@ impl Args {
     {
         match self.get(key) {
             None => default,
-            Some(raw) => raw
-                .parse()
-                .unwrap_or_else(|e| panic!("invalid value for --{key}: {raw:?} ({e})")),
+            Some(raw) => {
+                raw.parse().unwrap_or_else(|e| panic!("invalid value for --{key}: {raw:?} ({e})"))
+            }
         }
     }
 

@@ -15,7 +15,9 @@
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, Table, WorkloadKind};
 use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
-use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+use workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -28,8 +30,7 @@ fn main() {
         ("ChooseBestAligned", PolicySpec::ChooseBestAligned),
         ("ChooseBest", PolicySpec::ChooseBest),
     ];
-    let workloads_under_test =
-        [WorkloadKind::Uniform, WorkloadKind::normal_default()];
+    let workloads_under_test = [WorkloadKind::Uniform, WorkloadKind::normal_default()];
 
     println!("\n== Ablation: window-selection granularity ({size_mb} MB) ==");
     let mut table = Table::new(["workload", "RR", "ChooseBestAligned", "ChooseBest"]);
@@ -46,7 +47,7 @@ fn main() {
             };
             let mut tree = LsmTree::with_mem_device(
                 cfg.clone(),
-                TreeOptions { policy: spec.clone(), ..TreeOptions::default() },
+                TreeOptions::builder().policy(spec.clone()).build(),
                 (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
             )
             .unwrap();
@@ -58,7 +59,11 @@ fn main() {
                 .unwrap();
             let r = meter.read(&tree);
             row.push(fmt_f(r.writes_per_mb, 0));
-            csv.row(&[kind.name().to_string(), name.to_string(), format!("{:.2}", r.writes_per_mb)]);
+            csv.row(&[
+                kind.name().to_string(),
+                name.to_string(),
+                format!("{:.2}", r.writes_per_mb),
+            ]);
             eprintln!("  [{}] {name}: {:.0} writes/MB", kind.name(), r.writes_per_mb);
         }
         table.row(row);

@@ -14,22 +14,25 @@
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, Table, WorkloadKind};
 use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
-use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+use workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+};
 
 fn run(enforce: bool, size_mb: u64, measure_mb: f64, seed: u64) -> (f64, f64, f64, u32, u64) {
-    let cfg = LsmConfig { k0_blocks: 250, cache_blocks: 256, merge_rate: 0.05, ..LsmConfig::default() };
+    let cfg =
+        LsmConfig { k0_blocks: 250, cache_blocks: 256, merge_rate: 0.05, ..LsmConfig::default() };
     let mut tree = LsmTree::with_mem_device(
         cfg.clone(),
-        TreeOptions {
-            policy: PolicySpec::ChooseBest,
-            enforce_pairwise: enforce,
-            enforce_level_waste: enforce,
-            ..TreeOptions::default()
-        },
+        TreeOptions::builder()
+            .policy(PolicySpec::ChooseBest)
+            .enforce_pairwise(enforce)
+            .enforce_level_waste(enforce)
+            .build(),
         (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
     )
     .unwrap();
-    let mut wl = WorkloadKind::normal_default().build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
+    let mut wl =
+        WorkloadKind::normal_default().build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
     fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
     reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
     let meter = CostMeter::start(&tree);
@@ -54,7 +57,8 @@ fn run(enforce: bool, size_mb: u64, measure_mb: f64, seed: u64) -> (f64, f64, f6
         .map(|w| w[0].count + w[1].count)
         .min()
         .unwrap_or(0);
-    let compactions: u64 = (1..=tree.levels().len()).map(|i| tree.stats().level(i).compactions).sum();
+    let compactions: u64 =
+        (1..=tree.levels().len()).map(|i| tree.stats().level(i).compactions).sum();
     (r.writes_per_mb, space_blowup, worst_waste, sparsest_pair, compactions)
 }
 
@@ -75,7 +79,14 @@ fn main() {
     ]);
     let mut csv = Csv::new(
         "abl_constraints",
-        &["constraints", "writes_per_mb", "space_blowup", "worst_level_waste", "sparsest_pair", "compactions"],
+        &[
+            "constraints",
+            "writes_per_mb",
+            "space_blowup",
+            "worst_level_waste",
+            "sparsest_pair",
+            "compactions",
+        ],
     );
     for (label, enforce) in [("enforced", true), ("disabled", false)] {
         let (w, blowup, waste, pair, compactions) = run(enforce, size_mb, measure_mb, seed);

@@ -10,10 +10,15 @@
 //!     [--size-mb=40] [--measure-mb=60]
 //! ```
 
+use std::sync::Arc;
+
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, Table, WorkloadKind};
-use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeEvent, TreeOptions};
-use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+use lsm_tree::observe::{Event, SinkHandle, VecSink};
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
+use workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -23,8 +28,12 @@ fn main() {
     let seed: u64 = args.get_or("seed", 1);
 
     println!("\n== Ablation: merge rate δ (ChooseBest, Uniform, {size_mb} MB) ==");
-    let mut table = Table::new(["delta", "writes/MB", "max_single_merge_writes", "mean_merge_writes"]);
-    let mut csv = Csv::new("abl_delta_sweep", &["delta", "writes_per_mb", "max_merge_writes", "mean_merge_writes"]);
+    let mut table =
+        Table::new(["delta", "writes/MB", "max_single_merge_writes", "mean_merge_writes"]);
+    let mut csv = Csv::new(
+        "abl_delta_sweep",
+        &["delta", "writes_per_mb", "max_merge_writes", "mean_merge_writes"],
+    );
 
     for &delta in &deltas {
         let cfg = LsmConfig {
@@ -33,25 +42,29 @@ fn main() {
             merge_rate: delta,
             ..LsmConfig::default()
         };
+        let probe = Arc::new(VecSink::new());
         let mut tree = LsmTree::with_mem_device(
             cfg.clone(),
-            TreeOptions { policy: PolicySpec::ChooseBest, record_events: true, ..TreeOptions::default() },
+            TreeOptions::builder()
+                .policy(PolicySpec::ChooseBest)
+                .sink(SinkHandle::new(Arc::clone(&probe) as _))
+                .build(),
             (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
         )
         .unwrap();
         let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
         fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
         reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
-        tree.take_events();
+        probe.drain();
         let meter = CostMeter::start(&tree);
         run_requests(&mut tree, &mut *wl, volume_requests(measure_mb, cfg.record_size())).unwrap();
         let r = meter.read(&tree);
 
-        let merge_writes: Vec<u64> = tree
-            .take_events()
+        let merge_writes: Vec<u64> = probe
+            .drain()
             .into_iter()
             .filter_map(|e| match e {
-                TreeEvent::MergeInto { writes, .. } => Some(writes),
+                Event::MergeFinish { writes, .. } => Some(writes),
                 _ => None,
             })
             .collect();

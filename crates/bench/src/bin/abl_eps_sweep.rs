@@ -13,7 +13,9 @@
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, Table, WorkloadKind};
 use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
-use workloads::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio};
+use workloads::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -40,7 +42,7 @@ fn main() {
         };
         let mut tree = LsmTree::with_mem_device(
             cfg.clone(),
-            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
             (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
         )
         .unwrap();

@@ -31,12 +31,9 @@ fn main() {
     };
 
     println!("\n== Ablation: threshold search strategy (4-level tree, Uniform, {size_mb} MB) ==");
-    let mut table =
-        Table::new(["strategy", "tau2*", "beta*", "measurements", "requests_spent"]);
-    let mut csv = Csv::new(
-        "abl_learning_search",
-        &["strategy", "tau2", "beta", "measurements", "requests"],
-    );
+    let mut table = Table::new(["strategy", "tau2*", "beta*", "measurements", "requests_spent"]);
+    let mut csv =
+        Csv::new("abl_learning_search", &["strategy", "tau2", "beta", "measurements", "requests"]);
 
     for (name, golden) in [("golden_section", true), ("linear_scan", false)] {
         let case = PolicyCase { name: "Mixed", spec: PolicySpec::TestMixed, preserve: true };
@@ -73,7 +70,10 @@ fn main() {
             report.measurements.len().to_string(),
             spent.to_string(),
         ]);
-        eprintln!("  {name}: τ2*={tau2:.1}, {} measurements, {spent} requests", report.measurements.len());
+        eprintln!(
+            "  {name}: τ2*={tau2:.1}, {} measurements, {spent} requests",
+            report.measurements.len()
+        );
     }
     table.print();
     let path = csv.write().expect("write csv");

@@ -23,11 +23,7 @@ use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
 fn build(cfg: &LsmConfig, case: &lsm_bench::PolicyCase, size_mb: u64, seed: u64) -> LsmTree {
     let mut tree = LsmTree::with_mem_device(
         cfg.clone(),
-        TreeOptions {
-            policy: case.spec.clone(),
-            preserve_blocks: case.preserve,
-            ..TreeOptions::default()
-        },
+        TreeOptions::builder().policy(case.spec.clone()).preserve_blocks(case.preserve).build(),
         (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6,
     )
     .unwrap();
@@ -47,7 +43,14 @@ fn main() {
     let scale = ExperimentScale::laptop_large();
     let mut csv = Csv::new(
         "ext_query_costs",
-        &["policy", "bloom", "reads_per_present", "reads_per_absent", "scan_reads_per_1k", "space_overhead"],
+        &[
+            "policy",
+            "bloom",
+            "reads_per_present",
+            "reads_per_absent",
+            "scan_reads_per_1k",
+            "space_overhead",
+        ],
     );
     println!("\n== Extension: query costs across policies (Uniform, {size_mb} MB steady state) ==");
     let mut table = Table::new([

@@ -34,12 +34,8 @@ fn main() {
     println!(
         "\n== Extension: Stepped-Merge (fan-in {fan_in}) vs leveled LSM, Uniform {size_mb} MB =="
     );
-    let mut table = Table::new([
-        "design",
-        "writes/MB (steady)",
-        "lookup reads/query",
-        "max runs probed",
-    ]);
+    let mut table =
+        Table::new(["design", "writes/MB (steady)", "lookup reads/query", "max runs probed"]);
     let mut csv = Csv::new(
         "ext_stepped_merge",
         &["design", "writes_per_mb", "lookup_reads_per_query", "lookup_fanout"],
@@ -89,7 +85,7 @@ fn main() {
         let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
         let mut tree = LsmTree::with_mem_device(
             cfg.clone(),
-            TreeOptions { policy, ..TreeOptions::default() },
+            TreeOptions::builder().policy(policy).build(),
             device_blocks,
         )
         .unwrap();

@@ -43,9 +43,8 @@ fn main() {
         std::iter::once("size_mb".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
     );
     // rows[point][case]
-    let mut rows: Vec<Vec<String>> = (1..=points)
-        .map(|p| vec![(grow_to_mb * p / points).to_string()])
-        .collect();
+    let mut rows: Vec<Vec<String>> =
+        (1..=points).map(|p| vec![(grow_to_mb * p / points).to_string()]).collect();
 
     for case in &cases {
         eprintln!("running {} ...", case.name);

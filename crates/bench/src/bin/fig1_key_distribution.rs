@@ -44,7 +44,9 @@ fn main() {
     let buckets: usize = args.get_or("buckets", 100);
     let seed: u64 = args.get_or("seed", 1);
     let policy = match args.get("policy").unwrap_or("rr") {
-        "choosebest" => PolicyCase { name: "ChooseBest", spec: PolicySpec::ChooseBest, preserve: true },
+        "choosebest" => {
+            PolicyCase { name: "ChooseBest", spec: PolicySpec::ChooseBest, preserve: true }
+        }
         _ => PolicyCase { name: "RR", spec: PolicySpec::RoundRobin, preserve: true },
     };
 
@@ -76,15 +78,11 @@ fn main() {
     );
     println!("next merge from L1 starts after bucket {cursor_bucket} (marked ->)\n");
     let mut table = Table::new(["bucket", "L1_freq", "L2_freq", "mark"]);
-    let mut csv = Csv::new("fig1_key_distribution", &["bucket", "l1_freq", "l2_freq", "next_merge_marker"]);
+    let mut csv =
+        Csv::new("fig1_key_distribution", &["bucket", "l1_freq", "l2_freq", "next_merge_marker"]);
     for b in 0..buckets {
         let mark = if b == cursor_bucket { "->" } else { "" };
-        table.row([
-            b.to_string(),
-            fmt_f(l1[b], 4),
-            fmt_f(l2[b], 4),
-            mark.to_string(),
-        ]);
+        table.row([b.to_string(), fmt_f(l1[b], 4), fmt_f(l2[b], 4), mark.to_string()]);
         csv.row(&[
             b.to_string(),
             format!("{:.6}", l1[b]),

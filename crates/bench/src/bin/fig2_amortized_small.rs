@@ -36,13 +36,13 @@ fn main() {
 
     let cfg = scale.config(100);
     let requests = volume_requests(measure_mb, cfg.record_size());
-    let mut csv = Csv::new("fig2_amortized_small", &["workload", "size_mb", "policy", "writes_per_mb"]);
+    let mut csv =
+        Csv::new("fig2_amortized_small", &["workload", "size_mb", "policy", "writes_per_mb"]);
 
     for kind in &workloads {
         println!("\n== Figure 2 ({}) — blocks written per 1MB of requests ==", kind.name());
         let mut table = Table::new(
-            std::iter::once("size_mb".to_string())
-                .chain(cases.iter().map(|c| c.name.to_string())),
+            std::iter::once("size_mb".to_string()).chain(cases.iter().map(|c| c.name.to_string())),
         );
         for &size in &sizes {
             let mut row = vec![size.to_string()];

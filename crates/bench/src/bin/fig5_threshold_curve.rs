@@ -52,13 +52,8 @@ fn main() {
     for kind in &workloads {
         // Fresh steady-state 4-level tree per workload.
         let case = PolicyCase { name: "Mixed", spec: PolicySpec::TestMixed, preserve: true };
-        let (mut tree, mut wl) = lsm_bench::prepared_tree(
-            &cfg,
-            &case,
-            *kind,
-            seed,
-            size_mb * 1024 * 1024,
-        );
+        let (mut tree, mut wl) =
+            lsm_bench::prepared_tree(&cfg, &case, *kind, seed, size_mb * 1024 * 1024);
         assert_eq!(
             tree.height(),
             4,

@@ -52,7 +52,16 @@ fn main() {
 
     let mut csv = Csv::new(
         &format!("fig6_steady_state{tag}"),
-        &["workload", "paper_size_mb", "policy", "writes_per_mb", "reads_per_mb", "preserved_per_mb", "seconds_per_mb", "height"],
+        &[
+            "workload",
+            "paper_size_mb",
+            "policy",
+            "writes_per_mb",
+            "reads_per_mb",
+            "preserved_per_mb",
+            "seconds_per_mb",
+            "height",
+        ],
     );
 
     for (kind, sizes) in &runs {

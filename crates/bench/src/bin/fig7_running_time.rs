@@ -29,7 +29,10 @@ fn main() {
     let cases = policy_matrix();
     let cfg = scale.config(100);
     let requests = volume_requests(measure_mb, cfg.record_size());
-    let mut csv = Csv::new("fig7_running_time", &["paper_size_mb", "policy", "seconds_per_mb", "writes_per_mb"]);
+    let mut csv = Csv::new(
+        "fig7_running_time",
+        &["paper_size_mb", "policy", "seconds_per_mb", "writes_per_mb"],
+    );
 
     println!("\n== Figure 7 (Normal, scale {}) — seconds per 1MB of requests ==", scale.name);
     let mut table = Table::new(

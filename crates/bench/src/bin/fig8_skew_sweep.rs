@@ -30,7 +30,10 @@ fn main() {
     let cases = policy_matrix();
     let cfg = scale.config(100);
     let requests = volume_requests(measure_mb, cfg.record_size());
-    let mut csv = Csv::new("fig8_skew_sweep", &["two_sigma_pct", "policy", "writes_per_mb", "preserved_per_mb"]);
+    let mut csv = Csv::new(
+        "fig8_skew_sweep",
+        &["two_sigma_pct", "policy", "writes_per_mb", "preserved_per_mb"],
+    );
 
     println!(
         "\n== Figure 8 (Normal, {size_mb} MB paper-size, scale {}) — writes per 1MB vs skew ==",

@@ -10,8 +10,9 @@
 
 use std::sync::Arc;
 
-use lsm_bench::report::fmt_f;
+use lsm_bench::report::{fmt_f, merged_json};
 use lsm_bench::{Args, PolicyCase, Table, WorkloadKind};
+use lsm_tree::observe::{MetricsSink, SinkHandle};
 use lsm_tree::{LsmTree, PolicySpec, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, MemDevice};
 use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
@@ -39,14 +40,24 @@ fn main() {
 
     let device_blocks = (size_mb * 1024 * 1024 / cfg.block_size as u64) * 6;
     let device = Arc::new(MemDevice::with_block_size(device_blocks.max(8192), cfg.block_size));
+    let metrics_sink = Arc::new(MetricsSink::new());
+    let metrics = metrics_sink.metrics();
     let mut tree = LsmTree::new(
         cfg.clone(),
-        TreeOptions { policy, preserve_blocks: case.preserve, ..TreeOptions::default() },
+        TreeOptions::builder()
+            .policy(policy)
+            .preserve_blocks(case.preserve)
+            .sink(SinkHandle::new(metrics_sink as _))
+            .build(),
         Arc::clone(&device) as Arc<dyn BlockDevice>,
     )
     .unwrap();
     let mut wl = kind.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
-    eprintln!("building {size_mb} MB steady state under {} / {} ...", tree.policy_name(), kind.name());
+    eprintln!(
+        "building {size_mb} MB steady state under {} / {} ...",
+        tree.policy_name(),
+        kind.name()
+    );
     fill_to_bytes(&mut tree, &mut *wl, size_mb * 1024 * 1024).unwrap();
     reach_steady_state(&mut tree, &mut *wl, 100_000_000).unwrap();
 
@@ -61,8 +72,18 @@ fn main() {
 
     let b = cfg.block_capacity();
     let mut table = Table::new([
-        "level", "blocks", "capacity", "fill%", "records", "waste%", "m_i", "w_i", "merges_in",
-        "writes", "preserved", "compactions",
+        "level",
+        "blocks",
+        "capacity",
+        "fill%",
+        "records",
+        "waste%",
+        "m_i",
+        "w_i",
+        "merges_in",
+        "writes",
+        "preserved",
+        "compactions",
     ]);
     for (i, lvl) in tree.levels().iter().enumerate() {
         let paper = i + 1;
@@ -98,9 +119,20 @@ fn main() {
         est.energy_uj / 1000.0,
         tree.store().cache_stats().hit_rate() * 100.0
     );
+    // One merged document: device I/O ⊕ cache ⊕ tree counters ⊕ the event
+    // metrics the sink accumulated, written next to the CSVs. Built before
+    // the deep check, which reads every block back and would otherwise
+    // pollute the device/cache numbers with verification traffic.
+    let doc = merged_json("lsm_doctor", &tree, Some(&wear), Some(&metrics));
+
     if let Err(e) = lsm_tree::verify::check_tree(&tree, true) {
         println!("INVARIANT VIOLATION: {e}");
         std::process::exit(1);
     }
     println!("all §II-B invariants verified (deep check).");
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = std::path::Path::new("results").join("lsm_doctor.json");
+    std::fs::write(&path, doc.render_pretty()).expect("write json report");
+    println!("wrote {}", path.display());
 }

@@ -1,9 +1,12 @@
-//! Aligned-table and CSV reporting for the figure binaries.
+//! Aligned-table, CSV, and merged-JSON reporting for the figure binaries.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+use lsm_tree::observe::{Json, Metrics};
+use lsm_tree::LsmTree;
 
 /// An aligned text table printed to stdout.
 #[derive(Debug, Default, Clone)]
@@ -96,6 +99,87 @@ impl Csv {
 /// Format a float with `digits` decimals.
 pub fn fmt_f(value: f64, digits: usize) -> String {
     format!("{value:.digits$}")
+}
+
+/// One merged JSON document describing an experiment's end state: device
+/// I/O counters ⊕ buffer-cache statistics ⊕ per-level tree counters, plus
+/// an optional wear summary and an optional [`Metrics`] registry (as fed
+/// by an [`lsm_tree::observe::MetricsSink`]).
+pub fn merged_json(
+    experiment: &str,
+    tree: &LsmTree,
+    wear: Option<&sim_ssd::mem::WearSummary>,
+    metrics: Option<&Metrics>,
+) -> Json {
+    let io = tree.store().io_snapshot();
+    let mut device = vec![
+        ("reads".to_string(), Json::from(io.reads)),
+        ("writes".to_string(), Json::from(io.writes)),
+        ("trims".to_string(), Json::from(io.trims)),
+        ("syncs".to_string(), Json::from(io.syncs)),
+    ];
+    if let Some(w) = wear {
+        device.push((
+            "wear".to_string(),
+            Json::obj([
+                ("max_wear", Json::from(u64::from(w.max_wear))),
+                ("total_programs", Json::from(w.total_programs)),
+                ("blocks_touched", Json::from(w.blocks_touched)),
+            ]),
+        ));
+    }
+
+    let cache = tree.store().cache_stats();
+    let stats = tree.stats();
+    let levels: Vec<Json> = (1..=tree.levels().len())
+        .map(|paper| {
+            let l = stats.level(paper);
+            Json::obj([
+                ("level", Json::from(paper)),
+                ("merges_in", Json::from(l.merges_in)),
+                ("blocks_written", Json::from(l.blocks_written)),
+                ("blocks_read", Json::from(l.blocks_read)),
+                ("blocks_preserved", Json::from(l.blocks_preserved)),
+                ("records_in", Json::from(l.records_in)),
+                ("compactions", Json::from(l.compactions)),
+                ("pairwise_fixes", Json::from(l.pairwise_fixes)),
+            ])
+        })
+        .collect();
+
+    let mut doc = vec![
+        ("experiment".to_string(), Json::from(experiment)),
+        ("device".to_string(), Json::Obj(device)),
+        (
+            "cache".to_string(),
+            Json::obj([
+                ("hits", Json::from(cache.hits)),
+                ("misses", Json::from(cache.misses)),
+                ("evictions", Json::from(cache.evictions)),
+                ("hit_rate", Json::from(cache.hit_rate())),
+            ]),
+        ),
+        (
+            "tree".to_string(),
+            Json::obj([
+                ("height", Json::from(tree.height())),
+                ("records", Json::from(tree.record_count())),
+                ("puts", Json::from(stats.puts)),
+                ("deletes", Json::from(stats.deletes)),
+                ("lookups", Json::from(stats.lookups)),
+                ("lookup_block_reads", Json::from(stats.lookup_block_reads)),
+                ("bloom_skips", Json::from(stats.bloom_skips)),
+                ("total_blocks_written", Json::from(stats.total_blocks_written())),
+                ("total_blocks_read", Json::from(stats.total_blocks_read())),
+                ("total_blocks_preserved", Json::from(stats.total_blocks_preserved())),
+                ("levels", Json::Arr(levels)),
+            ]),
+        ),
+    ];
+    if let Some(m) = metrics {
+        doc.push(("metrics".to_string(), m.to_json()));
+    }
+    Json::Obj(doc)
 }
 
 #[cfg(test)]

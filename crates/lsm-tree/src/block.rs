@@ -32,7 +32,10 @@ pub struct DataBlock {
 impl DataBlock {
     /// Build a block from records that must already be sorted and unique.
     pub fn new(records: Vec<Record>) -> Self {
-        debug_assert!(records.windows(2).all(|w| w[0].key < w[1].key), "records must be sorted and unique");
+        debug_assert!(
+            records.windows(2).all(|w| w[0].key < w[1].key),
+            "records must be sorted and unique"
+        );
         DataBlock { records }
     }
 
@@ -186,7 +189,11 @@ pub struct BlockHandle {
 
 impl BlockHandle {
     /// Fence entry describing `block` stored at `id`.
-    pub fn describe(id: sim_ssd::BlockId, block: &DataBlock, bloom: Option<Arc<BloomFilter>>) -> Self {
+    pub fn describe(
+        id: sim_ssd::BlockId,
+        block: &DataBlock,
+        bloom: Option<Arc<BloomFilter>>,
+    ) -> Self {
         assert!(!block.is_empty(), "cannot describe an empty block");
         BlockHandle {
             id,

@@ -35,12 +35,9 @@ impl BloomFilter {
     pub fn build(keys: &[Key], bits_per_key: usize) -> Self {
         let bits_per_key = bits_per_key.max(1);
         let num_bits = (keys.len().max(1) * bits_per_key).max(64);
-        let num_hashes = ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
-        let mut f = BloomFilter {
-            bits: vec![0u64; num_bits.div_ceil(64)],
-            num_bits,
-            num_hashes,
-        };
+        let num_hashes =
+            ((bits_per_key as f64 * std::f64::consts::LN_2).round() as u32).clamp(1, 30);
+        let mut f = BloomFilter { bits: vec![0u64; num_bits.div_ceil(64)], num_bits, num_hashes };
         for &k in keys {
             f.insert(k);
         }
@@ -51,7 +48,8 @@ impl BloomFilter {
         let h1 = mix64(key);
         let h2 = mix64(key ^ 0xdead_beef_cafe_f00d) | 1;
         for i in 0..self.num_hashes {
-            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64) as usize;
+            let bit =
+                (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64) as usize;
             self.bits[bit / 64] |= 1u64 << (bit % 64);
         }
     }
@@ -61,7 +59,8 @@ impl BloomFilter {
         let h1 = mix64(key);
         let h2 = mix64(key ^ 0xdead_beef_cafe_f00d) | 1;
         for i in 0..self.num_hashes {
-            let bit = (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64) as usize;
+            let bit =
+                (h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.num_bits as u64) as usize;
             if self.bits[bit / 64] & (1u64 << (bit % 64)) == 0 {
                 return false;
             }

@@ -189,7 +189,7 @@ mod tests {
             merge_rate: 0.25,
             ..LsmConfig::default()
         };
-        LsmTree::with_mem_device(cfg, TreeOptions { policy, ..TreeOptions::default() }, 1 << 16)
+        LsmTree::with_mem_device(cfg, TreeOptions::builder().policy(policy).build(), 1 << 16)
             .unwrap()
     }
 

@@ -209,10 +209,7 @@ impl Level {
             && self.handles.len() > minimal_blocks
             && self.waste_factor(b) > eps + 1e-9
         {
-            return Err(format!(
-                "level-wise waste {:.4} exceeds eps {eps}",
-                self.waste_factor(b)
-            ));
+            return Err(format!("level-wise waste {:.4} exceeds eps {eps}", self.waste_factor(b)));
         }
         Ok(())
     }

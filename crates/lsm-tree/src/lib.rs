@@ -20,7 +20,7 @@
 //! let cfg = LsmConfig { k0_blocks: 4, cache_blocks: 64, ..LsmConfig::default() };
 //! let mut tree = LsmTree::with_mem_device(
 //!     cfg,
-//!     TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+//!     TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
 //!     1 << 14,
 //! ).unwrap();
 //! tree.put(42, vec![1, 2, 3]).unwrap();
@@ -28,6 +28,10 @@
 //! tree.delete(42).unwrap();
 //! assert_eq!(tree.get(42).unwrap(), None);
 //! ```
+//!
+//! Every layer reports [`observe::Event`]s to the sink registered on
+//! [`TreeOptions`] (or later via [`LsmTree::set_sink`]) — see the
+//! re-exported [`observe`] crate for the sink toolkit.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -51,6 +55,8 @@ pub mod tree;
 pub mod verify;
 pub mod wal;
 
+pub use observe;
+
 pub use block::{BlockHandle, DataBlock};
 pub use bloom::BloomFilter;
 pub use config::LsmConfig;
@@ -61,8 +67,8 @@ pub use merge::{MergeEngine, MergeOutcome, MergeSource};
 pub use policy::{MergeChoice, MergePolicy, MixedParams, PolicySpec};
 pub use record::{Key, OpKind, Record, Request, RequestSource};
 pub use shared::SharedLsmTree;
-pub use stats::{LevelStats, MergeKind, TreeEvent, TreeStats};
+pub use stats::{LevelStats, MergeKind, TreeStats};
 pub use stepped::SteppedMergeTree;
 pub use store::Store;
-pub use tree::{LsmTree, TreeOptions};
+pub use tree::{LsmTree, TreeOptions, TreeOptionsBuilder};
 pub use wal::{DurableLsmTree, WriteAheadLog};

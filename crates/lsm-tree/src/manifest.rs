@@ -295,6 +295,8 @@ impl LsmTree {
             f.sync_all().map_err(sim_ssd::DeviceError::Io)?;
         }
         std::fs::rename(&tmp, path).map_err(sim_ssd::DeviceError::Io)?;
+        self.sink()
+            .emit_with(|| observe::Event::Checkpoint { live_blocks: self.store().live_blocks() });
         Ok(())
     }
 
@@ -390,7 +392,7 @@ mod tests {
         };
         let mut t = LsmTree::with_mem_device(
             cfg,
-            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
             1 << 14,
         )
         .unwrap();

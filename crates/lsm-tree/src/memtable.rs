@@ -106,7 +106,12 @@ impl Memtable {
     /// Remove and return the records of virtual blocks
     /// `[start_block, start_block + num_blocks)` given chunk size `b`,
     /// in key order.
-    pub fn extract_window(&mut self, start_block: usize, num_blocks: usize, b: usize) -> Vec<Record> {
+    pub fn extract_window(
+        &mut self,
+        start_block: usize,
+        num_blocks: usize,
+        b: usize,
+    ) -> Vec<Record> {
         let start = start_block * b;
         let len = num_blocks * b;
         let keys: Vec<Key> = self.map.keys().skip(start).take(len).copied().collect();

@@ -192,7 +192,6 @@ impl<'a> Stream<'a> {
         }
         Ok(r)
     }
-
 }
 
 /// The merge engine: all block-level mutation of levels goes through here.
@@ -264,8 +263,7 @@ impl<'a> MergeEngine<'a> {
         let prev_target_count: Option<u32> =
             insert_pos.checked_sub(1).map(|i| target.handles()[i].count);
 
-        let may_exist_below =
-            |key: Key| below.iter().any(|l| l.key_in_range_of_some_block(key));
+        let may_exist_below = |key: Key| below.iter().any(|l| l.key_in_range_of_some_block(key));
         let is_bottom = below.is_empty();
 
         // Index into `ys.opened` up to which empty slots have been
@@ -445,11 +443,8 @@ impl<'a> MergeEngine<'a> {
         if is_bottom && h.tombstones > 0 {
             return false;
         }
-        let prev_count: Option<u32> = if self.pairwise {
-            last_out.map(|b| b.count).or(prev_target_count)
-        } else {
-            None
-        };
+        let prev_count: Option<u32> =
+            if self.pairwise { last_out.map(|b| b.count).or(prev_target_count) } else { None };
         if buffer.is_empty() {
             // No buffered block will be written; check prev vs h directly.
             if let Some(pc) = prev_count {
@@ -631,9 +626,7 @@ mod tests {
         let eng = MergeEngine::new(&s, B, EPS, true);
         let mut target = Level::new();
         let recs = puts(0..30u64);
-        let out = eng
-            .merge_into(&mut target, &[], MergeSource::Records(recs))
-            .unwrap();
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(recs)).unwrap();
         // 30 records at B=14 → blocks of 14,14,2 — but the trailing 2 is
         // fused with the previous block? 14+2=16 > 14, pairwise fine, so 3.
         assert_eq!(out.writes, 3);
@@ -712,9 +705,7 @@ mod tests {
         let x = level_of(&s, &[puts(40..54u64)]);
         let x_handles = x.handles().to_vec();
         let io_before = s.io_snapshot();
-        let out = eng
-            .merge_into(&mut target, &[], MergeSource::Blocks(x_handles))
-            .unwrap();
+        let out = eng.merge_into(&mut target, &[], MergeSource::Blocks(x_handles)).unwrap();
         let io_after = s.io_snapshot();
         assert_eq!(out.preserved, 1, "whole X block falls in the gap");
         assert_eq!(out.writes, 0);
@@ -731,9 +722,8 @@ mod tests {
         let mut target = level_of(&s, &[puts(0..14u64), puts(100..114u64)]);
         target.slack_budget = 100.0;
         let x = level_of(&s, &[puts(40..54u64)]);
-        let out = eng
-            .merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec()))
-            .unwrap();
+        let out =
+            eng.merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec())).unwrap();
         assert_eq!(out.preserved, 0);
         assert!(out.writes >= 1);
     }
@@ -748,9 +738,8 @@ mod tests {
         // which fails. (The 8-record X block has 6 empty slots.)
         assert_eq!(target.slack_budget, 0.0);
         let x = level_of(&s, &[puts(40..48u64)]); // 8 records, 6 empty slots
-        let out = eng
-            .merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec()))
-            .unwrap();
+        let out =
+            eng.merge_into(&mut target, &[], MergeSource::Blocks(x.handles().to_vec())).unwrap();
         assert_eq!(out.preserved, 0, "slack check must refuse");
         assert_eq!(out.writes, 1);
         assert!(target.validate(B, EPS).is_ok());

@@ -20,11 +20,14 @@
 //! provided.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use observe::{Event, FanoutSink, SinkHandle, VecSink};
 
 use crate::error::Result;
 use crate::policy::{ForcedMode, MixedParams, MixedPolicy};
 use crate::record::RequestSource;
-use crate::stats::{MergeKind, TreeEvent, TreeStats};
+use crate::stats::TreeStats;
 use crate::tree::LsmTree;
 
 /// Options controlling the learning procedure.
@@ -272,7 +275,41 @@ fn measure_cycles<S: RequestSource + ?Sized>(
     cycles: usize,
     max_requests: u64,
 ) -> Result<Option<(f64, u64)>> {
-    tree.set_record_events(true);
+    // Attach a probe sink for the duration of the measurement. Any sink the
+    // caller had registered keeps receiving every event via a fanout; the
+    // original handle is restored before returning.
+    let prev = tree.sink().clone();
+    let probe = Arc::new(VecSink::new());
+    let layered = match prev.as_arc() {
+        Some(user) => SinkHandle::of(FanoutSink::new(vec![
+            user,
+            Arc::clone(&probe) as Arc<dyn observe::EventSink>,
+        ])),
+        None => SinkHandle::new(Arc::clone(&probe) as Arc<dyn observe::EventSink>),
+    };
+    tree.set_sink(layered);
+    let out = measure_cycles_inner(
+        tree,
+        source,
+        &probe,
+        boundary_level,
+        cost_levels,
+        cycles,
+        max_requests,
+    );
+    tree.set_sink(prev);
+    out
+}
+
+fn measure_cycles_inner<S: RequestSource + ?Sized>(
+    tree: &mut LsmTree,
+    source: &mut S,
+    probe: &VecSink,
+    boundary_level: usize,
+    cost_levels: usize,
+    cycles: usize,
+    max_requests: u64,
+) -> Result<Option<(f64, u64)>> {
     let b = tree.config().block_capacity() as f64;
     let mut start: Option<(TreeStats, u64)> = None;
     let mut completed = 0usize;
@@ -281,9 +318,9 @@ fn measure_cycles<S: RequestSource + ?Sized>(
 
     for req_no in 0..max_requests {
         tree.apply(source.next_request())?;
-        for ev in tree.take_events() {
-            let TreeEvent::MergeInto { paper_level, kind, .. } = ev else { continue };
-            if paper_level != boundary_level || kind != MergeKind::Full {
+        for ev in probe.drain() {
+            let Event::MergeFinish { target_level, full, .. } = ev else { continue };
+            if target_level != boundary_level || !full {
                 continue;
             }
             // A full merge into `boundary_level` = cycle boundary.
@@ -300,13 +337,11 @@ fn measure_cycles<S: RequestSource + ?Sized>(
                 }
             }
             if completed >= cycles {
-                tree.set_record_events(false);
                 return Ok(Some((acc_cost / completed as f64, acc_requests)));
             }
             start = Some((tree.stats().clone(), req_no));
         }
     }
-    tree.set_record_events(false);
     Ok(None)
 }
 
@@ -324,9 +359,8 @@ fn measure_volume<S: RequestSource + ?Sized>(
         tree.apply(source.next_request())?;
     }
     let now = tree.stats();
-    let writes: u64 = (1..=cost_levels)
-        .map(|l| now.level(l).blocks_written - snap.level(l).blocks_written)
-        .sum();
+    let writes: u64 =
+        (1..=cost_levels).map(|l| now.level(l).blocks_written - snap.level(l).blocks_written).sum();
     let records_l1 = now.level(1).records_in - snap.level(1).records_in;
     if records_l1 == 0 {
         return Ok(f64::INFINITY);
@@ -362,10 +396,8 @@ mod tests {
             }
         }
         fn rng(&mut self) -> u64 {
-            self.state = self
-                .state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
+            self.state =
+                self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             self.state >> 11
         }
     }
@@ -404,7 +436,7 @@ mod tests {
         };
         LsmTree::with_mem_device(
             cfg,
-            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
             1 << 17,
         )
         .unwrap()

@@ -48,7 +48,19 @@ impl SharedLsmTree {
     }
 
     /// Point lookup (shared — runs concurrently with other readers).
+    ///
+    /// Runs under the read lock, so it cannot update the tree's lookup
+    /// counters in [`TreeStats`]; it is exactly [`SharedLsmTree::peek`].
+    /// Probed blocks still go through the buffer cache (recency + hit/miss
+    /// accounting) like any other lookup.
     pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
+        self.inner.read().peek(key)
+    }
+
+    /// Point lookup without touching [`TreeStats`] (shared). Same lookup
+    /// path as [`SharedLsmTree::get`] — see [`LsmTree::peek`] for the
+    /// cache-touching contract.
+    pub fn peek(&self, key: Key) -> Result<Option<Bytes>> {
         self.inner.read().peek(key)
     }
 
@@ -100,7 +112,7 @@ mod tests {
         };
         let tree = LsmTree::with_mem_device(
             cfg,
-            TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
             1 << 16,
         )
         .unwrap();
@@ -115,6 +127,8 @@ mod tests {
         t.delete(1).unwrap();
         assert_eq!(t.get(1).unwrap(), None);
         assert_eq!(t.get(2).unwrap().as_deref(), Some(&[2u8; 4][..]));
+        assert_eq!(t.peek(2).unwrap().as_deref(), Some(&[2u8; 4][..]));
+        assert_eq!(t.stats().lookups, 0, "shared lookups do not touch TreeStats");
         assert_eq!(t.scan_collect(0, 10).unwrap().len(), 1);
         assert_eq!(t.height(), 2);
     }

@@ -2,11 +2,10 @@
 //!
 //! The paper measures the number of data-block writes, per level and in
 //! total (§III: "we break the cost down by level, considering the cost of
-//! merging into each Li"). [`TreeStats`] mirrors that accounting;
-//! [`TreeEvent`]s give the Mixed-policy learner and the figure harnesses
-//! the cycle structure they need.
-
-use crate::record::Key;
+//! merging into each Li"). [`TreeStats`] mirrors that accounting; the
+//! per-merge structure (cycle boundaries for the Mixed-policy learner, the
+//! figure harnesses' traces) flows through [`observe::Event`]s emitted to
+//! the sink registered on the tree.
 
 /// Was a merge full or partial?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,40 +100,6 @@ impl TreeStats {
     pub fn total_requests(&self) -> u64 {
         self.puts + self.deletes
     }
-}
-
-/// Notable events, recorded when event tracking is enabled on the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TreeEvent {
-    /// A merge into `paper_level` completed.
-    MergeInto {
-        /// Target paper-level (≥ 1).
-        paper_level: usize,
-        /// Full or partial.
-        kind: MergeKind,
-        /// Records brought down from the source.
-        src_records: u64,
-        /// Blocks written into the target by this merge (fix-ups included).
-        writes: u64,
-        /// Input blocks preserved unmodified.
-        preserved: u64,
-        /// Largest key of the merged range (drives RR cursors and marks
-        /// merge progress through the key space).
-        max_key: Key,
-    },
-    /// A level was compacted.
-    Compaction {
-        /// Paper-level compacted.
-        paper_level: usize,
-        /// Blocks written by the rewrite.
-        writes: u64,
-    },
-    /// The tree grew: the overflowing bottom level was relabelled one
-    /// deeper and an empty level took its place (§II-A).
-    LevelAdded {
-        /// New height h (number of levels including L0).
-        new_height: usize,
-    },
 }
 
 #[cfg(test)]

@@ -187,9 +187,8 @@ impl SteppedMergeTree {
             }
             cursors.push(Cursor { blocks, bpos: 0, rpos: 0 });
         }
-        let peek = |c: &Cursor| -> Option<Key> {
-            c.blocks.get(c.bpos).map(|b| b.records[c.rpos].key)
-        };
+        let peek =
+            |c: &Cursor| -> Option<Key> { c.blocks.get(c.bpos).map(|b| b.records[c.rpos].key) };
         let advance = |c: &mut Cursor| {
             c.rpos += 1;
             if c.rpos >= c.blocks[c.bpos].len() {
@@ -361,12 +360,8 @@ mod tests {
             ..LsmConfig::default()
         };
         let mut sm = SteppedMergeTree::with_mem_device(cfg.clone(), 4, 1 << 16).unwrap();
-        let mut lsm = crate::LsmTree::with_mem_device(
-            cfg,
-            crate::TreeOptions::default(),
-            1 << 16,
-        )
-        .unwrap();
+        let mut lsm =
+            crate::LsmTree::with_mem_device(cfg, crate::TreeOptions::default(), 1 << 16).unwrap();
         for k in 0..8_000u64 {
             let key = k.wrapping_mul(2_654_435_761) % 1_000_000;
             sm.put(key, vec![1u8; 4]).unwrap();

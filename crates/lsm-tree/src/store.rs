@@ -27,7 +27,11 @@ pub struct Store {
 impl Store {
     /// Wrap a device. `cache_blocks` is the LRU capacity in blocks;
     /// `bloom_bits_per_key == 0` disables per-block Bloom filters.
-    pub fn new(device: Arc<dyn BlockDevice>, cache_blocks: usize, bloom_bits_per_key: usize) -> Self {
+    pub fn new(
+        device: Arc<dyn BlockDevice>,
+        cache_blocks: usize,
+        bloom_bits_per_key: usize,
+    ) -> Self {
         let capacity = device.capacity();
         Store {
             device,
@@ -63,6 +67,14 @@ impl Store {
     /// The underlying device.
     pub fn device(&self) -> &Arc<dyn BlockDevice> {
         &self.device
+    }
+
+    /// Register an event sink on the storage layers: the buffer cache
+    /// reports hits/misses/evictions and the device reports reads, writes,
+    /// trims and syncs, all into the same sink.
+    pub fn set_sink(&self, sink: observe::SinkHandle) {
+        self.device.set_sink(sink.clone());
+        self.cache.lock().set_sink(sink);
     }
 
     /// Allocate, encode, and write a new data block; returns its fence

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use observe::{Event, SinkHandle};
 
 use sim_ssd::BlockDevice;
 
@@ -12,29 +13,43 @@ use crate::error::{LsmError, Result};
 use crate::level::Level;
 use crate::memtable::Memtable;
 use crate::merge::{MergeEngine, MergeSource};
-use crate::policy::window::runs_of_handles;
+use crate::policy::window::{runs_of_handles, window_overlap};
 use crate::policy::{MergeChoice, MergeCtx, MergePolicy, PolicySpec};
 use crate::record::{Key, OpKind, Request};
-use crate::stats::{MergeKind, TreeEvent, TreeStats};
+use crate::stats::{MergeKind, TreeStats};
 use crate::store::Store;
 
 /// Behavioural options of a tree, orthogonal to the data geometry.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Construct via [`TreeOptions::builder`]; the struct is `#[non_exhaustive]`
+/// so options can grow without breaking downstream code:
+///
+/// ```
+/// use lsm_tree::{PolicySpec, TreeOptions};
+///
+/// let opts = TreeOptions::builder()
+///     .policy(PolicySpec::ChooseBest)
+///     .preserve_blocks(false)
+///     .build();
+/// assert!(!opts.preserve_blocks);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct TreeOptions {
     /// Which merge policy runs the index.
     pub policy: PolicySpec,
     /// Block-preserving merges (§II-B). The paper's "-P" policy variants
     /// set this to `false`.
     pub preserve_blocks: bool,
-    /// Record [`TreeEvent`]s (needed by the Mixed learner and the figure
-    /// harnesses; off by default to keep long runs lean).
-    pub record_events: bool,
     /// Enforce the pairwise waste constraint (§II-B). Only the ablation
     /// harness ever sets this to false.
     pub enforce_pairwise: bool,
     /// Enforce the level-wise waste constraint via compactions (§II-B).
     /// Only the ablation harness ever sets this to false.
     pub enforce_level_waste: bool,
+    /// Event sink registered at construction; every layer (device, cache,
+    /// merges, WAL) reports through it. Defaults to detached.
+    pub sink: SinkHandle,
 }
 
 impl Default for TreeOptions {
@@ -42,18 +57,76 @@ impl Default for TreeOptions {
         TreeOptions {
             policy: PolicySpec::ChooseBest,
             preserve_blocks: true,
-            record_events: false,
             enforce_pairwise: true,
             enforce_level_waste: true,
+            sink: SinkHandle::none(),
         }
     }
+}
+
+impl TreeOptions {
+    /// Start building options from the defaults.
+    pub fn builder() -> TreeOptionsBuilder {
+        TreeOptionsBuilder::default()
+    }
+}
+
+/// Builder for [`TreeOptions`]. Every setter has the default documented on
+/// the corresponding [`TreeOptions`] field.
+#[derive(Debug, Clone, Default)]
+pub struct TreeOptionsBuilder {
+    opts: TreeOptions,
+}
+
+impl TreeOptionsBuilder {
+    /// Select the merge policy (default: [`PolicySpec::ChooseBest`]).
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.opts.policy = policy;
+        self
+    }
+
+    /// Enable or disable block-preserving merges (default: enabled).
+    pub fn preserve_blocks(mut self, on: bool) -> Self {
+        self.opts.preserve_blocks = on;
+        self
+    }
+
+    /// Enable or disable the pairwise waste constraint (default: enabled).
+    pub fn enforce_pairwise(mut self, on: bool) -> Self {
+        self.opts.enforce_pairwise = on;
+        self
+    }
+
+    /// Enable or disable the level-wise waste constraint (default: enabled).
+    pub fn enforce_level_waste(mut self, on: bool) -> Self {
+        self.opts.enforce_level_waste = on;
+        self
+    }
+
+    /// Register an event sink (default: detached).
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.opts.sink = sink;
+        self
+    }
+
+    /// Finish, yielding the options.
+    pub fn build(self) -> TreeOptions {
+        self.opts
+    }
+}
+
+/// What a single lookup cost: counted by the shared lookup path and folded
+/// into [`TreeStats`] by [`LsmTree::get`] (discarded by [`LsmTree::peek`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct LookupProbe {
+    bloom_skips: u64,
+    block_reads: u64,
 }
 
 /// An LSM-tree over a block device.
 pub struct LsmTree {
     cfg: LsmConfig,
     preserve_blocks: bool,
-    record_events: bool,
     enforce_pairwise: bool,
     enforce_level_waste: bool,
     store: Store,
@@ -66,7 +139,7 @@ pub struct LsmTree {
     /// the levels themselves).
     mem_rr_cursor: Option<Key>,
     stats: TreeStats,
-    events: Vec<TreeEvent>,
+    sink: SinkHandle,
 }
 
 impl LsmTree {
@@ -81,12 +154,12 @@ impl LsmTree {
             )));
         }
         let store = Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key);
+        store.set_sink(opts.sink.clone());
         let policy = opts.policy.build();
         let policy_name = policy.name();
         Ok(LsmTree {
             cfg,
             preserve_blocks: opts.preserve_blocks,
-            record_events: opts.record_events,
             enforce_pairwise: opts.enforce_pairwise,
             enforce_level_waste: opts.enforce_level_waste,
             store,
@@ -96,7 +169,7 @@ impl LsmTree {
             policy_name,
             mem_rr_cursor: None,
             stats: TreeStats::default(),
-            events: Vec::new(),
+            sink: opts.sink,
         })
     }
 
@@ -117,12 +190,12 @@ impl LsmTree {
         mem_rr_cursor: Option<Key>,
     ) -> Self {
         debug_assert!(!levels.is_empty());
+        store.set_sink(opts.sink.clone());
         let policy = opts.policy.build();
         let policy_name = policy.name();
         LsmTree {
             cfg,
             preserve_blocks: opts.preserve_blocks,
-            record_events: opts.record_events,
             enforce_pairwise: opts.enforce_pairwise,
             enforce_level_waste: opts.enforce_level_waste,
             store,
@@ -132,7 +205,7 @@ impl LsmTree {
             policy_name,
             mem_rr_cursor,
             stats: TreeStats::default(),
-            events: Vec::new(),
+            sink: opts.sink,
         }
     }
 
@@ -180,60 +253,64 @@ impl LsmTree {
     // ------------------------------------------------------------------
 
     /// Point lookup: newest visible version of `key`, if any.
+    ///
+    /// Caching contract: any block probed on the way down goes through the
+    /// buffer cache, refreshing its LRU recency and counting toward cache
+    /// hit/miss statistics — exactly like [`LsmTree::peek`]. `get`
+    /// additionally updates the tree's own [`TreeStats`] lookup counters,
+    /// which is why it needs `&mut self`.
     pub fn get(&mut self, key: Key) -> Result<Option<Bytes>> {
         self.stats.lookups += 1;
-        if let Some(r) = self.mem.get(key) {
-            return Ok(match r.op {
-                OpKind::Put => Some(r.payload.clone()),
-                OpKind::Delete => None,
-            });
-        }
-        for level in &self.levels {
-            let Some(handle) = level.find_block_for(key) else { continue };
-            if let Some(bloom) = &handle.bloom {
-                if !bloom.may_contain(key) {
-                    self.stats.bloom_skips += 1;
-                    continue;
-                }
-            }
-            let block = self.store.read_block(handle)?;
-            self.stats.lookup_block_reads += 1;
-            if let Some(r) = block.find(key) {
-                return Ok(match r.op {
-                    OpKind::Put => Some(r.payload.clone()),
-                    OpKind::Delete => None,
-                });
-            }
-        }
-        Ok(None)
+        let (value, probe) = self.lookup(key)?;
+        self.stats.bloom_skips += probe.bloom_skips;
+        self.stats.lookup_block_reads += probe.block_reads;
+        Ok(value)
     }
 
-    /// Read-only point lookup: like [`LsmTree::get`] but without touching
-    /// statistics, so it works through a shared reference — the basis for
+    /// Read-only point lookup through a shared reference — the basis for
     /// concurrent readers (see [`crate::shared::SharedLsmTree`]).
+    ///
+    /// Caching contract: identical block-probing path as [`LsmTree::get`]
+    /// (blocks read through the buffer cache touch LRU recency and cache
+    /// statistics), but the per-tree [`TreeStats`] lookup counters are left
+    /// untouched, which is what allows `&self`.
     pub fn peek(&self, key: Key) -> Result<Option<Bytes>> {
+        self.lookup(key).map(|(value, _)| value)
+    }
+
+    /// The one lookup path behind [`LsmTree::get`] and [`LsmTree::peek`]:
+    /// memtable first, then each level top-down, consulting per-block Bloom
+    /// filters and reading candidate blocks through the cache. Returns the
+    /// visible value plus the probe counts for the caller to account (or
+    /// discard).
+    fn lookup(&self, key: Key) -> Result<(Option<Bytes>, LookupProbe)> {
+        let mut probe = LookupProbe::default();
         if let Some(r) = self.mem.get(key) {
-            return Ok(match r.op {
+            let value = match r.op {
                 OpKind::Put => Some(r.payload.clone()),
                 OpKind::Delete => None,
-            });
+            };
+            return Ok((value, probe));
         }
         for level in &self.levels {
             let Some(handle) = level.find_block_for(key) else { continue };
             if let Some(bloom) = &handle.bloom {
                 if !bloom.may_contain(key) {
+                    probe.bloom_skips += 1;
                     continue;
                 }
             }
             let block = self.store.read_block(handle)?;
+            probe.block_reads += 1;
             if let Some(r) = block.find(key) {
-                return Ok(match r.op {
+                let value = match r.op {
                     OpKind::Put => Some(r.payload.clone()),
                     OpKind::Delete => None,
-                });
+                };
+                return Ok((value, probe));
             }
         }
-        Ok(None)
+        Ok((None, probe))
     }
 
     // ------------------------------------------------------------------
@@ -293,17 +370,17 @@ impl LsmTree {
         self.policy = policy;
     }
 
-    /// Enable or disable event recording.
-    pub fn set_record_events(&mut self, on: bool) {
-        self.record_events = on;
-        if !on {
-            self.events.clear();
-        }
+    /// Register (or detach, with [`SinkHandle::none`]) the event sink. The
+    /// registration propagates to every layer: tree-level merge events plus
+    /// the store's cache and device events all flow to the same sink.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.store.set_sink(sink.clone());
+        self.sink = sink;
     }
 
-    /// Drain the recorded events.
-    pub fn take_events(&mut self) -> Vec<TreeEvent> {
-        std::mem::take(&mut self.events)
+    /// The currently registered sink (detached by default).
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
     /// Is block preservation active?
@@ -314,12 +391,6 @@ impl LsmTree {
     // ------------------------------------------------------------------
     // Merge machinery
     // ------------------------------------------------------------------
-
-    fn emit(&mut self, event: TreeEvent) {
-        if self.record_events {
-            self.events.push(event);
-        }
-    }
 
     /// Run merges until no level overflows (§II-A).
     fn run_cascade(&mut self) -> Result<()> {
@@ -354,7 +425,22 @@ impl LsmTree {
         let at = self.levels.len() - 1;
         self.levels.insert(at, Level::new());
         let new_height = self.height();
-        self.emit(TreeEvent::LevelAdded { new_height });
+        self.sink.emit_with(|| Event::LevelAdded { new_height });
+    }
+
+    /// Blocks the policy's choice is expected to write: the selected source
+    /// blocks plus every overlapping target block (none are preserved in
+    /// the pessimistic prediction). Compared to the actual `writes` of the
+    /// matching merge, this evaluates the policy's cost model.
+    fn predicted_writes(
+        runs: &[crate::memtable::RunMeta],
+        target: &Level,
+        choice: MergeChoice,
+    ) -> u64 {
+        match choice {
+            MergeChoice::Full => (runs.len() + target.num_blocks()) as u64,
+            MergeChoice::Window(w) => (w.len + window_overlap(runs, target.handles(), w)) as u64,
+        }
     }
 
     fn merge_from_memtable(&mut self) -> Result<()> {
@@ -373,6 +459,11 @@ impl LsmTree {
             src_rr_cursor: self.mem_rr_cursor,
         };
         let choice = self.policy.choose(&ctx);
+        self.sink.emit_with(|| Event::PolicyDecision {
+            target_level: 1,
+            full: choice == MergeChoice::Full,
+            predicted_writes: Self::predicted_writes(&runs, &self.levels[0], choice),
+        });
         let (records, kind) = match choice {
             MergeChoice::Full => (self.mem.extract_all(), MergeKind::Full),
             MergeChoice::Window(w) => {
@@ -380,6 +471,10 @@ impl LsmTree {
             }
         };
         let src_records = records.len() as u64;
+        self.sink.emit_with(|| Event::MemtableFlush {
+            records: src_records,
+            full: kind == MergeKind::Full,
+        });
         self.do_merge(0, MergeSource::Records(records), src_records, kind)?;
         Ok(())
     }
@@ -401,6 +496,11 @@ impl LsmTree {
             src_rr_cursor: self.levels[src_vec_idx].rr_cursor,
         };
         let choice = self.policy.choose(&ctx);
+        self.sink.emit_with(|| Event::PolicyDecision {
+            target_level: src_paper + 1,
+            full: choice == MergeChoice::Full,
+            predicted_writes: Self::predicted_writes(&runs, &self.levels[src_vec_idx + 1], choice),
+        });
         let (range, kind) = match choice {
             MergeChoice::Full => (0..runs.len(), MergeKind::Full),
             MergeChoice::Window(w) => (w.start..w.start + w.len, MergeKind::Partial),
@@ -426,6 +526,11 @@ impl LsmTree {
             ls.pairwise_fixes += 1;
             ls.blocks_written += fix.writes;
             ls.blocks_read += fix.reads;
+            self.sink.emit_with(|| Event::PairwiseFix {
+                level: src_paper,
+                writes: fix.writes,
+                reads: fix.reads,
+            });
         }
         if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[src_vec_idx]) {
             self.compact(src_vec_idx)?;
@@ -445,6 +550,10 @@ impl LsmTree {
         kind: MergeKind,
     ) -> Result<()> {
         let target_paper = target_vec_idx + 1;
+        self.sink.emit_with(|| Event::MergeStart {
+            target_level: target_paper,
+            full: kind == MergeKind::Full,
+        });
         let engine = MergeEngine::new(
             &self.store,
             self.cfg.block_capacity(),
@@ -471,17 +580,19 @@ impl LsmTree {
             ls.blocks_preserved += outcome.preserved;
             ls.records_in += src_records;
         }
-        self.emit(TreeEvent::MergeInto {
-            paper_level: target_paper,
-            kind,
+        self.sink.emit_with(|| Event::MergeFinish {
+            target_level: target_paper,
+            full: kind == MergeKind::Full,
             src_records,
             writes: outcome.writes,
+            reads: outcome.reads,
             preserved: outcome.preserved,
             max_key: outcome.max_key,
         });
 
         // Target-side level-wise waste check (§II-B case 4).
-        if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[target_vec_idx]) {
+        if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[target_vec_idx])
+        {
             self.compact(target_vec_idx)?;
         }
         Ok(())
@@ -501,7 +612,7 @@ impl LsmTree {
         ls.compaction_writes += out.writes;
         ls.blocks_written += out.writes;
         ls.blocks_read += out.reads;
-        self.emit(TreeEvent::Compaction { paper_level: paper, writes: out.writes });
+        self.sink.emit_with(|| Event::Compaction { level: paper, writes: out.writes });
         Ok(())
     }
 
@@ -535,12 +646,8 @@ mod tests {
     }
 
     fn tree_with(policy: PolicySpec) -> LsmTree {
-        LsmTree::with_mem_device(
-            tiny_cfg(),
-            TreeOptions { policy, record_events: true, ..TreeOptions::default() },
-            1 << 16,
-        )
-        .unwrap()
+        LsmTree::with_mem_device(tiny_cfg(), TreeOptions::builder().policy(policy).build(), 1 << 16)
+            .unwrap()
     }
 
     fn payload(k: Key) -> Vec<u8> {
@@ -639,12 +746,25 @@ mod tests {
     }
 
     #[test]
-    fn events_are_recorded_and_drained() {
-        let mut t = tree_with(PolicySpec::Full);
+    fn sink_receives_merge_events() {
+        let sink = Arc::new(observe::VecSink::new());
+        let mut t = LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions::builder()
+                .policy(PolicySpec::Full)
+                .sink(SinkHandle::new(sink.clone()))
+                .build(),
+            1 << 16,
+        )
+        .unwrap();
         fill(&mut t, 500, 3);
-        let events = t.take_events();
-        assert!(events.iter().any(|e| matches!(e, TreeEvent::MergeInto { paper_level: 1, .. })));
-        assert!(t.take_events().is_empty(), "drained");
+        let events = sink.drain();
+        assert!(events.iter().any(|e| matches!(e, Event::MergeFinish { target_level: 1, .. })));
+        assert!(sink.is_empty(), "drained");
+
+        t.set_sink(SinkHandle::none());
+        fill(&mut t, 100, 3);
+        assert!(sink.is_empty(), "detached sink receives nothing");
     }
 
     #[test]
@@ -706,13 +826,13 @@ mod tests {
         // can only reduce writes.
         let mut with = LsmTree::with_mem_device(
             tiny_cfg(),
-            TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: true, record_events: false, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).preserve_blocks(true).build(),
             1 << 16,
         )
         .unwrap();
         let mut without = LsmTree::with_mem_device(
             tiny_cfg(),
-            TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: false, record_events: false, ..TreeOptions::default() },
+            TreeOptions::builder().policy(PolicySpec::ChooseBest).preserve_blocks(false).build(),
             1 << 16,
         )
         .unwrap();

@@ -44,7 +44,10 @@ pub fn check_tree(tree: &LsmTree, deep: bool) -> std::result::Result<(), String>
         if is_bottom {
             for (i, h) in level.handles().iter().enumerate() {
                 if h.tombstones > 0 {
-                    return Err(format!("bottom L{paper} block {i} holds {} tombstones", h.tombstones));
+                    return Err(format!(
+                        "bottom L{paper} block {i} holds {} tombstones",
+                        h.tombstones
+                    ));
                 }
             }
         }
@@ -112,12 +115,9 @@ mod tests {
             merge_rate: 0.25,
             ..LsmConfig::default()
         };
-        let mut t = LsmTree::with_mem_device(
-            cfg,
-            TreeOptions { policy, ..TreeOptions::default() },
-            1 << 16,
-        )
-        .unwrap();
+        let mut t =
+            LsmTree::with_mem_device(cfg, TreeOptions::builder().policy(policy).build(), 1 << 16)
+                .unwrap();
         for k in 0..n {
             t.put(k * 13 % 10007, vec![k as u8; 4]).unwrap();
             if k % 3 == 0 {

@@ -127,8 +127,7 @@ impl WriteAheadLog {
         let key = Key::from_le_bytes(payload.get(1..9)?.try_into().ok()?);
         match op {
             0 => {
-                let plen =
-                    u32::from_le_bytes(payload.get(9..13)?.try_into().ok()?) as usize;
+                let plen = u32::from_le_bytes(payload.get(9..13)?.try_into().ok()?) as usize;
                 let body = payload.get(13..13 + plen)?;
                 if payload.len() != 13 + plen {
                     return None;
@@ -141,8 +140,9 @@ impl WriteAheadLog {
     }
 
     /// Append one request (buffered; call [`WriteAheadLog::sync`] to make
-    /// it crash-durable).
-    pub fn append(&mut self, req: &Request) -> Result<()> {
+    /// it crash-durable). Returns the number of bytes appended, framing
+    /// included.
+    pub fn append(&mut self, req: &Request) -> Result<usize> {
         let payload = Self::encode_request(req);
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())
@@ -150,7 +150,7 @@ impl WriteAheadLog {
             .and_then(|()| self.writer.write_all(&payload))
             .map_err(DeviceError::Io)?;
         self.appended += 1;
-        Ok(())
+        Ok(8 + payload.len())
     }
 
     /// Flush and fsync.
@@ -164,10 +164,7 @@ impl WriteAheadLog {
     pub fn truncate(&mut self) -> Result<()> {
         self.writer.flush().map_err(DeviceError::Io)?;
         self.writer.get_ref().set_len(0).map_err(DeviceError::Io)?;
-        let file = OpenOptions::new()
-            .write(true)
-            .open(&self.path)
-            .map_err(DeviceError::Io)?;
+        let file = OpenOptions::new().write(true).open(&self.path).map_err(DeviceError::Io)?;
         self.writer = BufWriter::new(file);
         self.appended = 0;
         Ok(())
@@ -226,9 +223,11 @@ impl DurableLsmTree {
     ) -> Result<Self> {
         let mut tree = LsmTree::restore(manifest_path.as_ref(), opts, device)?;
         let (wal, requests) = WriteAheadLog::open_and_replay(wal_path)?;
+        let replayed = requests.len() as u64;
         for req in requests {
             tree.apply(req)?;
         }
+        tree.sink().emit_with(|| observe::Event::Recovery { replayed });
         Ok(DurableLsmTree {
             tree,
             wal,
@@ -239,10 +238,13 @@ impl DurableLsmTree {
 
     /// Apply one request durably (WAL first, then the index).
     pub fn apply(&mut self, req: Request) -> Result<()> {
-        self.wal.append(&req)?;
+        let bytes = self.wal.append(&req)? as u64;
         if self.sync_every_request {
             self.wal.sync()?;
         }
+        self.tree
+            .sink()
+            .emit_with(|| observe::Event::WalAppend { bytes, synced: self.sync_every_request });
         self.tree.apply(req)
     }
 
@@ -318,8 +320,13 @@ mod tests {
     #[test]
     fn wal_round_trips_requests() {
         let path = wal_path("roundtrip");
-        let reqs =
-            vec![put(1, 10), Request::Delete(2), put(3, 30), put(u64::MAX, 255), Request::Delete(0)];
+        let reqs = vec![
+            put(1, 10),
+            Request::Delete(2),
+            put(3, 30),
+            put(u64::MAX, 255),
+            Request::Delete(0),
+        ];
         {
             let mut wal = WriteAheadLog::create(&path).unwrap();
             for r in &reqs {

@@ -37,7 +37,7 @@ fn tiny_tree(policy: PolicySpec, preserve: bool) -> LsmTree {
     };
     LsmTree::with_mem_device(
         cfg,
-        TreeOptions { policy, preserve_blocks: preserve, record_events: false, ..TreeOptions::default() },
+        TreeOptions::builder().policy(policy).preserve_blocks(preserve).build(),
         1 << 16,
     )
     .unwrap()

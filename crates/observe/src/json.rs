@@ -1,0 +1,241 @@
+//! Minimal hand-rolled JSON: the build environment has no serde, and the
+//! schemas here are small enough that a value tree + renderer suffices.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`]/[`Json::arr`],
+/// render with [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point; NaN and infinities render as `null` (JSON has no
+    /// representation for them).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; key order is preserved as given.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Build an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Render as a compact single-line JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Render with two-space indentation (for files meant to be read).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::U64(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::U64(n.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::U64(n as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::I64(n)
+    }
+}
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::F64(f)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<BTreeMap<String, u64>> for Json {
+    fn from(map: BTreeMap<String, u64>) -> Json {
+        Json::Obj(map.into_iter().map(|(k, v)| (k, Json::U64(v))).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::obj([
+            ("name", Json::from("fig6")),
+            ("ok", Json::from(true)),
+            ("count", Json::from(42u64)),
+            ("ratio", Json::from(0.5)),
+            ("items", Json::arr([Json::from(1u64), Json::Null])),
+            ("nested", Json::obj([("k", Json::from("v"))])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"fig6","ok":true,"count":42,"ratio":0.5,"items":[1,null],"nested":{"k":"v"}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::from("a\"b\\c\nd\u{1}");
+        assert_eq!(doc.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let doc = Json::obj([("a", Json::arr([Json::from(1u64)]))]);
+        assert_eq!(doc.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+}

@@ -1,0 +1,268 @@
+//! A small unified metrics registry: named monotonic counters plus
+//! log₂-bucketed histograms. Cloning a [`Metrics`] shares the underlying
+//! registry, so one instance can be handed to several layers and read once.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+const BUCKETS: usize = 65; // one per power of two a u64 can hold, plus zero
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`. Quantiles are therefore approximate (reported as the
+/// upper bound of the containing bucket) but never off by more than 2×,
+/// which is plenty for block counts and byte sizes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    match value {
+        0 => 0,
+        v => (64 - v.leading_zeros()) as usize,
+    }
+}
+
+fn bucket_upper_bound(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        b if b >= 64 => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `q * count`. Exact for the
+    /// min (`q = 0`) and never more than 2× above the true value.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Render as a JSON object of summary statistics.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count())),
+            ("sum", Json::from(self.sum())),
+            ("min", Json::from(self.min())),
+            ("max", Json::from(self.max())),
+            ("mean", Json::from(self.mean())),
+            ("p50", Json::from(self.quantile(0.50))),
+            ("p90", Json::from(self.quantile(0.90))),
+            ("p99", Json::from(self.quantile(0.99))),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Shared registry of named counters and histograms.
+///
+/// `Metrics` is cheap to clone (an `Arc` around the registry); all clones
+/// observe the same values. Names are conventionally dotted paths like
+/// `"device.reads"` or `"merge.writes"`.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("Metrics")
+            .field("counters", &reg.counters.len())
+            .field("histograms", &reg.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_registry<R>(&self, f: impl FnOnce(&mut Registry) -> R) -> R {
+        let mut reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut reg)
+    }
+
+    /// Increment the counter `name` by 1.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment the counter `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.with_registry(|reg| {
+            *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+        });
+    }
+
+    /// Record `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.with_registry(|reg| {
+            reg.histograms.entry(name.to_string()).or_default().record(value);
+        });
+    }
+
+    /// Current value of the counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with_registry(|reg| reg.counters.get(name).copied().unwrap_or(0))
+    }
+
+    /// Snapshot of the histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.with_registry(|reg| reg.histograms.get(name).cloned())
+    }
+
+    /// Copy of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.with_registry(|reg| reg.counters.clone())
+    }
+
+    /// Render the whole registry as one JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, sum, ...}}}`.
+    pub fn to_json(&self) -> Json {
+        self.with_registry(|reg| {
+            let counters =
+                Json::Obj(reg.counters.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect());
+            let histograms =
+                Json::Obj(reg.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect());
+            Json::obj([("counters", counters), ("histograms", histograms)])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.incr("a");
+        m2.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        // p50 of [0,1,2,3,100]: third sample lands in the [2,4) bucket.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 falls in the last occupied bucket, capped at the true max.
+        assert_eq!(h.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.9), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn metrics_render_to_json() {
+        let m = Metrics::new();
+        m.add("device.reads", 7);
+        m.observe("merge.writes", 8);
+        let doc = m.to_json().render();
+        assert!(doc.contains(r#""device.reads":7"#), "{doc}");
+        assert!(doc.contains(r#""merge.writes":{"count":1"#), "{doc}");
+    }
+
+    #[test]
+    fn bucket_of_is_monotone() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev);
+            assert!(v <= bucket_upper_bound(b));
+            prev = b;
+        }
+    }
+}

@@ -12,6 +12,8 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use observe::{Event, SinkHandle};
+
 const NIL: usize = usize::MAX;
 
 struct Entry<K, V> {
@@ -56,6 +58,7 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     stats: CacheStats,
+    sink: SinkHandle,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
@@ -70,7 +73,15 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            sink: SinkHandle::none(),
         }
+    }
+
+    /// Register an event sink: the cache reports hits, misses, evictions,
+    /// pins and unpins as [`observe::Event`]s. Pass `SinkHandle::none()` to
+    /// detach.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Number of resident entries.
@@ -139,6 +150,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 self.index.remove(&key);
                 self.free.push(cur);
                 self.stats.evictions += 1;
+                self.sink.emit_with(|| Event::CacheEviction);
                 return true;
             }
             cur = self.slab[cur].prev;
@@ -152,10 +164,12 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             Some(idx) => {
                 self.touch(idx);
                 self.stats.hits += 1;
+                self.sink.emit_with(|| Event::CacheHit);
                 Some(self.slab[idx].value.clone())
             }
             None => {
                 self.stats.misses += 1;
+                self.sink.emit_with(|| Event::CacheMiss);
                 None
             }
         }
@@ -206,6 +220,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         match self.index.get(key).copied() {
             Some(idx) => {
                 self.slab[idx].pins += 1;
+                self.sink.emit_with(|| Event::CachePin);
                 true
             }
             None => false,
@@ -218,6 +233,7 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         match self.index.get(key).copied() {
             Some(idx) if self.slab[idx].pins > 0 => {
                 self.slab[idx].pins -= 1;
+                self.sink.emit_with(|| Event::CacheUnpin);
                 true
             }
             _ => false,

@@ -74,7 +74,13 @@ mod tests {
 
     #[test]
     fn estimate_is_linear_in_counts() {
-        let m = CostModel { read_us: 10.0, write_us: 100.0, trim_us: 1.0, read_uj: 1.0, write_uj: 10.0 };
+        let m = CostModel {
+            read_us: 10.0,
+            write_us: 100.0,
+            trim_us: 1.0,
+            read_uj: 1.0,
+            write_uj: 10.0,
+        };
         let snap = IoSnapshot { reads: 3, writes: 2, trims: 5, syncs: 0 };
         let c = m.estimate(&snap);
         assert!((c.time_us - (30.0 + 200.0 + 5.0)).abs() < 1e-9);

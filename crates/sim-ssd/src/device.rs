@@ -1,6 +1,7 @@
 //! The block-device abstraction.
 
 use bytes::Bytes;
+use observe::SinkHandle;
 
 use crate::error::Result;
 use crate::stats::IoSnapshot;
@@ -58,6 +59,12 @@ pub trait BlockDevice: Send + Sync {
 
     /// Snapshot of the device's I/O counters.
     fn io_snapshot(&self) -> IoSnapshot;
+
+    /// Register an event sink: the device reports each successful read,
+    /// write, trim and sync as an [`observe::Event`]. Pass
+    /// `SinkHandle::none()` to detach. The default implementation ignores
+    /// the registration, so trivial test doubles stay silent.
+    fn set_sink(&self, _sink: SinkHandle) {}
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 
 use bytes::Bytes;
+use observe::{Event, SinkCell, SinkHandle};
 use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
@@ -32,6 +33,7 @@ pub struct FileDevice {
     capacity: u64,
     valid: Mutex<Vec<bool>>,
     stats: IoStats,
+    sink: SinkCell,
 }
 
 impl FileDevice {
@@ -61,6 +63,7 @@ impl FileDevice {
             capacity,
             valid: Mutex::new(vec![false; capacity as usize]),
             stats: IoStats::new(),
+            sink: SinkCell::new(),
         })
     }
 
@@ -76,6 +79,7 @@ impl FileDevice {
             capacity,
             valid: Mutex::new(vec![true; capacity as usize]),
             stats: IoStats::new(),
+            sink: SinkCell::new(),
         })
     }
 
@@ -121,6 +125,7 @@ impl BlockDevice for FileDevice {
             f.read_exact(&mut buf)?;
         }
         self.stats.record_read();
+        self.sink.emit_with(|| Event::DeviceRead { block: id.0 });
         Ok(Bytes::from(buf))
     }
 
@@ -140,6 +145,7 @@ impl BlockDevice for FileDevice {
         }
         self.valid.lock()[idx] = true;
         self.stats.record_write();
+        self.sink.emit_with(|| Event::DeviceWrite { block: id.0 });
         Ok(())
     }
 
@@ -147,17 +153,23 @@ impl BlockDevice for FileDevice {
         let idx = self.check_range(id)?;
         self.valid.lock()[idx] = false;
         self.stats.record_trim();
+        self.sink.emit_with(|| Event::DeviceTrim { block: id.0 });
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
         self.file.sync_data()?;
         self.stats.record_sync();
+        self.sink.emit_with(|| Event::DeviceSync);
         Ok(())
     }
 
     fn io_snapshot(&self) -> IoSnapshot {
         self.stats.snapshot()
+    }
+
+    fn set_sink(&self, sink: SinkHandle) {
+        self.sink.set(sink);
     }
 }
 
@@ -219,7 +231,10 @@ mod tests {
         let path = temp_path("range");
         {
             let dev = FileDevice::create_with_block_size(&path, 2, 128).unwrap();
-            assert!(matches!(dev.write(BlockId(2), &[0; 128]), Err(DeviceError::OutOfRange { .. })));
+            assert!(matches!(
+                dev.write(BlockId(2), &[0; 128]),
+                Err(DeviceError::OutOfRange { .. })
+            ));
             assert!(matches!(
                 dev.write(BlockId(0), &[0; 5]),
                 Err(DeviceError::BadFrameSize { got: 5, expected: 128 })

@@ -8,6 +8,7 @@
 //! decreases drive life").
 
 use bytes::Bytes;
+use observe::{Event, SinkCell, SinkHandle};
 use parking_lot::{Mutex, RwLock};
 
 use crate::device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
@@ -30,6 +31,7 @@ pub struct MemDevice {
     wear: Mutex<Vec<u32>>,
     stats: IoStats,
     faults: Mutex<FaultPlan>,
+    sink: SinkCell,
 }
 
 impl MemDevice {
@@ -47,6 +49,7 @@ impl MemDevice {
             wear: Mutex::new(vec![0; capacity as usize]),
             stats: IoStats::new(),
             faults: Mutex::new(FaultPlan::default()),
+            sink: SinkCell::new(),
         }
     }
 
@@ -85,11 +88,7 @@ impl MemDevice {
                 max = max.max(w);
             }
         }
-        WearSummary {
-            max_wear: max,
-            total_programs: sum,
-            blocks_touched: worn,
-        }
+        WearSummary { max_wear: max, total_programs: sum, blocks_touched: worn }
     }
 
     fn check_range(&self, id: BlockId) -> Result<usize> {
@@ -141,6 +140,7 @@ impl BlockDevice for MemDevice {
         let frames = self.frames.read();
         let frame = frames[idx].clone().ok_or(DeviceError::Unwritten(id.0))?;
         self.stats.record_read();
+        self.sink.emit_with(|| Event::DeviceRead { block: id.0 });
         Ok(frame)
     }
 
@@ -153,6 +153,7 @@ impl BlockDevice for MemDevice {
         self.frames.write()[idx] = Some(Bytes::copy_from_slice(frame));
         self.wear.lock()[idx] += 1;
         self.stats.record_write();
+        self.sink.emit_with(|| Event::DeviceWrite { block: id.0 });
         Ok(())
     }
 
@@ -160,16 +161,22 @@ impl BlockDevice for MemDevice {
         let idx = self.check_range(id)?;
         self.frames.write()[idx] = None;
         self.stats.record_trim();
+        self.sink.emit_with(|| Event::DeviceTrim { block: id.0 });
         Ok(())
     }
 
     fn sync(&self) -> Result<()> {
         self.stats.record_sync();
+        self.sink.emit_with(|| Event::DeviceSync);
         Ok(())
     }
 
     fn io_snapshot(&self) -> IoSnapshot {
         self.stats.snapshot()
+    }
+
+    fn set_sink(&self, sink: SinkHandle) {
+        self.sink.set(sink);
     }
 }
 

@@ -102,10 +102,7 @@ mod tests {
         s.record_trim();
         s.record_sync();
         let snap = s.snapshot();
-        assert_eq!(
-            snap,
-            IoSnapshot { reads: 2, writes: 1, trims: 1, syncs: 1 }
-        );
+        assert_eq!(snap, IoSnapshot { reads: 2, writes: 1, trims: 1, syncs: 1 });
     }
 
     #[test]

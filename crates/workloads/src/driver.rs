@@ -37,7 +37,11 @@ pub fn volume_requests(mb: f64, record_size: usize) -> u64 {
 }
 
 /// Apply `n` requests from `source` to `tree`.
-pub fn run_requests<S: RequestSource + ?Sized>(tree: &mut LsmTree, source: &mut S, n: u64) -> Result<()> {
+pub fn run_requests<S: RequestSource + ?Sized>(
+    tree: &mut LsmTree,
+    source: &mut S,
+    n: u64,
+) -> Result<()> {
     for _ in 0..n {
         tree.apply(source.next_request())?;
     }
@@ -183,7 +187,7 @@ mod tests {
             merge_rate: 0.25,
             ..LsmConfig::default()
         };
-        LsmTree::with_mem_device(cfg, TreeOptions { policy, ..TreeOptions::default() }, 1 << 17)
+        LsmTree::with_mem_device(cfg, TreeOptions::builder().policy(policy).build(), 1 << 17)
             .unwrap()
     }
 

@@ -124,10 +124,7 @@ mod tests {
         // Buckets are ~4% wide: quantiles must land within ~8%.
         for (q, expect) in [(0.5, 5_000f64), (0.9, 9_000.0), (0.99, 9_900.0)] {
             let got = h.quantile(q) as f64;
-            assert!(
-                (got - expect).abs() / expect < 0.08,
-                "q={q}: got {got}, expected ≈{expect}"
-            );
+            assert!((got - expect).abs() / expect < 0.08, "q={q}: got {got}, expected ≈{expect}");
         }
         assert_eq!(h.quantile(1.0), 10_000);
         assert!(h.quantile(0.0) >= 1);

@@ -26,7 +26,10 @@ pub mod tpc;
 pub mod uniform;
 pub mod zipf;
 
-pub use driver::{fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, CostReading, Workload};
+pub use driver::{
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, CostReading,
+    Workload,
+};
 pub use histogram::LatencyHistogram;
 pub use keyset::KeySet;
 pub use normal::Normal;

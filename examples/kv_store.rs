@@ -25,9 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..LsmConfig::default()
     };
     let device = Arc::new(FileDevice::create(&path, 1 << 15)?); // 128 MiB file
-    println!("device file: {} ({} blocks of {} B)", path.display(), device_capacity(&device), cfg.block_size);
+    println!(
+        "device file: {} ({} blocks of {} B)",
+        path.display(),
+        device_capacity(&device),
+        cfg.block_size
+    );
 
-    let opts = TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() };
+    let opts = TreeOptions::builder().policy(PolicySpec::ChooseBest).build();
     let mut store = LsmTree::new(cfg, opts, device)?;
 
     // A user-session table: key = user id, value = a session blob. Ids are
@@ -36,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("loading 30k user sessions ...");
     for n in 0..30_000u64 {
         let user = n * 37;
-        let blob = format!("{{\"user\":{user},\"token\":\"{:016x}\"}}", user.wrapping_mul(0x9e3779b97f4a7c15));
+        let blob = format!(
+            "{{\"user\":{user},\"token\":\"{:016x}\"}}",
+            user.wrapping_mul(0x9e3779b97f4a7c15)
+        );
         store.put(user, blob.into_bytes())?;
     }
     store.store().device().sync()?;

@@ -13,9 +13,12 @@
 use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, RequestSource, TreeOptions};
 use lsm_ssd_repro::workloads::{InsertRatio, Tpc};
 
-fn run_ledger(policy: PolicySpec, preserve: bool) -> Result<(u64, u64, usize), Box<dyn std::error::Error>> {
+fn run_ledger(
+    policy: PolicySpec,
+    preserve: bool,
+) -> Result<(u64, u64, usize), Box<dyn std::error::Error>> {
     let cfg = LsmConfig { k0_blocks: 32, cache_blocks: 128, ..LsmConfig::default() };
-    let opts = TreeOptions { policy, preserve_blocks: preserve, ..TreeOptions::default() };
+    let opts = TreeOptions::builder().policy(policy).preserve_blocks(preserve).build();
     let mut ledger = LsmTree::with_mem_device(cfg, opts, 1 << 16)?;
 
     // Phase 1: business ramps up — orders stream in.
@@ -60,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = LsmConfig { k0_blocks: 8, ..LsmConfig::default() };
     let mut ledger = LsmTree::with_mem_device(
         cfg,
-        TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
         1 << 14,
     )?;
     for order in 0..100u64 {
@@ -75,6 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     assert_eq!(open.first(), Some(&40));
     assert_eq!(open.len(), 60);
-    println!("\ndistrict (3,2): oldest open order #{}, {} open orders — delivery semantics hold", open[0], open.len());
+    println!(
+        "\ndistrict (3,2): oldest open order #{}, {} open orders — delivery semantics hold",
+        open[0],
+        open.len()
+    );
     Ok(())
 }

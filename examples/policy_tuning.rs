@@ -19,9 +19,12 @@ fn config() -> LsmConfig {
     LsmConfig { k0_blocks: 64, cache_blocks: 256, merge_rate: 0.05, ..LsmConfig::default() }
 }
 
-fn prepared(policy: PolicySpec, seed: u64) -> Result<(LsmTree, Uniform), Box<dyn std::error::Error>> {
+fn prepared(
+    policy: PolicySpec,
+    seed: u64,
+) -> Result<(LsmTree, Uniform), Box<dyn std::error::Error>> {
     let cfg = config();
-    let opts = TreeOptions { policy, ..TreeOptions::default() };
+    let opts = TreeOptions::builder().policy(policy).build();
     let mut tree = LsmTree::with_mem_device(cfg, opts, 1 << 16)?;
     let mut wl = Uniform::new(seed, 1_000_000_000, 100, InsertRatio::INSERT_ONLY);
     fill_to_bytes(&mut tree, &mut wl, 8 * 1024 * 1024)?; // 8 MB dataset (bottom ≈ 1/3 full)
@@ -38,15 +41,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let meter = CostMeter::start(&base_tree);
     run_requests(&mut base_tree, &mut base_wl, measure)?;
     let base = meter.read(&base_tree);
-    println!("ChooseBest steady state: {:.0} blocks written per MB of requests", base.writes_per_mb);
+    println!(
+        "ChooseBest steady state: {:.0} blocks written per MB of requests",
+        base.writes_per_mb
+    );
 
     // Tuned: learn (τ…, β) online, then measure the fitted Mixed policy.
     let (mut tree, mut wl) = prepared(PolicySpec::TestMixed, seed)?;
     println!("\nlearning Mixed parameters on a live index (height = {}) ...", tree.height());
-    let opts = LearnOptions { cycles_per_measurement: 1, max_requests_per_measurement: 5_000_000, ..LearnOptions::default() };
+    let opts = LearnOptions {
+        cycles_per_measurement: 1,
+        max_requests_per_measurement: 5_000_000,
+        ..LearnOptions::default()
+    };
     let report = learn_mixed_params(&mut tree, &mut wl, &opts)?;
     for m in &report.measurements {
-        println!("  probe: level L{} tau/beta {:.1} → C = {:.3} per block into L1", m.level, m.tau, m.cost);
+        println!(
+            "  probe: level L{} tau/beta {:.1} → C = {:.3} per block into L1",
+            m.level, m.tau, m.cost
+        );
     }
     println!(
         "fitted parameters: thresholds {:?}, beta = {}",

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ChooseBest is the paper's always-safe partial policy: each merge
     // picks the range of the overflowing level that overlaps the fewest
     // blocks of the next level.
-    let opts = TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() };
+    let opts = TreeOptions::builder().policy(PolicySpec::ChooseBest).build();
     let mut index = LsmTree::with_mem_device(cfg, opts, 1 << 16)?;
 
     // Insert 20k records, update some, delete some.
@@ -35,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(index.get(2)?.as_deref(), Some(&b"value-00002"[..]));
 
     // Ordered range scans merge all levels and hide deletions.
-    let window: Vec<u64> = index.scan(100, 120).map(|r| r.map(|(k, _)| k)).collect::<Result<_, _>>()?;
+    let window: Vec<u64> =
+        index.scan(100, 120).map(|r| r.map(|(k, _)| k)).collect::<Result<_, _>>()?;
     println!("live keys in [100, 120]: {window:?}");
 
     // The paper's metric: data-block writes, by level.

@@ -16,7 +16,7 @@
 //! use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
 //!
 //! let cfg = LsmConfig { k0_blocks: 4, ..LsmConfig::default() };
-//! let opts = TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() };
+//! let opts = TreeOptions::builder().policy(PolicySpec::ChooseBest).build();
 //! let mut index = LsmTree::with_mem_device(cfg, opts, 1 << 14).unwrap();
 //! index.put(1, &b"hello"[..]).unwrap();
 //! assert!(index.get(1).unwrap().is_some());

@@ -34,9 +34,7 @@ fn paths(tag: &str) -> (PathBuf, PathBuf) {
 #[test]
 fn checkpoint_then_restore_preserves_everything() {
     let (dev_path, man_path) = paths("basic");
-    let expected: Vec<(u64, bool)> = (0..4_000u64)
-        .map(|k| (k * 17 % 65_537, k % 3 != 0))
-        .collect();
+    let expected: Vec<(u64, bool)> = (0..4_000u64).map(|k| (k * 17 % 65_537, k % 3 != 0)).collect();
     {
         let dev = Arc::new(FileDevice::create_with_block_size(&dev_path, 1 << 14, 512).unwrap());
         let mut tree = LsmTree::new(cfg(), TreeOptions::default(), dev).unwrap();
@@ -81,12 +79,9 @@ fn restore_preserves_policy_cursors_and_bookkeeping() {
     let before;
     {
         let dev = Arc::new(FileDevice::create_with_block_size(&dev_path, 1 << 14, 512).unwrap());
-        let mut tree = LsmTree::new(
-            cfg(),
-            TreeOptions { policy: PolicySpec::RoundRobin, ..TreeOptions::default() },
-            dev,
-        )
-        .unwrap();
+        let mut tree =
+            LsmTree::new(cfg(), TreeOptions::builder().policy(PolicySpec::RoundRobin).build(), dev)
+                .unwrap();
         for k in 0..5_000u64 {
             tree.put(k * 11 % 99_991, payload_for(k, 20)).unwrap();
         }
@@ -100,7 +95,7 @@ fn restore_preserves_policy_cursors_and_bookkeeping() {
     let dev = Arc::new(FileDevice::open(&dev_path, 512).unwrap());
     let tree = LsmTree::restore(
         &man_path,
-        TreeOptions { policy: PolicySpec::RoundRobin, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::RoundRobin).build(),
         dev,
     )
     .unwrap();

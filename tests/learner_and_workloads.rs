@@ -4,8 +4,8 @@
 use lsm_ssd_repro::lsm_tree::policy::learn::{learn_mixed_params, LearnOptions};
 use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, RequestSource, TreeOptions};
 use lsm_ssd_repro::workloads::{
-    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
-    Tpc, Uniform,
+    fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio, Tpc,
+    Uniform,
 };
 
 fn cfg() -> LsmConfig {
@@ -29,7 +29,7 @@ fn learner_fits_beta_and_improves_over_choosebest_at_small_bottom() {
     let mut wl = Uniform::new(21, 1 << 30, 20, InsertRatio::INSERT_ONLY);
     let mut base = LsmTree::with_mem_device(
         cfg(),
-        TreeOptions { policy: PolicySpec::ChooseBest, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
         1 << 17,
     )
     .unwrap();
@@ -43,7 +43,7 @@ fn learner_fits_beta_and_improves_over_choosebest_at_small_bottom() {
     let mut wl = Uniform::new(21, 1 << 30, 20, InsertRatio::INSERT_ONLY);
     let mut tree = LsmTree::with_mem_device(
         cfg(),
-        TreeOptions { policy: PolicySpec::TestMixed, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::TestMixed).build(),
         1 << 17,
     )
     .unwrap();

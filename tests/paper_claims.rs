@@ -2,9 +2,10 @@
 //! these run in `cargo test` (debug) so they use reduced sizes, but they
 //! exercise the same code paths as the figure binaries.
 
-use lsm_ssd_repro::lsm_tree::{
-    LsmConfig, LsmTree, MergeKind, PolicySpec, TreeEvent, TreeOptions,
-};
+use std::sync::Arc;
+
+use lsm_ssd_repro::lsm_tree::observe::{Event, SinkHandle, VecSink};
+use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
 use lsm_ssd_repro::workloads::{
     fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, InsertRatio,
     Normal, Uniform, Workload,
@@ -29,7 +30,7 @@ fn cfg() -> LsmConfig {
 fn steady(policy: PolicySpec, preserve: bool, wl: &mut dyn Workload, dataset: u64) -> LsmTree {
     let mut tree = LsmTree::with_mem_device(
         cfg(),
-        TreeOptions { policy, preserve_blocks: preserve, record_events: false, ..TreeOptions::default() },
+        TreeOptions::builder().policy(policy).preserve_blocks(preserve).build(),
         1 << 17,
     )
     .unwrap();
@@ -82,7 +83,12 @@ fn choose_best_no_worse_than_full_on_uniform() {
 #[test]
 #[ignore = "paper-scale run; use cargo test --release -- --ignored"]
 fn choose_best_strictly_beats_full_paper_scale() {
-    let cfg = LsmConfig { k0_blocks: 250, cache_blocks: 256, merge_rate: 1.0 / 20.0, ..LsmConfig::default() };
+    let cfg = LsmConfig {
+        k0_blocks: 250,
+        cache_blocks: 256,
+        merge_rate: 1.0 / 20.0,
+        ..LsmConfig::default()
+    };
     let dataset = 20 * 1024 * 1024;
     let measure_req = volume_requests(100.0, cfg.record_size());
     let mut costs = Vec::new();
@@ -90,7 +96,7 @@ fn choose_best_strictly_beats_full_paper_scale() {
         let mut wl = Uniform::new(3, DOMAIN, 100, InsertRatio::INSERT_ONLY);
         let mut tree = LsmTree::with_mem_device(
             cfg.clone(),
-            TreeOptions { policy, ..TreeOptions::default() },
+            TreeOptions::builder().policy(policy).build(),
             1 << 17,
         )
         .unwrap();
@@ -142,10 +148,7 @@ fn choose_best_beats_rr_under_skew() {
     let mut cb = steady(PolicySpec::ChooseBest, true, &mut wl, dataset);
     let c_cb = measure(&mut cb, &mut wl, 6.0);
 
-    assert!(
-        c_cb < c_rr,
-        "ChooseBest ({c_cb:.0}/MB) must beat RR ({c_rr:.0}/MB) under skew"
-    );
+    assert!(c_cb < c_rr, "ChooseBest ({c_cb:.0}/MB) must beat RR ({c_rr:.0}/MB) under skew");
 }
 
 /// Theorem 2: under ChooseBest, *every* merge into `L_i` writes at most
@@ -155,14 +158,14 @@ fn choose_best_beats_rr_under_skew() {
 #[test]
 fn choose_best_per_merge_bound_theorem2() {
     let c = cfg();
+    let probe = Arc::new(VecSink::new());
     let mut tree = LsmTree::with_mem_device(
         c.clone(),
-        TreeOptions {
-            policy: PolicySpec::ChooseBest,
-            preserve_blocks: false, // preservation only lowers cost
-            record_events: true,
-            ..TreeOptions::default()
-        },
+        TreeOptions::builder()
+            .policy(PolicySpec::ChooseBest)
+            .preserve_blocks(false) // preservation only lowers cost
+            .sink(SinkHandle::new(Arc::clone(&probe) as _))
+            .build(),
         1 << 17,
     )
     .unwrap();
@@ -172,19 +175,20 @@ fn choose_best_per_merge_bound_theorem2() {
     run_requests(&mut tree, &mut wl, 60_000).unwrap();
 
     let mut checked = 0;
-    for ev in tree.take_events() {
-        if let TreeEvent::MergeInto { paper_level, kind: MergeKind::Partial, writes, .. } = ev {
-            let k_src = c.level_capacity_blocks(paper_level - 1) as f64;
-            let k_i = c.level_capacity_blocks(paper_level) as f64;
+    for ev in probe.drain() {
+        if let Event::MergeFinish { target_level, full: false, writes, .. } = ev {
+            let k_src = c.level_capacity_blocks(target_level - 1) as f64;
+            let k_i = c.level_capacity_blocks(target_level) as f64;
             // Effective merge rate: δK of the source clamps to one block
             // at this scale (the theorem's δ is the realized fraction).
-            let delta_eff = (c.merge_window_blocks(paper_level - 1) as f64 / k_src).max(c.merge_rate);
+            let delta_eff =
+                (c.merge_window_blocks(target_level - 1) as f64 / k_src).max(c.merge_rate);
             // δ(1/Γ + 1)·K_i = δ·(K_{i-1} + K_i); +1 window-rounding block,
             // +1 partial tail block, +2 seam fix-ups.
             let bound = delta_eff * (k_src + k_i) + 4.0;
             assert!(
                 (writes as f64) <= bound,
-                "merge into L{paper_level} wrote {writes} blocks > Theorem-2 bound {bound:.1}"
+                "merge into L{target_level} wrote {writes} blocks > Theorem-2 bound {bound:.1}"
             );
             checked += 1;
         }
@@ -202,13 +206,13 @@ fn preservation_reduces_writes_and_dominates_at_huge_payloads() {
     assert_eq!(big.block_capacity(), 1);
     let mut on = LsmTree::with_mem_device(
         big.clone(),
-        TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: true, record_events: false, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).preserve_blocks(true).build(),
         1 << 17,
     )
     .unwrap();
     let mut off = LsmTree::with_mem_device(
         big,
-        TreeOptions { policy: PolicySpec::ChooseBest, preserve_blocks: false, record_events: false, ..TreeOptions::default() },
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).preserve_blocks(false).build(),
         1 << 17,
     )
     .unwrap();
@@ -219,7 +223,10 @@ fn preservation_reduces_writes_and_dominates_at_huge_payloads() {
 
     let w_on = on.stats().total_blocks_written();
     let w_off = off.stats().total_blocks_written();
-    assert!(w_on < w_off / 2, "with B = 1, preservation should at least halve writes: {w_on} vs {w_off}");
+    assert!(
+        w_on < w_off / 2,
+        "with B = 1, preservation should at least halve writes: {w_on} vs {w_off}"
+    );
     assert!(on.stats().total_blocks_preserved() > 0);
 }
 
@@ -227,24 +234,29 @@ fn preservation_reduces_writes_and_dominates_at_huge_payloads() {
 /// equal cost in steady state (Figure 3's equal-height steps).
 #[test]
 fn full_policy_bottom_merges_are_equal_steps() {
+    let probe = Arc::new(VecSink::new());
     let mut tree = LsmTree::with_mem_device(
         cfg(),
-        TreeOptions { policy: PolicySpec::Full, preserve_blocks: false, record_events: true, ..TreeOptions::default() },
+        TreeOptions::builder()
+            .policy(PolicySpec::Full)
+            .preserve_blocks(false)
+            .sink(SinkHandle::new(Arc::clone(&probe) as _))
+            .build(),
         1 << 17,
     )
     .unwrap();
     let mut wl = Uniform::new(17, DOMAIN, 4, InsertRatio::INSERT_ONLY);
     fill_to_bytes(&mut tree, &mut wl, 150 * 1024).unwrap();
     reach_steady_state(&mut tree, &mut wl, 5_000_000).unwrap();
-    tree.take_events();
+    probe.drain();
     let bottom = tree.height() - 1;
     run_requests(&mut tree, &mut wl, 400_000).unwrap();
 
-    let steps: Vec<u64> = tree
-        .take_events()
+    let steps: Vec<u64> = probe
+        .drain()
         .into_iter()
         .filter_map(|e| match e {
-            TreeEvent::MergeInto { paper_level, writes, .. } if paper_level == bottom => {
+            Event::MergeFinish { target_level, writes, .. } if target_level == bottom => {
                 Some(writes)
             }
             _ => None,

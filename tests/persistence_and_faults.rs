@@ -29,7 +29,8 @@ fn temp_path(tag: &str) -> PathBuf {
 fn file_device_runs_the_full_index() {
     let path = temp_path("full-index");
     {
-        let dev = Arc::new(FileDevice::create_with_block_size(&path, 1 << 14, cfg().block_size).unwrap());
+        let dev =
+            Arc::new(FileDevice::create_with_block_size(&path, 1 << 14, cfg().block_size).unwrap());
         let mut tree = LsmTree::new(cfg(), TreeOptions::default(), dev).unwrap();
         for k in 0..5_000u64 {
             tree.put(k * 11, payload_for(k * 11, 20)).unwrap();
@@ -64,7 +65,7 @@ fn wear_concentrates_under_more_writes() {
         let dev = Arc::new(MemDevice::with_block_size(1 << 14, 512));
         let mut tree = LsmTree::new(
             cfg(),
-            TreeOptions { policy, preserve_blocks: true, record_events: false, ..TreeOptions::default() },
+            TreeOptions::builder().policy(policy).preserve_blocks(true).build(),
             Arc::clone(&dev) as Arc<dyn BlockDevice>,
         )
         .unwrap();
@@ -115,12 +116,9 @@ fn run_with_cache(cache_blocks: usize) -> (Vec<u64>, u64) {
 #[test]
 fn injected_write_failure_surfaces_as_error() {
     let dev = Arc::new(MemDevice::with_block_size(1 << 14, 512));
-    let mut tree = LsmTree::new(
-        cfg(),
-        TreeOptions::default(),
-        Arc::clone(&dev) as Arc<dyn BlockDevice>,
-    )
-    .unwrap();
+    let mut tree =
+        LsmTree::new(cfg(), TreeOptions::default(), Arc::clone(&dev) as Arc<dyn BlockDevice>)
+            .unwrap();
     // Fill L0 to one record below overflow so the next put merges.
     let cap = tree.config().l0_capacity_records();
     for k in 0..(cap as u64 - 1) {

@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched` — with a
+//! simple wall-clock median instead of criterion's statistical engine.
+//! Results print as `group/name  <time>/iter`; there is no HTML report,
+//! no outlier analysis, and measurement/warm-up times are treated as
+//! upper bounds rather than targets so runs stay quick.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _priv: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), measurement_time: Duration::from_millis(200) }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Cap the budget: the stub reports a rough figure, not statistics.
+        self.measurement_time = d.min(Duration::from_millis(300));
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { budget: self.measurement_time, total: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        b.report(&self.name, &name.to_string());
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { budget: self.measurement_time, total: Duration::ZERO, iters: 0 };
+        f(&mut b, input);
+        b.report(&self.name, &id.0);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up iteration, then time until the budget runs out.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters.max(1);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let overall = Instant::now();
+        while total < self.budget && overall.elapsed() < 4 * self.budget && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.total = total;
+        self.iters = iters.max(1);
+    }
+
+    fn report(&self, group: &str, name: &str) {
+        let per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+        let human = if per_iter >= 1e9 {
+            format!("{:.3} s", per_iter / 1e9)
+        } else if per_iter >= 1e6 {
+            format!("{:.3} ms", per_iter / 1e6)
+        } else if per_iter >= 1e3 {
+            format!("{:.3} µs", per_iter / 1e3)
+        } else {
+            format!("{per_iter:.0} ns")
+        };
+        println!("bench {label:<50} {human}/iter ({} iters)", self.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,499 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest the workspace tests use: the
+//! `proptest!`/`prop_oneof!`/`prop_assert*!`/`prop_assume!` macros, the
+//! `Strategy` trait with `prop_map` and `boxed`, `any::<T>()`, integer
+//! range strategies, tuple strategies, and `prop::collection::{vec,
+//! btree_map, btree_set}`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case panics with the generated inputs'
+//!   seed; there is no minimization pass.
+//! - **Deterministic seeding.** Case `i` of test `f` derives its RNG seed
+//!   from `fnv(f) + i`, so failures reproduce exactly across runs.
+//! - `prop_assert*!` maps to `assert*!` (panic instead of `Err`).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator used to drive strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D123_4567 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Rejection sampling keeps small ranges unbiased.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
+    }
+
+    pub fn size_in(&mut self, range: &Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+/// Stable seed for a named test, mixed with the case index by the
+/// `proptest!` macro expansion.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------
+
+/// Mirror of `proptest::test_runner::Config` with the one field the
+/// workspace sets. Defaults to fewer cases than upstream (256) to keep
+/// the offline suite fast.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_local_rejects: u32,
+    pub max_global_rejects: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 32,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+            max_shrink_iters: 4_096,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-valued strategies; built by `prop_oneof!`.
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------
+
+/// Types with a full-domain "arbitrary" strategy via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `A`'s domain.
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample from empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                (self.start as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+// ---------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.size_in(&self.size);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.size_in(&self.size);
+            let mut out = BTreeSet::new();
+            // Duplicate draws would undershoot the requested size; retry a
+            // bounded number of times so narrow domains still terminate.
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 10 * n + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.size_in(&self.size);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 10 * n + 100 {
+                out.insert(self.keys.generate(rng), self.values.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Run each contained test function over `cases` generated inputs.
+///
+/// Unlike upstream proptest, the `#[test]` attribute on each function is
+/// passed through verbatim (the workspace tests all write it explicitly).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::test_seed(stringify!($name));
+            for __case in 0..__cfg.cases as u64 {
+                let mut __rng = $crate::TestRng::new(
+                    __seed.wrapping_add(__case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current generated case when its inputs don't satisfy a
+/// precondition. Expands to `continue` in the per-case loop generated by
+/// `proptest!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+        let s = prop::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16 })]
+
+        /// Macro self-test: bindings, assume, and oneof all expand.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flag in any::<bool>()) {
+            prop_assume!(x != 13);
+            let y = prop_oneof![2 => (0u64..10), 1 => (50u64..60)].generate(
+                &mut crate::TestRng::new(x),
+            );
+            prop_assert!(y < 10 || (50..60).contains(&y));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+}
