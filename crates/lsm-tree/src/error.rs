@@ -4,6 +4,8 @@ use std::fmt;
 
 use sim_ssd::DeviceError;
 
+use crate::record::Key;
+
 /// Result alias for tree operations.
 pub type Result<T> = std::result::Result<T, LsmError>;
 
@@ -26,6 +28,12 @@ pub enum LsmError {
     Config(String),
     /// An internal invariant was violated (a bug; surfaced instead of UB).
     Invariant(String),
+    /// Data was lost to unrecoverable corruption: the listed key ranges may
+    /// be missing. The tree stays usable for everything outside them.
+    Degraded {
+        /// Inclusive `[min, max]` key ranges whose records may be lost.
+        ranges: Vec<(Key, Key)>,
+    },
 }
 
 impl fmt::Display for LsmError {
@@ -39,6 +47,13 @@ impl fmt::Display for LsmError {
             ),
             LsmError::Config(m) => write!(f, "invalid configuration: {m}"),
             LsmError::Invariant(m) => write!(f, "invariant violation: {m}"),
+            LsmError::Degraded { ranges } => {
+                write!(f, "degraded: {} key range(s) may be lost:", ranges.len())?;
+                for (lo, hi) in ranges {
+                    write!(f, " [{lo},{hi}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }

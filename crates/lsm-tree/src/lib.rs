@@ -51,6 +51,7 @@ pub mod shared;
 pub mod stats;
 pub mod stepped;
 pub mod store;
+pub mod torture;
 pub mod tree;
 pub mod verify;
 pub mod wal;
@@ -69,6 +70,7 @@ pub use record::{Key, OpKind, Record, Request, RequestSource};
 pub use shared::SharedLsmTree;
 pub use stats::{LevelStats, MergeKind, TreeStats};
 pub use stepped::SteppedMergeTree;
-pub use store::Store;
+pub use store::{RetryPolicy, Store};
+pub use torture::{run_crash_cycle, TortureConfig, TortureReport};
 pub use tree::{LsmTree, TreeOptions, TreeOptionsBuilder};
 pub use wal::{DurableLsmTree, WriteAheadLog};

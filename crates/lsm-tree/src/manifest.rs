@@ -284,9 +284,15 @@ impl LsmTree {
     /// Write a checkpoint manifest for this index to `path` (atomically:
     /// written to a temp file and renamed). The device itself is synced
     /// first so the manifest never references unwritten blocks.
+    ///
+    /// Crash-safe ordering: blocks referenced by the *previous* durable
+    /// manifest are never trimmed before the new manifest's rename commits
+    /// (the store defers those frees), so a power cut at any point leaves a
+    /// manifest on disk whose blocks are all intact.
     pub fn checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<()> {
-        self.store().device().sync()?;
-        let bytes = Manifest::capture(self).encode();
+        self.store().sync()?;
+        let manifest = Manifest::capture(self);
+        let bytes = manifest.encode();
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
         {
@@ -295,6 +301,9 @@ impl LsmTree {
             f.sync_all().map_err(sim_ssd::DeviceError::Io)?;
         }
         std::fs::rename(&tmp, path).map_err(sim_ssd::DeviceError::Io)?;
+        // The rename committed: the new manifest's blocks become the
+        // protected set and frees deferred on behalf of the old one happen.
+        self.store().finish_checkpoint(manifest.used_block_ids())?;
         self.sink()
             .emit_with(|| observe::Event::Checkpoint { live_blocks: self.store().live_blocks() });
         Ok(())
@@ -327,7 +336,8 @@ impl LsmTree {
             cfg.cache_blocks,
             cfg.bloom_bits_per_key,
             manifest.used_block_ids(),
-        );
+        )
+        .with_retry(opts.retry);
 
         let mut levels = Vec::with_capacity(manifest.levels.len().max(1));
         for (idx, snap) in manifest.levels.iter().enumerate() {

@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use crate::block::{BlockHandle, DataBlock};
-use crate::error::Result;
+use crate::error::{LsmError, Result};
 use crate::level::Level;
 use crate::record::{consolidate, Key, Record};
 use crate::store::Store;
@@ -107,6 +107,10 @@ struct Stream<'a> {
     logical_reads: u64,
     /// Blocks that were opened (their storage is released after the merge).
     opened: Vec<BlockHandle>,
+    /// Blocks that failed their integrity check while being opened: their
+    /// records are lost. The merge drops them from the structure (read
+    /// repair) and never frees their ids.
+    lost: Vec<BlockHandle>,
 }
 
 impl<'a> Stream<'a> {
@@ -123,6 +127,7 @@ impl<'a> Stream<'a> {
                 is_blocks: false,
                 logical_reads: 0,
                 opened: Vec::new(),
+                lost: Vec::new(),
             },
             MergeSource::Blocks(handles) => Stream {
                 store,
@@ -135,6 +140,7 @@ impl<'a> Stream<'a> {
                 is_blocks: true,
                 logical_reads: 0,
                 opened: Vec::new(),
+                lost: Vec::new(),
             },
         }
     }
@@ -168,19 +174,31 @@ impl<'a> Stream<'a> {
         h
     }
 
-    fn next_record(&mut self) -> Result<Record> {
+    /// The next record, or `Ok(None)` when the block that was about to be
+    /// opened turned out to be corrupt: the stream skips past it (its
+    /// records are lost) and the caller must re-evaluate the stream heads.
+    fn next_record(&mut self) -> Result<Option<Record>> {
         if !self.is_blocks {
             let r = self.recs[self.rpos].clone();
             self.rpos += 1;
-            return Ok(r);
+            return Ok(Some(r));
         }
         if self.current.is_none() {
             let h = self.handles[self.hpos].clone();
-            let block = self.store.read_block(&h)?;
-            self.logical_reads += 1;
-            self.opened.push(h);
-            self.current = Some(block);
-            self.cpos = 0;
+            match self.store.read_block(&h) {
+                Ok(block) => {
+                    self.logical_reads += 1;
+                    self.opened.push(h);
+                    self.current = Some(block);
+                    self.cpos = 0;
+                }
+                Err(LsmError::Degraded { .. }) => {
+                    self.lost.push(h);
+                    self.hpos += 1;
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
         }
         let block = self.current.as_ref().expect("just opened");
         let r = block.records[self.cpos].clone();
@@ -190,7 +208,7 @@ impl<'a> Stream<'a> {
             self.cpos = 0;
             self.hpos += 1;
         }
-        Ok(r)
+        Ok(Some(r))
     }
 }
 
@@ -285,9 +303,12 @@ impl<'a> MergeEngine<'a> {
                 (Some(x), Some(y)) => {
                     if x == y {
                         // Consolidate the colliding pair: X is the newer level.
-                        let upper = xs.next_record()?;
+                        let Some(upper) = xs.next_record()? else {
+                            continue; // X's block was lost; Y untouched.
+                        };
+                        // A lost Y block simply contributes no older record.
                         let lower = ys.next_record()?;
-                        if let Some(r) = consolidate(upper, Some(lower), may_exist_below(x)) {
+                        if let Some(r) = consolidate(upper, lower, may_exist_below(x)) {
                             self.push_record(&mut buffer, &mut out, r, &mut outcome)?;
                         }
                         continue;
@@ -338,7 +359,9 @@ impl<'a> MergeEngine<'a> {
             }
 
             // Ordinary path: stream one record.
-            let r = if from_x { xs.next_record()? } else { ys.next_record()? };
+            let Some(r) = (if from_x { xs.next_record()? } else { ys.next_record()? }) else {
+                continue; // The head block was lost; re-evaluate the heads.
+            };
             if let Some(keep) = consolidate(r, None, may_exist_below(key)) {
                 self.push_record(&mut buffer, &mut out, keep, &mut outcome)?;
             }
@@ -362,18 +385,33 @@ impl<'a> MergeEngine<'a> {
                 };
             if !prev_ok && !out.is_empty() {
                 let prev = out.pop().expect("checked non-empty");
-                let prev_block = self.store.read_block(&prev)?;
-                outcome.reads += 1;
-                let mut fused: Vec<Record> = prev_block.records.clone();
-                let fused_from_buffer = buffer.len() as u64;
-                fused.append(&mut buffer);
-                w -= prev.empty_slots(self.b) as i64;
-                self.store.free_block(&prev)?;
-                w += (self.b - fused.len()) as i64;
-                // write_out re-counts prev's records; compensate so
-                // out_records stays the number of surviving records.
-                outcome.out_records -= fused.len() as u64 - fused_from_buffer;
-                self.write_out(fused, &mut out, &mut outcome)?;
+                match self.store.read_block(&prev) {
+                    Ok(prev_block) => {
+                        outcome.reads += 1;
+                        let mut fused: Vec<Record> = prev_block.records.clone();
+                        let fused_from_buffer = buffer.len() as u64;
+                        fused.append(&mut buffer);
+                        w -= prev.empty_slots(self.b) as i64;
+                        self.store.free_block(&prev)?;
+                        w += (self.b - fused.len()) as i64;
+                        // write_out re-counts prev's records; compensate so
+                        // out_records stays the number of surviving records.
+                        outcome.out_records -= fused.len() as u64 - fused_from_buffer;
+                        self.write_out(fused, &mut out, &mut outcome)?;
+                    }
+                    Err(LsmError::Degraded { .. }) => {
+                        // A freshly adopted block turned out corrupt: drop
+                        // it (its records are lost) and flush the buffer on
+                        // its own. The pairwise seam no longer exists.
+                        outcome.out_records -= u64::from(prev.count);
+                        w -= prev.empty_slots(self.b) as i64;
+                        self.store.note_read_repair(prev.id.raw());
+                        let flushed = std::mem::take(&mut buffer);
+                        w += (self.b - flushed.len()) as i64;
+                        self.write_out(flushed, &mut out, &mut outcome)?;
+                    }
+                    Err(e) => return Err(e),
+                }
             } else {
                 let flushed = std::mem::take(&mut buffer);
                 w += (self.b - flushed.len()) as i64;
@@ -386,11 +424,21 @@ impl<'a> MergeEngine<'a> {
         for h in &ys.opened {
             w -= h.empty_slots(self.b) as i64;
         }
+        // A lost Y block also left the target, taking its empty slots (and,
+        // regrettably, its records) with it.
+        for h in &ys.lost {
+            w -= h.empty_slots(self.b) as i64;
+        }
         outcome.reads += xs.logical_reads + ys.logical_reads;
 
-        // Release consumed input blocks.
+        // Release consumed input blocks. Lost blocks are *not* freed —
+        // their ids stay quarantined — but dropping them from the structure
+        // is the read repair, which we record here.
         for h in xs.opened.iter().chain(ys.opened.iter()) {
             self.store.free_block(h)?;
+        }
+        for h in xs.lost.iter().chain(ys.lost.iter()) {
+            self.store.note_read_repair(h.id.raw());
         }
 
         // Splice Z into the target where Y was.
@@ -522,8 +570,30 @@ impl<'a> MergeEngine<'a> {
             return Ok(None);
         }
         let (a, b) = (a.clone(), b.clone());
-        let block_a = self.store.read_block(&a)?;
-        let block_b = self.store.read_block(&b)?;
+        // If either block of the pair is corrupt, fusing is impossible:
+        // drop the corrupt block from the level instead (read repair). The
+        // level shrinks by one either way, so callers' index arithmetic
+        // stays valid.
+        let block_a = match self.store.read_block(&a) {
+            Ok(block) => block,
+            Err(LsmError::Degraded { .. }) => {
+                level.remove_range(idx - 1..idx);
+                self.store.note_read_repair(a.id.raw());
+                *w -= a.empty_slots(self.b) as i64;
+                return Ok(Some(CompactOutcome { writes: 0, reads: 0 }));
+            }
+            Err(e) => return Err(e),
+        };
+        let block_b = match self.store.read_block(&b) {
+            Ok(block) => block,
+            Err(LsmError::Degraded { .. }) => {
+                level.remove_range(idx..idx + 1);
+                self.store.note_read_repair(b.id.raw());
+                *w -= b.empty_slots(self.b) as i64;
+                return Ok(Some(CompactOutcome { writes: 0, reads: 0 }));
+            }
+            Err(e) => return Err(e),
+        };
         let mut records = Vec::with_capacity(block_a.len() + block_b.len());
         records.extend(block_a.records.iter().cloned());
         records.extend(block_b.records.iter().cloned());
@@ -544,8 +614,18 @@ impl<'a> MergeEngine<'a> {
         let mut outcome = CompactOutcome::default();
         let mut buffer: Vec<Record> = Vec::with_capacity(self.b);
         let mut new_handles: Vec<BlockHandle> = Vec::with_capacity(old.len());
+        let mut lost: Vec<&BlockHandle> = Vec::new();
         for h in &old {
-            let block = self.store.read_block(h)?;
+            let block = match self.store.read_block(h) {
+                Ok(block) => block,
+                Err(LsmError::Degraded { .. }) => {
+                    // The block's records are lost; compaction drops it
+                    // from the level (read repair) and keeps going.
+                    lost.push(h);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             outcome.reads += 1;
             for r in &block.records {
                 buffer.push(r.clone());
@@ -560,6 +640,10 @@ impl<'a> MergeEngine<'a> {
             outcome.writes += 1;
         }
         for h in &old {
+            if lost.iter().any(|l| l.id == h.id) {
+                self.store.note_read_repair(h.id.raw());
+                continue;
+            }
             self.store.free_block(h)?;
         }
         level.insert_at(0, new_handles);
@@ -871,6 +955,62 @@ mod tests {
         // Second merge into the same level keeps the invariant.
         eng.merge_into(&mut target, &[], MergeSource::Records(puts(100..120u64))).unwrap();
         assert_eq!(target.waste_delta as u64, target.empty_slots(B));
+    }
+
+    #[test]
+    fn corrupt_y_block_is_dropped_and_repaired() {
+        use sim_ssd::{FaultDevice, FaultPlan, MemDevice};
+        let inner = Arc::new(MemDevice::with_block_size(4096, BS));
+        let dev = Arc::new(FaultDevice::new(inner, 7));
+        // Cache of one block so device reads actually happen.
+        let s = Store::new(Arc::clone(&dev) as Arc<dyn sim_ssd::BlockDevice>, 1, 0);
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let h0 = s.write_block(puts(0..14u64)).unwrap();
+        dev.set_plan(FaultPlan::none().bit_flip_rate(1.0));
+        let h1 = s.write_block(puts(20..34u64)).unwrap();
+        dev.set_plan(FaultPlan::none());
+        let mut target = Level::new();
+        target.push(h0);
+        target.push(h1.clone());
+        // Evict h1's (clean) cached copy so the merge reads the corrupt frame.
+        let _ = s.write_block(puts(500..514u64)).unwrap();
+
+        let recs = vec![put(5), put(25)];
+        let out = eng.merge_into(&mut target, &[], MergeSource::Records(recs)).unwrap();
+
+        // h1's 14 records are lost; the overwrite of key 25 survives.
+        assert_eq!(target.records(), 15);
+        let keys = read_all_keys(&s, &target);
+        assert_eq!(keys, (0..14u64).chain([25]).collect::<Vec<_>>());
+        assert!(target.validate(B, EPS).is_ok());
+        assert_eq!(out.out_records, 15);
+        // The lost block is quarantined, repaired, and never referenced.
+        assert_eq!(s.repaired_ids(), vec![h1.id.raw()]);
+        assert_eq!(s.degraded_ranges(), vec![(20, 33)]);
+        assert!(target.handles().iter().all(|h| h.id != h1.id));
+    }
+
+    #[test]
+    fn compaction_drops_corrupt_blocks() {
+        use sim_ssd::{FaultDevice, FaultPlan, MemDevice};
+        let inner = Arc::new(MemDevice::with_block_size(4096, BS));
+        let dev = Arc::new(FaultDevice::new(inner, 11));
+        let s = Store::new(Arc::clone(&dev) as Arc<dyn sim_ssd::BlockDevice>, 1, 0);
+        let eng = MergeEngine::new(&s, B, EPS, true);
+        let mut level = Level::new();
+        level.push(s.write_block(puts(0..6u64)).unwrap());
+        dev.set_plan(FaultPlan::none().bit_flip_rate(1.0));
+        let bad = s.write_block(puts(20..26u64)).unwrap();
+        dev.set_plan(FaultPlan::none());
+        level.push(bad.clone());
+        level.push(s.write_block(puts(40..46u64)).unwrap());
+        let _ = s.write_block(puts(500..506u64)).unwrap(); // evict
+
+        let out = eng.compact_level(&mut level).unwrap();
+        assert_eq!(out.reads, 2, "corrupt block contributes no read");
+        assert_eq!(level.records(), 12);
+        assert_eq!(read_all_keys(&s, &level), (0..6u64).chain(40..46).collect::<Vec<_>>());
+        assert_eq!(s.repaired_ids(), vec![bad.id.raw()]);
     }
 
     #[test]

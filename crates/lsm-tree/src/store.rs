@@ -4,17 +4,58 @@
 //! Every data-block write in the whole index funnels through
 //! [`Store::write_block`], so the device's write counter is exactly the
 //! paper's cost metric.
+//!
+//! The store is also where device failures are absorbed:
+//!
+//! * **Transient errors** ([`sim_ssd::DeviceError::is_transient`]) are
+//!   retried with bounded exponential backoff ([`RetryPolicy`]); each retry
+//!   emits [`observe::Event::RetryAttempt`].
+//! * **Corruption** (device-level ECC [`sim_ssd::DeviceError::Corrupt`] or
+//!   a block-checksum mismatch caught by the codec) quarantines the block:
+//!   its id is never freed or reused, the failure surfaces as
+//!   [`LsmError::Degraded`] naming the lost key range, and a later merge
+//!   drops the block from its level (*read repair*).
+//! * **Checkpoint-referenced blocks are never trimmed early**: blocks the
+//!   last durable manifest references stay protected — a logical free is
+//!   deferred until the next manifest rename succeeds, so a power cut
+//!   between a device sync and the manifest rename can always recover from
+//!   the old manifest.
 
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
 
+use observe::{Event, SinkCell};
 use parking_lot::Mutex;
 
-use sim_ssd::{BlockAllocator, BlockDevice, LruCache, MemDevice};
+use sim_ssd::{BlockAllocator, BlockDevice, BlockId, LruCache, MemDevice};
 
 use crate::block::{BlockHandle, DataBlock};
 use crate::bloom::BloomFilter;
-use crate::error::Result;
-use crate::record::Record;
+use crate::error::{LsmError, Result};
+use crate::record::{Key, Record};
+
+/// Bounded retry-with-backoff for transient device errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is `base_backoff_us << (n-1)`
+    /// microseconds. Zero disables sleeping (tests).
+    pub base_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_backoff_us: 50 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: every device error surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, base_backoff_us: 0 }
+    }
+}
 
 /// Storage services for one LSM index.
 pub struct Store {
@@ -22,6 +63,17 @@ pub struct Store {
     alloc: BlockAllocator,
     cache: Mutex<LruCache<sim_ssd::BlockId, Arc<DataBlock>>>,
     bloom_bits_per_key: usize,
+    retry: RetryPolicy,
+    /// Blocks that failed an integrity check: id → lost key range. Their
+    /// ids are never freed or reused.
+    quarantined: Mutex<BTreeMap<u64, (Key, Key)>>,
+    /// Quarantined blocks a merge has since dropped from the structure.
+    repaired: Mutex<BTreeSet<u64>>,
+    /// Blocks referenced by the last durable manifest: trims deferred.
+    protected: Mutex<HashSet<u64>>,
+    /// Logically freed blocks waiting for the next checkpoint to trim.
+    deferred_free: Mutex<Vec<BlockId>>,
+    sink: SinkCell,
 }
 
 impl Store {
@@ -33,12 +85,8 @@ impl Store {
         bloom_bits_per_key: usize,
     ) -> Self {
         let capacity = device.capacity();
-        Store {
-            device,
-            alloc: BlockAllocator::new(capacity),
-            cache: Mutex::new(LruCache::new(cache_blocks.max(1))),
-            bloom_bits_per_key,
-        }
+        let alloc = BlockAllocator::new(capacity);
+        Self::assemble_parts(device, alloc, cache_blocks, bloom_bits_per_key, HashSet::new())
     }
 
     /// Convenience constructor: in-memory device of `capacity_blocks`.
@@ -48,7 +96,8 @@ impl Store {
     }
 
     /// Attach to a device whose `used` block ids already hold live data
-    /// (recovery from a manifest).
+    /// (recovery from a manifest). The used blocks start out protected —
+    /// they are what the durable manifest references.
     pub fn with_allocated<I: IntoIterator<Item = u64>>(
         device: Arc<dyn BlockDevice>,
         cache_blocks: usize,
@@ -56,12 +105,42 @@ impl Store {
         used: I,
     ) -> Self {
         let capacity = device.capacity();
+        let used: Vec<u64> = used.into_iter().collect();
+        let protected: HashSet<u64> = used.iter().copied().collect();
+        let alloc = BlockAllocator::with_allocated(capacity, used);
+        Self::assemble_parts(device, alloc, cache_blocks, bloom_bits_per_key, protected)
+    }
+
+    fn assemble_parts(
+        device: Arc<dyn BlockDevice>,
+        alloc: BlockAllocator,
+        cache_blocks: usize,
+        bloom_bits_per_key: usize,
+        protected: HashSet<u64>,
+    ) -> Self {
         Store {
             device,
-            alloc: BlockAllocator::with_allocated(capacity, used),
+            alloc,
             cache: Mutex::new(LruCache::new(cache_blocks.max(1))),
             bloom_bits_per_key,
+            retry: RetryPolicy::default(),
+            quarantined: Mutex::new(BTreeMap::new()),
+            repaired: Mutex::new(BTreeSet::new()),
+            protected: Mutex::new(protected),
+            deferred_free: Mutex::new(Vec::new()),
+            sink: SinkCell::new(),
         }
+    }
+
+    /// Replace the transient-error retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The underlying device.
@@ -70,21 +149,44 @@ impl Store {
     }
 
     /// Register an event sink on the storage layers: the buffer cache
-    /// reports hits/misses/evictions and the device reports reads, writes,
-    /// trims and syncs, all into the same sink.
+    /// reports hits/misses/evictions, the device reports reads, writes,
+    /// trims and syncs, and the store itself reports retries, quarantines
+    /// and read repairs, all into the same sink.
     pub fn set_sink(&self, sink: observe::SinkHandle) {
         self.device.set_sink(sink.clone());
-        self.cache.lock().set_sink(sink);
+        self.cache.lock().set_sink(sink.clone());
+        self.sink.set(sink);
+    }
+
+    /// Run `op`, retrying transient device errors per the [`RetryPolicy`].
+    fn with_retries<T>(&self, mut op: impl FnMut() -> sim_ssd::Result<T>) -> sim_ssd::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
+                    attempt += 1;
+                    self.sink.emit_with(|| Event::RetryAttempt { attempt });
+                    if self.retry.base_backoff_us > 0 {
+                        let us = self.retry.base_backoff_us << (attempt - 1).min(16);
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Allocate, encode, and write a new data block; returns its fence
-    /// entry. Exactly one device write.
+    /// entry. Exactly one device write when no fault fires; transient write
+    /// errors are retried against the *same* block id, so the physical
+    /// layout of a faulty-but-recovered run matches the fault-free run.
     pub fn write_block(&self, records: Vec<Record>) -> Result<BlockHandle> {
         debug_assert!(!records.is_empty(), "refusing to write an empty data block");
         let block = DataBlock::new(records);
         let frame = block.encode(self.device.block_size())?;
         let id = self.alloc.alloc()?;
-        if let Err(e) = self.device.write(id, &frame) {
+        if let Err(e) = self.with_retries(|| self.device.write(id, &frame)) {
             self.alloc.free(id);
             return Err(e.into());
         }
@@ -99,24 +201,108 @@ impl Store {
         Ok(handle)
     }
 
-    /// Read a block through the cache.
+    /// Read a block through the cache. Transient device errors are retried;
+    /// corruption (device ECC or codec checksum) quarantines the block and
+    /// surfaces as [`LsmError::Degraded`] naming the lost key range.
     pub fn read_block(&self, handle: &BlockHandle) -> Result<Arc<DataBlock>> {
         if let Some(hit) = self.cache.lock().get(&handle.id) {
             return Ok(hit);
         }
-        let frame = self.device.read(handle.id)?;
-        let block = Arc::new(DataBlock::decode(&frame)?);
+        let frame = match self.with_retries(|| self.device.read(handle.id)) {
+            Ok(frame) => frame,
+            Err(sim_ssd::DeviceError::Corrupt(_)) => return Err(self.quarantine(handle)),
+            Err(e) => return Err(e.into()),
+        };
+        let block = match DataBlock::decode(&frame) {
+            Ok(b) => Arc::new(b),
+            Err(LsmError::Codec(_)) => return Err(self.quarantine(handle)),
+            Err(e) => return Err(e),
+        };
         self.cache.lock().insert(handle.id, Arc::clone(&block));
         Ok(block)
     }
 
+    /// Record `handle` as lost and build the `Degraded` error for it.
+    fn quarantine(&self, handle: &BlockHandle) -> LsmError {
+        let fresh =
+            self.quarantined.lock().insert(handle.id.raw(), (handle.min, handle.max)).is_none();
+        if fresh {
+            let block = handle.id.raw();
+            self.sink.emit_with(|| Event::BlockQuarantined { block });
+        }
+        LsmError::Degraded { ranges: vec![(handle.min, handle.max)] }
+    }
+
     /// Release a block: TRIM on the device, id back to the allocator,
-    /// cached copy dropped.
+    /// cached copy dropped. Quarantined blocks are never released (their
+    /// ids leak by design — reusing a suspect frame risks silent aliasing),
+    /// and blocks the last durable manifest references are only released
+    /// after the next checkpoint commits.
     pub fn free_block(&self, handle: &BlockHandle) -> Result<()> {
         self.cache.lock().remove(&handle.id);
-        self.device.trim(handle.id)?;
+        if self.quarantined.lock().contains_key(&handle.id.raw()) {
+            return Ok(());
+        }
+        if self.protected.lock().contains(&handle.id.raw()) {
+            self.deferred_free.lock().push(handle.id);
+            return Ok(());
+        }
+        self.with_retries(|| self.device.trim(handle.id))?;
         self.alloc.free(handle.id);
         Ok(())
+    }
+
+    /// Flush the device, retrying transient sync errors.
+    pub fn sync(&self) -> Result<()> {
+        self.with_retries(|| self.device.sync())?;
+        Ok(())
+    }
+
+    /// A checkpoint manifest referencing `ids` just became durable
+    /// (renamed into place): those blocks are now the protected set, and
+    /// every deferred free whose block the new manifest no longer
+    /// references can finally be trimmed and recycled.
+    pub fn finish_checkpoint<I: IntoIterator<Item = u64>>(&self, ids: I) -> Result<()> {
+        let new_protected: HashSet<u64> = ids.into_iter().collect();
+        let pending = {
+            let mut protected = self.protected.lock();
+            *protected = new_protected;
+            let mut deferred = self.deferred_free.lock();
+            let (free_now, keep): (Vec<BlockId>, Vec<BlockId>) =
+                deferred.drain(..).partition(|id| !protected.contains(&id.raw()));
+            *deferred = keep;
+            free_now
+        };
+        for id in pending {
+            self.with_retries(|| self.device.trim(id))?;
+            self.alloc.free(id);
+        }
+        Ok(())
+    }
+
+    /// A merge or compaction dropped quarantined block `id` from its level:
+    /// the structure no longer references it.
+    pub fn note_read_repair(&self, id: u64) {
+        if self.quarantined.lock().contains_key(&id) && self.repaired.lock().insert(id) {
+            self.sink.emit_with(|| Event::ReadRepair { block: id });
+        }
+    }
+
+    /// Key ranges that may have been lost to quarantined blocks, in block
+    /// order. Empty on a healthy tree.
+    pub fn degraded_ranges(&self) -> Vec<(Key, Key)> {
+        self.quarantined.lock().values().copied().collect()
+    }
+
+    /// Ids of quarantined blocks (never reused).
+    pub fn quarantined_ids(&self) -> Vec<u64> {
+        self.quarantined.lock().keys().copied().collect()
+    }
+
+    /// Ids of quarantined blocks already dropped from the structure by a
+    /// merge. A level referencing one of these is an invariant violation.
+    pub fn repaired_ids(&self) -> Vec<u64> {
+        self.repaired.lock().iter().copied().collect()
     }
 
     /// Device I/O counters (reads/writes/trims so far).
@@ -144,6 +330,8 @@ impl Store {
 mod tests {
     use super::*;
     use crate::record::Record;
+    use observe::SinkHandle;
+    use sim_ssd::{FaultDevice, FaultPlan};
 
     fn store() -> Store {
         Store::in_memory(64, 256, 8)
@@ -151,6 +339,13 @@ mod tests {
 
     fn recs(keys: &[u64]) -> Vec<Record> {
         keys.iter().map(|&k| Record::put(k, vec![k as u8; 4])).collect()
+    }
+
+    fn faulty_store(plan: FaultPlan, retry: RetryPolicy) -> (Arc<FaultDevice>, Store) {
+        let inner = Arc::new(MemDevice::with_block_size(64, 256));
+        let dev = Arc::new(FaultDevice::with_plan(inner, 1, plan));
+        let s = Store::new(Arc::clone(&dev) as Arc<dyn BlockDevice>, 4, 0).with_retry(retry);
+        (dev, s)
     }
 
     #[test]
@@ -207,14 +402,109 @@ mod tests {
     }
 
     #[test]
-    fn failed_write_releases_the_block_id() {
-        let dev = Arc::new(MemDevice::with_block_size(8, 256));
-        let s = Store::new(Arc::clone(&dev) as Arc<dyn BlockDevice>, 4, 0);
-        dev.inject_write_failure_in(1);
+    fn exhausted_retries_release_the_block_id() {
+        // Every write fails, so all attempts are burned and the error
+        // surfaces — but the allocated id must be returned.
+        let (dev, s) = faulty_store(
+            FaultPlan::none().write_error_rate(1.0),
+            RetryPolicy { max_attempts: 3, base_backoff_us: 0 },
+        );
         assert!(s.write_block(recs(&[1])).is_err());
         assert_eq!(s.live_blocks(), 0);
         // And the id is reusable afterwards.
+        dev.set_plan(FaultPlan::none());
         let h = s.write_block(recs(&[1])).unwrap();
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn transient_write_fault_is_retried_on_the_same_id() {
+        let sink = Arc::new(observe::VecSink::new());
+        let (_dev, s) = faulty_store(
+            FaultPlan::none().fail_write_at(1),
+            RetryPolicy { max_attempts: 4, base_backoff_us: 0 },
+        );
+        s.set_sink(SinkHandle::new(sink.clone()));
+        let h = s.write_block(recs(&[7])).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(s.live_blocks(), 1);
+        let events = sink.drain();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::RetryAttempt { attempt: 1 })),
+            "retry must be observable"
+        );
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried() {
+        let (dev, s) =
+            faulty_store(FaultPlan::none(), RetryPolicy { max_attempts: 4, base_backoff_us: 0 });
+        let h = s.write_block(recs(&[3])).unwrap();
+        dev.set_plan(FaultPlan::none().fail_read_at(1));
+        // Evict the cache so the read really hits the device.
+        for k in 0..8u64 {
+            s.write_block(recs(&[100 + k])).unwrap();
+        }
+        let b = s.read_block(&h).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_read_quarantines_and_degrades() {
+        let sink = Arc::new(observe::VecSink::new());
+        let (dev, s) = faulty_store(FaultPlan::none(), RetryPolicy::none());
+        s.set_sink(SinkHandle::new(sink.clone()));
+        let good = s.write_block(recs(&[1])).unwrap();
+        dev.set_plan(FaultPlan::none().bit_flip_rate(1.0));
+        let bad = s.write_block(recs(&[40, 60])).unwrap();
+        dev.set_plan(FaultPlan::none());
+        // Evict both from cache.
+        for k in 0..8u64 {
+            s.write_block(recs(&[100 + k])).unwrap();
+        }
+        match s.read_block(&bad) {
+            Err(LsmError::Degraded { ranges }) => assert_eq!(ranges, vec![(40, 60)]),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(s.quarantined_ids(), vec![bad.id.raw()]);
+        assert_eq!(s.degraded_ranges(), vec![(40, 60)]);
+        assert!(s.read_block(&good).is_ok(), "healthy blocks unaffected");
+        let events = sink.drain();
+        assert!(events.iter().any(|e| matches!(e, Event::BlockQuarantined { .. })));
+        // Quarantined ids are never freed back to the allocator.
+        let live = s.live_blocks();
+        s.free_block(&bad).unwrap();
+        assert_eq!(s.live_blocks(), live, "quarantined id must not be recycled");
+    }
+
+    #[test]
+    fn protected_blocks_free_only_after_checkpoint() {
+        let s = store();
+        let h = s.write_block(recs(&[1])).unwrap();
+        // Pretend a durable manifest references h.
+        s.finish_checkpoint([h.id.raw()]).unwrap();
+        let trims_before = s.io_snapshot().trims;
+        s.free_block(&h).unwrap();
+        assert_eq!(s.io_snapshot().trims, trims_before, "trim must be deferred");
+        assert_eq!(s.live_blocks(), 1, "id still allocated");
+        // Next checkpoint no longer references h: the free happens.
+        s.finish_checkpoint([]).unwrap();
+        assert_eq!(s.io_snapshot().trims, trims_before + 1);
+        assert_eq!(s.live_blocks(), 0);
+    }
+
+    #[test]
+    fn read_repair_marks_and_reports() {
+        let (dev, s) = faulty_store(FaultPlan::none().bit_flip_rate(1.0), RetryPolicy::none());
+        let bad = s.write_block(recs(&[5, 9])).unwrap();
+        dev.set_plan(FaultPlan::none());
+        for k in 0..8u64 {
+            s.write_block(recs(&[100 + k])).unwrap();
+        }
+        assert!(s.read_block(&bad).is_err());
+        s.note_read_repair(bad.id.raw());
+        assert_eq!(s.repaired_ids(), vec![bad.id.raw()]);
+        // Repair does not clear the degraded range — the data is still lost.
+        assert_eq!(s.degraded_ranges(), vec![(5, 9)]);
     }
 }

@@ -1,0 +1,360 @@
+//! Seeded crash-torture cycles: randomized workload, power cut at a random
+//! device-op count, recovery, and a durability-invariant check.
+//!
+//! One [`run_crash_cycle`] does, deterministically per seed:
+//!
+//! 1. Build a [`crate::DurableLsmTree`] over a [`sim_ssd::FaultDevice`]
+//!    wrapping an in-memory device, with low transient read/write error
+//!    rates (absorbed by the store's retries) and a scheduled power cut at
+//!    a random device-op count — so the cut lands anywhere, including the
+//!    middle of a merge cascade or a checkpoint.
+//! 2. Run a random put/delete workload, fsyncing the WAL every few requests
+//!    and checkpointing occasionally, until the power cut surfaces (or the
+//!    workload ends, in which case the cut is forced).
+//! 3. Simulate the host dying at the same instant: the tree object is
+//!    leaked (no destructor, no final WAL flush) and the WAL file is
+//!    truncated to its last-fsynced length plus a random portion of the
+//!    flushed-but-unsynced tail — what a real page cache can leave behind.
+//! 4. Recover from the durable image (the fault decorator's inner device —
+//!    exactly the frames that were synced) and check the **durability
+//!    invariant**: the recovered state must equal the state after some
+//!    prefix `P` of the issued requests with `P ≥` the last fsync point.
+//!    Nothing durable may be lost, nothing may be resurrected, and no
+//!    "state" that never existed may appear.
+//! 5. Apply a continuation workload to the recovered tree, then run the
+//!    deep structural verifier ([`crate::verify::check_tree`]).
+//!
+//! The harness is pure `f(seed)`: the same seed produces the same workload,
+//! the same fault sequence, and the same verdict, which is what lets a
+//! failing seed from the torture suite be replayed under a debugger.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use sim_ssd::{BlockDevice, FaultDevice, FaultPlan, MemDevice, SplitMix64};
+
+use crate::config::LsmConfig;
+use crate::policy::PolicySpec;
+use crate::record::Request;
+use crate::store::RetryPolicy;
+use crate::tree::TreeOptions;
+use crate::wal::DurableLsmTree;
+
+/// Knobs of one crash-torture cycle. [`TortureConfig::for_seed`] gives the
+/// standard smoke configuration.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Seed for the workload and the fault plan.
+    pub seed: u64,
+    /// Maximum requests to issue before the power cut is forced.
+    pub ops: u64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Fsync the WAL every this many requests.
+    pub sync_every: u64,
+    /// Checkpoint (manifest + WAL truncation) every this many requests.
+    pub checkpoint_every: u64,
+    /// Per-read transient error probability (retries absorb these).
+    pub read_error_rate: f64,
+    /// Per-write transient error probability (retries absorb these).
+    pub write_error_rate: f64,
+    /// Requests applied to the recovered tree before the final deep check.
+    pub continue_ops: u64,
+}
+
+impl TortureConfig {
+    /// The standard cycle for `seed`: 400 requests max, 512-key space,
+    /// fsync every 9, checkpoint every 140, 1% transient error rates.
+    pub fn for_seed(seed: u64) -> Self {
+        TortureConfig {
+            seed,
+            ops: 400,
+            key_space: 512,
+            sync_every: 9,
+            checkpoint_every: 140,
+            read_error_rate: 0.01,
+            write_error_rate: 0.01,
+            continue_ops: 60,
+        }
+    }
+}
+
+/// What one crash cycle did — for aggregation and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TortureReport {
+    /// The seed that produced this cycle.
+    pub seed: u64,
+    /// Requests issued before the crash (including the one that failed).
+    pub issued: u64,
+    /// The device-op count the power cut fired at.
+    pub cut_device_op: u64,
+    /// Whether the scheduled cut fired mid-workload (vs forced at the end).
+    pub cut_mid_workload: bool,
+    /// Requests known durable at the crash (last successful fsync point).
+    pub durable_floor: u64,
+    /// The request prefix the recovered state matched.
+    pub matched_prefix: u64,
+    /// Live keys in the recovered tree.
+    pub recovered_keys: u64,
+    /// Requests replayed from the WAL during recovery.
+    pub replayed: u64,
+}
+
+fn tiny_cfg() -> LsmConfig {
+    LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 4,
+        gamma: 4,
+        cache_blocks: 16,
+        merge_rate: 0.25,
+        ..LsmConfig::default()
+    }
+}
+
+fn temp_paths(seed: u64) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    (
+        dir.join(format!("lsm-torture-{pid}-{seed}.manifest")),
+        dir.join(format!("lsm-torture-{pid}-{seed}.wal")),
+    )
+}
+
+/// One logged request: key plus `Some(payload)` for a put, `None` for a
+/// delete. The workload keeps this log so the durability check can replay
+/// every possible crash prefix.
+type LoggedOp = (u64, Option<Vec<u8>>);
+
+fn draw_op(rng: &mut SplitMix64, key_space: u64) -> LoggedOp {
+    let key = rng.gen_range(key_space);
+    if rng.chance(0.7) {
+        let fill = (rng.gen_range(251)) as u8;
+        (key, Some(vec![fill; 4]))
+    } else {
+        (key, None)
+    }
+}
+
+fn to_request(op: &LoggedOp) -> Request {
+    match &op.1 {
+        Some(payload) => Request::Put(op.0, Bytes::from(payload.clone())),
+        None => Request::Delete(op.0),
+    }
+}
+
+/// Run one seeded crash cycle; `Err` carries a human-readable description
+/// of the violated invariant (prefixed with the seed for replay).
+pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
+    let fail = |msg: String| format!("[seed {}] {msg}", cfg.seed);
+    let (man_path, wal_path) = temp_paths(cfg.seed);
+    let cleanup = || {
+        std::fs::remove_file(&man_path).ok();
+        std::fs::remove_file(&wal_path).ok();
+    };
+    cleanup();
+
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let inner = Arc::new(MemDevice::with_block_size(1 << 14, 256));
+    let fault = Arc::new(FaultDevice::new(inner, cfg.seed));
+
+    let opts = TreeOptions::builder()
+        .policy(PolicySpec::ChooseBest)
+        .retry(RetryPolicy { max_attempts: 4, base_backoff_us: 0 })
+        .build();
+    let mut tree = DurableLsmTree::create(
+        tiny_cfg(),
+        opts.clone(),
+        Arc::clone(&fault) as Arc<dyn BlockDevice>,
+        &man_path,
+        &wal_path,
+    )
+    .map_err(|e| fail(format!("create failed: {e}")))?;
+
+    // Schedule the cut only now, so creation itself cannot be cut: an
+    // index that never existed has no durability contract to check. The
+    // cut lands at a uniformly random *device* op, so it can interrupt a
+    // merge cascade between any two block writes. The cache absorbs most
+    // reads, so a workload of N requests issues roughly N/3 device ops;
+    // sizing the window to that keeps most cuts inside the workload while
+    // still leaving some to fire at (or after) the forced end-of-run cut.
+    let cut_window = cfg.ops / 3 + 1;
+    let cut_at = fault.ops_issued() + 1 + rng.gen_range(cut_window);
+    fault.set_plan(
+        FaultPlan::none()
+            .read_error_rate(cfg.read_error_rate)
+            .write_error_rate(cfg.write_error_rate)
+            .power_cut_at(cut_at),
+    );
+
+    // ------------------------------------------------------------------
+    // Phase 1: workload until the crash.
+    // ------------------------------------------------------------------
+    let mut log: Vec<LoggedOp> = Vec::with_capacity(cfg.ops as usize);
+    let mut durable_floor: u64 = 0; // requests covered by the last fsync
+    let mut cut_mid_workload = false;
+
+    for i in 0..cfg.ops {
+        let op = draw_op(&mut rng, cfg.key_space);
+        // The request is logged before apply: WAL-first ordering means a
+        // request whose apply fails may still have reached the (synced or
+        // unsynced) log, so the durability window must include it.
+        log.push(op);
+        let req = to_request(log.last().expect("just pushed"));
+        if tree.apply(req).is_err() {
+            cut_mid_workload = true;
+            break;
+        }
+        let issued = i + 1;
+        if issued % cfg.sync_every == 0 {
+            if tree.sync().is_err() {
+                cut_mid_workload = true;
+                break;
+            }
+            durable_floor = issued;
+        }
+        if issued % cfg.checkpoint_every == 0 {
+            if tree.checkpoint().is_err() {
+                cut_mid_workload = true;
+                break;
+            }
+            durable_floor = issued;
+        }
+    }
+    let issued = log.len() as u64;
+    if !cut_mid_workload {
+        fault.power_cut();
+    }
+    let cut_device_op = fault.ops_issued();
+
+    // ------------------------------------------------------------------
+    // Phase 2: the host dies with the device. Leak the tree (no Drop, no
+    // final WAL flush), then throw away a random portion of the WAL's
+    // flushed-but-unsynced tail.
+    // ------------------------------------------------------------------
+    let wal_synced = tree.wal_synced_len();
+    std::mem::forget(tree);
+    let on_disk = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+    let tail = on_disk.saturating_sub(wal_synced);
+    let keep = wal_synced + if tail > 0 { rng.gen_range(tail + 1) } else { 0 };
+    if keep < on_disk {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .map_err(|e| fail(format!("wal truncate open failed: {e}")))?;
+        f.set_len(keep).map_err(|e| fail(format!("wal truncate failed: {e}")))?;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: recover from the durable image. The fault decorator's inner
+    // device holds exactly the frames that were synced before the cut.
+    // ------------------------------------------------------------------
+    let mut recovered = DurableLsmTree::recover(opts, fault.inner(), &man_path, &wal_path)
+        .map_err(|e| {
+            cleanup();
+            fail(format!("recovery failed: {e}"))
+        })?;
+    let replayed = recovered.wal_backlog();
+
+    // ------------------------------------------------------------------
+    // Phase 4: the durability invariant. Walk the request log once,
+    // maintaining the model state and a running count of keys where the
+    // model differs from the recovered tree; any prefix P ≥ durable_floor
+    // with zero differences satisfies the contract.
+    // ------------------------------------------------------------------
+    let recovered_map: BTreeMap<u64, Bytes> =
+        recovered.tree().scan(0, u64::MAX).collect::<crate::error::Result<_>>().map_err(|e| {
+            cleanup();
+            fail(format!("scan of recovered tree failed: {e}"))
+        })?;
+    let recovered_keys = recovered_map.len() as u64;
+
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut diff = recovered_map.len() as i64; // empty model vs recovered
+    let mut matched: Option<u64> = if durable_floor == 0 && diff == 0 { Some(0) } else { None };
+    for (j, (key, value)) in log.iter().enumerate() {
+        let rec = recovered_map.get(key).map(|b| &b[..]);
+        let old_matches = model.get(key).map(|v| &v[..]) == rec;
+        match value {
+            Some(v) => {
+                let new_matches = rec == Some(&v[..]);
+                model.insert(*key, v.clone());
+                diff += i64::from(old_matches) - i64::from(new_matches);
+            }
+            None => {
+                let new_matches = rec.is_none();
+                model.remove(key);
+                diff += i64::from(old_matches) - i64::from(new_matches);
+            }
+        }
+        let p = j as u64 + 1;
+        if matched.is_none() && p >= durable_floor && diff == 0 {
+            matched = Some(p);
+        }
+    }
+    let Some(matched_prefix) = matched else {
+        cleanup();
+        return Err(fail(format!(
+            "recovered state matches no request prefix in [{durable_floor}, {issued}] \
+             (issued {issued}, replayed {replayed}, {recovered_keys} live keys)"
+        )));
+    };
+
+    // ------------------------------------------------------------------
+    // Phase 5: life goes on — the recovered tree must take new writes and
+    // pass the deep structural check.
+    // ------------------------------------------------------------------
+    for i in 0..cfg.continue_ops {
+        let op = draw_op(&mut rng, cfg.key_space);
+        recovered.apply(to_request(&op)).map_err(|e| {
+            cleanup();
+            fail(format!("continuation op {i} failed: {e}"))
+        })?;
+    }
+    recovered.checkpoint().map_err(|e| {
+        cleanup();
+        fail(format!("post-recovery checkpoint failed: {e}"))
+    })?;
+    crate::verify::check_tree(recovered.tree(), true).map_err(|e| {
+        cleanup();
+        fail(format!("deep check after recovery failed: {e}"))
+    })?;
+
+    drop(recovered);
+    cleanup();
+    Ok(TortureReport {
+        seed: cfg.seed,
+        issued,
+        cut_device_op,
+        cut_mid_workload,
+        durable_floor,
+        matched_prefix,
+        recovered_keys,
+        replayed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_deterministic() {
+        let a = run_crash_cycle(&TortureConfig::for_seed(42)).unwrap();
+        let b = run_crash_cycle(&TortureConfig::for_seed(42)).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same cycle");
+    }
+
+    #[test]
+    fn a_few_cycles_pass() {
+        for seed in 0..8u64 {
+            let report = run_crash_cycle(&TortureConfig::for_seed(seed))
+                .unwrap_or_else(|e| panic!("cycle failed: {e}"));
+            assert!(report.matched_prefix >= report.durable_floor);
+            assert!(report.matched_prefix <= report.issued);
+        }
+    }
+}

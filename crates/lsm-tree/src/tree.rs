@@ -17,7 +17,7 @@ use crate::policy::window::{runs_of_handles, window_overlap};
 use crate::policy::{MergeChoice, MergeCtx, MergePolicy, PolicySpec};
 use crate::record::{Key, OpKind, Request};
 use crate::stats::{MergeKind, TreeStats};
-use crate::store::Store;
+use crate::store::{RetryPolicy, Store};
 
 /// Behavioural options of a tree, orthogonal to the data geometry.
 ///
@@ -50,6 +50,9 @@ pub struct TreeOptions {
     /// Event sink registered at construction; every layer (device, cache,
     /// merges, WAL) reports through it. Defaults to detached.
     pub sink: SinkHandle,
+    /// Bounded retry-with-backoff for transient device errors (see
+    /// [`RetryPolicy`]). Defaults to 4 attempts, 50 µs base backoff.
+    pub retry: RetryPolicy,
 }
 
 impl Default for TreeOptions {
@@ -60,6 +63,7 @@ impl Default for TreeOptions {
             enforce_pairwise: true,
             enforce_level_waste: true,
             sink: SinkHandle::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -109,6 +113,13 @@ impl TreeOptionsBuilder {
         self
     }
 
+    /// Set the transient-error retry policy (default: 4 attempts, 50 µs
+    /// base backoff; use [`RetryPolicy::none`] to fail fast).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.opts.retry = retry;
+        self
+    }
+
     /// Finish, yielding the options.
     pub fn build(self) -> TreeOptions {
         self.opts
@@ -153,7 +164,8 @@ impl LsmTree {
                 cfg.block_size
             )));
         }
-        let store = Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key);
+        let store =
+            Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key).with_retry(opts.retry);
         store.set_sink(opts.sink.clone());
         let policy = opts.policy.build();
         let policy_name = policy.name();
@@ -386,6 +398,14 @@ impl LsmTree {
     /// Is block preservation active?
     pub fn preserves_blocks(&self) -> bool {
         self.preserve_blocks
+    }
+
+    /// Key ranges that may have been lost to unrecoverable block
+    /// corruption (empty on a healthy tree). Lookups inside these ranges
+    /// may have returned [`LsmError::Degraded`]; everything outside them is
+    /// unaffected.
+    pub fn degraded_ranges(&self) -> Vec<(Key, Key)> {
+        self.store.degraded_ranges()
     }
 
     // ------------------------------------------------------------------

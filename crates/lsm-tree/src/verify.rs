@@ -55,6 +55,26 @@ pub fn check_tree(tree: &LsmTree, deep: bool) -> std::result::Result<(), String>
             deep_check_level(tree, vec_idx).map_err(|e| format!("L{paper} deep check: {e}"))?;
         }
     }
+
+    // No level may still reference a quarantined block that a merge already
+    // dropped (read repair must be permanent). Blocks that are quarantined
+    // but not yet repaired legitimately stay in their level until the next
+    // merge touches them.
+    let repaired: std::collections::HashSet<u64> =
+        tree.store().repaired_ids().into_iter().collect();
+    if !repaired.is_empty() {
+        for (vec_idx, level) in levels.iter().enumerate() {
+            for h in level.handles() {
+                if repaired.contains(&h.id.raw()) {
+                    return Err(format!(
+                        "L{} references block {} after its read repair",
+                        vec_idx + 1,
+                        h.id.raw()
+                    ));
+                }
+            }
+        }
+    }
     Ok(())
 }
 

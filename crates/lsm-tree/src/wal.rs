@@ -44,6 +44,13 @@ pub struct WriteAheadLog {
     writer: BufWriter<File>,
     path: PathBuf,
     appended: u64,
+    /// Bytes appended since creation/truncation (some may still sit in the
+    /// userspace buffer or the page cache).
+    len: u64,
+    /// Bytes known crash-durable (flushed *and* fsynced). Crash simulators
+    /// truncate the file anywhere in `[synced_len, len]` to model what a
+    /// host power cut can leave behind.
+    synced_len: u64,
 }
 
 impl WriteAheadLog {
@@ -59,6 +66,8 @@ impl WriteAheadLog {
             writer: BufWriter::new(file),
             path: path.as_ref().to_path_buf(),
             appended: 0,
+            len: 0,
+            synced_len: 0,
         })
     }
 
@@ -150,6 +159,7 @@ impl WriteAheadLog {
             .and_then(|()| self.writer.write_all(&payload))
             .map_err(DeviceError::Io)?;
         self.appended += 1;
+        self.len += 8 + payload.len() as u64;
         Ok(8 + payload.len())
     }
 
@@ -157,6 +167,7 @@ impl WriteAheadLog {
     pub fn sync(&mut self) -> Result<()> {
         self.writer.flush().map_err(DeviceError::Io)?;
         self.writer.get_ref().sync_data().map_err(DeviceError::Io)?;
+        self.synced_len = self.len;
         Ok(())
     }
 
@@ -167,12 +178,25 @@ impl WriteAheadLog {
         let file = OpenOptions::new().write(true).open(&self.path).map_err(DeviceError::Io)?;
         self.writer = BufWriter::new(file);
         self.appended = 0;
+        self.len = 0;
+        self.synced_len = 0;
         Ok(())
     }
 
     /// Requests appended since creation/truncation.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Bytes appended since creation/truncation (buffered included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Bytes of the log known crash-durable (appended before the last
+    /// [`WriteAheadLog::sync`]).
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
     }
 
     /// Path of the log file.
@@ -294,6 +318,18 @@ impl DurableLsmTree {
     /// Requests logged since the last checkpoint.
     pub fn wal_backlog(&self) -> u64 {
         self.wal.appended()
+    }
+
+    /// Bytes of the WAL known crash-durable (see
+    /// [`WriteAheadLog::synced_len`]). Crash simulators truncate the WAL
+    /// file anywhere at or beyond this offset.
+    pub fn wal_synced_len(&self) -> u64 {
+        self.wal.synced_len()
+    }
+
+    /// Bytes appended to the WAL since the last checkpoint, durable or not.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.len_bytes()
     }
 }
 

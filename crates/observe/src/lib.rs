@@ -149,6 +149,67 @@ pub enum Event {
         /// WAL requests replayed on top of the checkpoint.
         replayed: u64,
     },
+    /// A scripted fault fired in the fault-injection device.
+    FaultInjected {
+        /// What kind of fault fired.
+        kind: FaultEventKind,
+        /// Device-op index (reads + writes + trims + syncs) at which it fired.
+        op: u64,
+    },
+    /// A transient device error is being retried by the storage layer.
+    RetryAttempt {
+        /// 1-based retry attempt number (the initial try is attempt 0).
+        attempt: u32,
+    },
+    /// A block failed its integrity check and was quarantined (its id is
+    /// never reused; its key range may be lost).
+    BlockQuarantined {
+        /// Raw block id.
+        block: u64,
+    },
+    /// A quarantined block was dropped from its level during a merge or
+    /// compaction, so the structure no longer references it (read repair).
+    ReadRepair {
+        /// Raw block id.
+        block: u64,
+    },
+}
+
+/// The kind of fault a fault-injection device fired, as reported by
+/// [`Event::FaultInjected`]. Silent faults (torn writes, bit flips,
+/// dropped syncs) return success to the caller — the event is the only
+/// trace they leave until the damage surfaces later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A read returned a transient injected error.
+    ReadError,
+    /// A write returned a transient injected error.
+    WriteError,
+    /// A sync returned a transient injected error.
+    SyncError,
+    /// A sync reported success without making data durable.
+    DroppedSync,
+    /// A stored frame was silently bit-flipped.
+    BitFlip,
+    /// Only a prefix of a written frame landed.
+    TornWrite,
+    /// Power was cut: unsynced writes discarded, device off.
+    PowerCut,
+}
+
+impl FaultEventKind {
+    /// Short machine-readable name (used in JSON rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultEventKind::ReadError => "read_error",
+            FaultEventKind::WriteError => "write_error",
+            FaultEventKind::SyncError => "sync_error",
+            FaultEventKind::DroppedSync => "dropped_sync",
+            FaultEventKind::BitFlip => "bit_flip",
+            FaultEventKind::TornWrite => "torn_write",
+            FaultEventKind::PowerCut => "power_cut",
+        }
+    }
 }
 
 impl Event {
@@ -174,6 +235,10 @@ impl Event {
             Event::WalAppend { .. } => "wal_append",
             Event::Checkpoint { .. } => "checkpoint",
             Event::Recovery { .. } => "recovery",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::RetryAttempt { .. } => "retry_attempt",
+            Event::BlockQuarantined { .. } => "block_quarantined",
+            Event::ReadRepair { .. } => "read_repair",
         }
     }
 
@@ -237,6 +302,14 @@ impl Event {
             }
             Event::Checkpoint { live_blocks } => put("live_blocks", Json::from(live_blocks)),
             Event::Recovery { replayed } => put("replayed", Json::from(replayed)),
+            Event::FaultInjected { kind, op } => {
+                put("kind", Json::from(kind.name()));
+                put("op", Json::from(op));
+            }
+            Event::RetryAttempt { attempt } => put("attempt", Json::from(u64::from(attempt))),
+            Event::BlockQuarantined { block } | Event::ReadRepair { block } => {
+                put("block", Json::from(block))
+            }
         }
         Json::Obj(pairs)
     }
@@ -465,6 +538,14 @@ pub struct CountingSnapshot {
     pub checkpoints: u64,
     /// Recoveries performed.
     pub recoveries: u64,
+    /// Faults fired by a fault-injection device.
+    pub faults_injected: u64,
+    /// Transient-error retries attempted.
+    pub retry_attempts: u64,
+    /// Blocks quarantined after integrity failures.
+    pub blocks_quarantined: u64,
+    /// Quarantined blocks dropped from the structure (read repairs).
+    pub read_repairs: u64,
 }
 
 /// Counts events per category with relaxed atomics — no locking, safe to
@@ -491,6 +572,10 @@ pub struct CountingSink {
     wal_appends: AtomicU64,
     checkpoints: AtomicU64,
     recoveries: AtomicU64,
+    faults_injected: AtomicU64,
+    retry_attempts: AtomicU64,
+    blocks_quarantined: AtomicU64,
+    read_repairs: AtomicU64,
 }
 
 impl CountingSink {
@@ -523,6 +608,10 @@ impl CountingSink {
             wal_appends: get(&self.wal_appends),
             checkpoints: get(&self.checkpoints),
             recoveries: get(&self.recoveries),
+            faults_injected: get(&self.faults_injected),
+            retry_attempts: get(&self.retry_attempts),
+            blocks_quarantined: get(&self.blocks_quarantined),
+            read_repairs: get(&self.read_repairs),
         }
     }
 }
@@ -556,6 +645,10 @@ impl EventSink for CountingSink {
             Event::WalAppend { .. } => bump(&self.wal_appends),
             Event::Checkpoint { .. } => bump(&self.checkpoints),
             Event::Recovery { .. } => bump(&self.recoveries),
+            Event::FaultInjected { .. } => bump(&self.faults_injected),
+            Event::RetryAttempt { .. } => bump(&self.retry_attempts),
+            Event::BlockQuarantined { .. } => bump(&self.blocks_quarantined),
+            Event::ReadRepair { .. } => bump(&self.read_repairs),
         }
     }
 }
@@ -679,6 +772,24 @@ impl EventSink for MetricsSink {
                 m.incr("durability.recoveries");
                 m.add("durability.replayed_requests", replayed);
             }
+            Event::FaultInjected { kind, .. } => {
+                m.incr("fault.injected");
+                m.incr(match kind {
+                    FaultEventKind::ReadError => "fault.read_errors",
+                    FaultEventKind::WriteError => "fault.write_errors",
+                    FaultEventKind::SyncError => "fault.sync_errors",
+                    FaultEventKind::DroppedSync => "fault.dropped_syncs",
+                    FaultEventKind::BitFlip => "fault.bit_flips",
+                    FaultEventKind::TornWrite => "fault.torn_writes",
+                    FaultEventKind::PowerCut => "fault.power_cuts",
+                });
+            }
+            Event::RetryAttempt { attempt } => {
+                m.incr("degraded.retry_attempts");
+                m.observe("degraded.retry_attempt_no", u64::from(attempt));
+            }
+            Event::BlockQuarantined { .. } => m.incr("degraded.blocks_quarantined"),
+            Event::ReadRepair { .. } => m.incr("degraded.read_repairs"),
         }
     }
 }

@@ -5,6 +5,35 @@ use std::fmt;
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, DeviceError>;
 
+/// What kind of operation an injected fault hit.
+///
+/// Carried inside [`DeviceError::Injected`] so upper layers can classify the
+/// failure structurally instead of parsing a message string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A read returned a transient error.
+    Read,
+    /// A write returned a transient error (nothing landed).
+    Write,
+    /// A sync returned a transient error (buffered writes kept, not durable).
+    Sync,
+    /// The device is powered off: all unsynced state is gone and the device
+    /// rejects mutations until power is restored.
+    PowerCut,
+}
+
+impl FaultKind {
+    /// Stable lower-case name, used in error messages and event payloads.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Read => "read",
+            FaultKind::Write => "write",
+            FaultKind::Sync => "sync",
+            FaultKind::PowerCut => "power_cut",
+        }
+    }
+}
+
 /// Errors surfaced by block devices and the allocator.
 #[derive(Debug)]
 pub enum DeviceError {
@@ -27,11 +56,45 @@ pub enum DeviceError {
     /// The device ran out of free blocks.
     NoSpace,
     /// An injected fault fired (failure-injection testing).
-    Injected(&'static str),
+    Injected {
+        /// Which operation the fault hit.
+        kind: FaultKind,
+        /// Device-op index (reads + writes + trims + syncs) when it fired.
+        op: u64,
+    },
+    /// The device entered a poisoned state (e.g. a failed `sync_data`) and
+    /// refuses further mutations until it is re-opened.
+    Poisoned,
     /// Underlying filesystem error (file-backed device only).
     Io(std::io::Error),
     /// A frame failed its integrity check.
     Corrupt(u64),
+}
+
+impl DeviceError {
+    /// Whether retrying the same operation can plausibly succeed.
+    ///
+    /// Transient: injected read/write/sync errors and interrupted-style
+    /// `io::Error`s. Permanent: power cut, poisoned device, corruption,
+    /// addressing errors, and space exhaustion — retrying those either cannot
+    /// help or would mask a real bug.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DeviceError::Injected { kind, .. } => !matches!(kind, FaultKind::PowerCut),
+            DeviceError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            DeviceError::OutOfRange { .. }
+            | DeviceError::Unwritten(_)
+            | DeviceError::BadFrameSize { .. }
+            | DeviceError::NoSpace
+            | DeviceError::Poisoned
+            | DeviceError::Corrupt(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -45,7 +108,12 @@ impl fmt::Display for DeviceError {
                 write!(f, "frame of {got} bytes does not match block size {expected}")
             }
             DeviceError::NoSpace => write!(f, "device has no free blocks"),
-            DeviceError::Injected(what) => write!(f, "injected fault: {what}"),
+            DeviceError::Injected { kind, op } => {
+                write!(f, "injected {} fault at device op {op}", kind.name())
+            }
+            DeviceError::Poisoned => {
+                write!(f, "device is poisoned after a failed sync; re-open to continue")
+            }
             DeviceError::Io(e) => write!(f, "i/o error: {e}"),
             DeviceError::Corrupt(b) => write!(f, "integrity check failed for block {b}"),
         }

@@ -7,6 +7,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use bytes::Bytes;
 use observe::{Event, SinkCell, SinkHandle};
@@ -26,12 +27,21 @@ use std::os::unix::fs::FileExt;
 /// the simulated device. The bitmap is volatile — reopening a file device
 /// treats every block as valid, which is the right semantics for the LSM
 /// layer because it re-adopts only the blocks its manifest references.
+///
+/// If `sync_data` ever fails, the error is surfaced **once** and the device
+/// is *poisoned*: further writes, trims, and syncs return
+/// [`DeviceError::Poisoned`] until the file is re-opened. Retrying a failed
+/// fsync is unsound — the kernel may have already dropped the dirty pages,
+/// so a later "successful" sync would silently ack lost data.
 pub struct FileDevice {
     file: File,
     path: PathBuf,
     block_size: usize,
     capacity: u64,
     valid: Mutex<Vec<bool>>,
+    poisoned: AtomicBool,
+    #[cfg(test)]
+    fail_next_sync: AtomicBool,
     stats: IoStats,
     sink: SinkCell,
 }
@@ -62,6 +72,9 @@ impl FileDevice {
             block_size,
             capacity,
             valid: Mutex::new(vec![false; capacity as usize]),
+            poisoned: AtomicBool::new(false),
+            #[cfg(test)]
+            fail_next_sync: AtomicBool::new(false),
             stats: IoStats::new(),
             sink: SinkCell::new(),
         })
@@ -78,6 +91,9 @@ impl FileDevice {
             block_size,
             capacity,
             valid: Mutex::new(vec![true; capacity as usize]),
+            poisoned: AtomicBool::new(false),
+            #[cfg(test)]
+            fail_next_sync: AtomicBool::new(false),
             stats: IoStats::new(),
             sink: SinkCell::new(),
         })
@@ -86,6 +102,18 @@ impl FileDevice {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Whether a failed sync has poisoned the device (re-open to clear).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.is_poisoned() {
+            return Err(DeviceError::Poisoned);
+        }
+        Ok(())
     }
 
     fn check_range(&self, id: BlockId) -> Result<usize> {
@@ -130,6 +158,7 @@ impl BlockDevice for FileDevice {
     }
 
     fn write(&self, id: BlockId, frame: &[u8]) -> Result<()> {
+        self.check_poisoned()?;
         let idx = self.check_range(id)?;
         if frame.len() != self.block_size {
             return Err(DeviceError::BadFrameSize { got: frame.len(), expected: self.block_size });
@@ -150,6 +179,7 @@ impl BlockDevice for FileDevice {
     }
 
     fn trim(&self, id: BlockId) -> Result<()> {
+        self.check_poisoned()?;
         let idx = self.check_range(id)?;
         self.valid.lock()[idx] = false;
         self.stats.record_trim();
@@ -158,7 +188,21 @@ impl BlockDevice for FileDevice {
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
+        self.check_poisoned()?;
+        #[cfg(test)]
+        let sync_result = if self.fail_next_sync.swap(false, Ordering::SeqCst) {
+            Err(std::io::Error::other("injected sync_data failure"))
+        } else {
+            self.file.sync_data()
+        };
+        #[cfg(not(test))]
+        let sync_result = self.file.sync_data();
+        if let Err(e) = sync_result {
+            // A failed fsync may have dropped dirty pages; surface the error
+            // once and refuse all further mutation until re-open.
+            self.poisoned.store(true, Ordering::SeqCst);
+            return Err(DeviceError::Io(e));
+        }
         self.stats.record_sync();
         self.sink.emit_with(|| Event::DeviceSync);
         Ok(())
@@ -222,6 +266,34 @@ mod tests {
             dev.write(BlockId(0), &[1u8; 128]).unwrap();
             dev.trim(BlockId(0)).unwrap();
             assert!(matches!(dev.read(BlockId(0)), Err(DeviceError::Unwritten(0))));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_sync_poisons_until_reopen() {
+        let path = temp_path("poison");
+        {
+            let dev = FileDevice::create_with_block_size(&path, 4, 128).unwrap();
+            dev.write(BlockId(0), &[1u8; 128]).unwrap();
+            dev.fail_next_sync.store(true, Ordering::SeqCst);
+            // The io::Error surfaces exactly once...
+            assert!(matches!(dev.sync(), Err(DeviceError::Io(_))));
+            assert!(dev.is_poisoned());
+            // ...then every mutation refuses with Poisoned (permanent).
+            let err = dev.sync().unwrap_err();
+            assert!(matches!(err, DeviceError::Poisoned));
+            assert!(!err.is_transient());
+            assert!(matches!(dev.write(BlockId(1), &[2u8; 128]), Err(DeviceError::Poisoned)));
+            assert!(matches!(dev.trim(BlockId(0)), Err(DeviceError::Poisoned)));
+            // Reads are still allowed.
+            assert_eq!(&dev.read(BlockId(0)).unwrap()[..], &[1u8; 128][..]);
+        }
+        {
+            let dev = FileDevice::open(&path, 128).unwrap();
+            assert!(!dev.is_poisoned());
+            dev.write(BlockId(1), &[2u8; 128]).unwrap();
+            dev.sync().unwrap();
         }
         std::fs::remove_file(&path).ok();
     }

@@ -22,7 +22,9 @@
 //!   rest to an LRU data-block cache.
 //! * [`CostModel`] — an SSD time/energy model used to convert I/O counts
 //!   into estimated device time (the paper's secondary metric).
-//! * Failure injection on both devices, for crash / error-path testing.
+//! * [`FaultDevice`] — a deterministic, seeded fault-injection decorator
+//!   over any device: scripted transient errors, bit flips, torn writes,
+//!   dropped syncs, and power cuts, for crash / error-path testing.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,6 +34,7 @@ pub mod cache;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod mem;
 pub mod stats;
@@ -40,7 +43,8 @@ pub use alloc::BlockAllocator;
 pub use cache::LruCache;
 pub use cost::CostModel;
 pub use device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
-pub use error::{DeviceError, Result};
+pub use error::{DeviceError, FaultKind, Result};
+pub use fault::{FaultDevice, FaultPlan, SplitMix64};
 pub use file::FileDevice;
 pub use mem::MemDevice;
 pub use stats::{IoSnapshot, IoStats};

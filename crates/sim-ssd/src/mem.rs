@@ -15,22 +15,15 @@ use crate::device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
 use crate::error::{DeviceError, Result};
 use crate::stats::{IoSnapshot, IoStats};
 
-/// Fault-injection plan for a [`MemDevice`].
-#[derive(Debug, Default)]
-struct FaultPlan {
-    /// Fail the Nth write from now (1 = the next write), then clear.
-    fail_write_in: Option<u64>,
-    /// Fail every write while set.
-    fail_all_writes: bool,
-}
-
 /// An in-memory block device with exact accounting and wear tracking.
+///
+/// Fault injection is not built in: wrap the device in a
+/// [`crate::FaultDevice`] to script failures.
 pub struct MemDevice {
     block_size: usize,
     frames: RwLock<Vec<Option<Bytes>>>,
     wear: Mutex<Vec<u32>>,
     stats: IoStats,
-    faults: Mutex<FaultPlan>,
     sink: SinkCell,
 }
 
@@ -48,25 +41,8 @@ impl MemDevice {
             frames: RwLock::new(vec![None; capacity as usize]),
             wear: Mutex::new(vec![0; capacity as usize]),
             stats: IoStats::new(),
-            faults: Mutex::new(FaultPlan::default()),
             sink: SinkCell::new(),
         }
-    }
-
-    /// Arrange for the Nth write from now to fail (1 = the very next).
-    pub fn inject_write_failure_in(&self, nth: u64) {
-        assert!(nth >= 1);
-        self.faults.lock().fail_write_in = Some(nth);
-    }
-
-    /// Make every write fail until [`MemDevice::clear_faults`] is called.
-    pub fn fail_all_writes(&self) {
-        self.faults.lock().fail_all_writes = true;
-    }
-
-    /// Clear all injected faults.
-    pub fn clear_faults(&self) {
-        *self.faults.lock() = FaultPlan::default();
     }
 
     /// Wear (program count) of one block.
@@ -97,21 +73,6 @@ impl MemDevice {
             return Err(DeviceError::OutOfRange { block: id.0, capacity: cap });
         }
         Ok(id.0 as usize)
-    }
-
-    fn maybe_fail_write(&self) -> Result<()> {
-        let mut faults = self.faults.lock();
-        if faults.fail_all_writes {
-            return Err(DeviceError::Injected("write (all-writes fault)"));
-        }
-        if let Some(n) = faults.fail_write_in {
-            if n <= 1 {
-                faults.fail_write_in = None;
-                return Err(DeviceError::Injected("write (scheduled fault)"));
-            }
-            faults.fail_write_in = Some(n - 1);
-        }
-        Ok(())
     }
 }
 
@@ -149,7 +110,6 @@ impl BlockDevice for MemDevice {
         if frame.len() != self.block_size {
             return Err(DeviceError::BadFrameSize { got: frame.len(), expected: self.block_size });
         }
-        self.maybe_fail_write()?;
         self.frames.write()[idx] = Some(Bytes::copy_from_slice(frame));
         self.wear.lock()[idx] += 1;
         self.stats.record_write();
@@ -264,24 +224,5 @@ mod tests {
         assert_eq!(w.max_wear, 3);
         assert_eq!(w.total_programs, 3);
         assert_eq!(w.blocks_touched, 1);
-    }
-
-    #[test]
-    fn scheduled_fault_fires_once() {
-        let dev = MemDevice::with_block_size(4, 64);
-        dev.inject_write_failure_in(2);
-        dev.write(BlockId(0), &frame(&dev, 0)).unwrap();
-        assert!(dev.write(BlockId(1), &frame(&dev, 1)).is_err());
-        dev.write(BlockId(1), &frame(&dev, 1)).unwrap();
-    }
-
-    #[test]
-    fn fail_all_writes_until_cleared() {
-        let dev = MemDevice::with_block_size(4, 64);
-        dev.fail_all_writes();
-        assert!(dev.write(BlockId(0), &frame(&dev, 0)).is_err());
-        assert!(dev.write(BlockId(0), &frame(&dev, 0)).is_err());
-        dev.clear_faults();
-        dev.write(BlockId(0), &frame(&dev, 0)).unwrap();
     }
 }

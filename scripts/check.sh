@@ -12,4 +12,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== crash-torture smoke (64 seeded power cuts) =="
+cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
+# Full soak (thousands of seeds), not part of the gate:
+#   cargo test --release --test crash_torture -- --ignored
+
 echo "All checks passed."

@@ -6,7 +6,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lsm_ssd_repro::lsm_tree::{LsmConfig, LsmError, LsmTree, PolicySpec, TreeOptions};
-use lsm_ssd_repro::sim_ssd::{BlockDevice, FileDevice, MemDevice};
+use lsm_ssd_repro::sim_ssd::{BlockDevice, FaultDevice, FaultPlan, FileDevice, MemDevice};
 use lsm_ssd_repro::workloads::payload_for;
 
 fn cfg() -> LsmConfig {
@@ -115,7 +115,7 @@ fn run_with_cache(cache_blocks: usize) -> (Vec<u64>, u64) {
 
 #[test]
 fn injected_write_failure_surfaces_as_error() {
-    let dev = Arc::new(MemDevice::with_block_size(1 << 14, 512));
+    let dev = Arc::new(FaultDevice::new(Arc::new(MemDevice::with_block_size(1 << 14, 512)), 11));
     let mut tree =
         LsmTree::new(cfg(), TreeOptions::default(), Arc::clone(&dev) as Arc<dyn BlockDevice>)
             .unwrap();
@@ -124,11 +124,13 @@ fn injected_write_failure_surfaces_as_error() {
     for k in 0..(cap as u64 - 1) {
         tree.put(k, payload_for(k, 20)).unwrap();
     }
-    dev.fail_all_writes();
+    // Every write fails, so the retry budget is exhausted and the error
+    // surfaces (a single scheduled fault would be absorbed by the retries).
+    dev.set_plan(FaultPlan::none().write_error_rate(1.0));
     let err = tree.put(u64::MAX / 2, payload_for(1, 20)).unwrap_err();
     assert!(matches!(err, LsmError::Device(_)), "unexpected error: {err}");
     // After the fault clears, the index accepts writes again.
-    dev.clear_faults();
+    dev.set_plan(FaultPlan::none());
     for k in 0..200u64 {
         tree.put(1_000_000 + k, payload_for(k, 20)).unwrap();
     }
