@@ -78,8 +78,8 @@ fn tree_with(bloom_bits: usize) -> LsmTree {
 fn bench_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("lookup");
     g.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
-    let mut plain = tree_with(0);
-    let mut bloomed = tree_with(10);
+    let plain = tree_with(0);
+    let bloomed = tree_with(10);
     let mut i = 0u64;
     g.bench_function("present_key", |b| {
         b.iter(|| {

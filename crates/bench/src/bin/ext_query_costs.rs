@@ -66,7 +66,7 @@ fn main() {
         for case in policy_matrix() {
             let mut cfg = scale.config(100);
             cfg.bloom_bits_per_key = if bloom { bloom_bits } else { 0 };
-            let mut tree = build(&cfg, &case, size_mb, seed);
+            let tree = build(&cfg, &case, size_mb, seed);
 
             // Point lookups: alternate present-ish and absent keys drawn
             // deterministically from the key domain.
@@ -81,7 +81,7 @@ fn main() {
                 }
             }
             let after = tree.stats().clone();
-            let reads = (after.lookup_block_reads - before.lookup_block_reads) as f64;
+            let reads = (after.lookup_block_reads() - before.lookup_block_reads()) as f64;
             let absent = (probes - present).max(1) as f64;
             // Present keys nearly always cost exactly one read; attribute
             // the remainder to absent probes.

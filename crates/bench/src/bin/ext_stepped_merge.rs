@@ -56,13 +56,13 @@ fn main() {
         let writes = sm.stats().total_blocks_written() - before.total_blocks_written();
         let writes_per_mb = writes as f64 / measure_mb;
 
-        let reads0 = sm.stats().lookup_block_reads;
+        let reads0 = sm.stats().lookup_block_reads();
         let mut x = 0x5555u64;
         for _ in 0..probes {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             sm.get((x >> 16) % domain).unwrap();
         }
-        let reads_per_q = (sm.stats().lookup_block_reads - reads0) as f64 / probes as f64;
+        let reads_per_q = (sm.stats().lookup_block_reads() - reads0) as f64 / probes as f64;
         let fanout = sm.lookup_fanout();
         table.row([
             format!("SteppedMerge(k={fan_in})"),
@@ -100,13 +100,13 @@ fn main() {
         let writes = tree.stats().total_blocks_written() - before.total_blocks_written();
         let writes_per_mb = writes as f64 / measure_mb;
 
-        let reads0 = tree.stats().lookup_block_reads;
+        let reads0 = tree.stats().lookup_block_reads();
         let mut x = 0x5555u64;
         for _ in 0..probes {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             tree.get((x >> 16) % domain).unwrap();
         }
-        let reads_per_q = (tree.stats().lookup_block_reads - reads0) as f64 / probes as f64;
+        let reads_per_q = (tree.stats().lookup_block_reads() - reads0) as f64 / probes as f64;
         // Leveled LSM probes at most one run per level.
         let fanout = tree.levels().len();
         table.row([

@@ -35,8 +35,12 @@ fn main() {
                 reports.push(report);
             }
             Err(e) => {
-                eprintln!("FAIL: {e}");
-                failures.push(e);
+                eprintln!("FAIL (seed {seed}): {e}");
+                eprintln!(
+                    "  reproduce: cargo run --release -p lsm-bench --bin lsm_crash -- \
+                     --seeds=1 --seed-base={seed}"
+                );
+                failures.push(format!("seed {seed}: {e}"));
             }
         }
     }
@@ -64,7 +68,10 @@ fn main() {
     table.print();
 
     if !failures.is_empty() {
-        eprintln!("{} of {seeds} cycles violated durability", failures.len());
+        eprintln!("{} of {seeds} cycles violated durability:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
         std::process::exit(1);
     }
     println!("all {seeds} crash cycles recovered with the durability invariant intact.");

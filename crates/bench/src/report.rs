@@ -166,9 +166,9 @@ pub fn merged_json(
                 ("records", Json::from(tree.record_count())),
                 ("puts", Json::from(stats.puts)),
                 ("deletes", Json::from(stats.deletes)),
-                ("lookups", Json::from(stats.lookups)),
-                ("lookup_block_reads", Json::from(stats.lookup_block_reads)),
-                ("bloom_skips", Json::from(stats.bloom_skips)),
+                ("lookups", Json::from(stats.lookups())),
+                ("lookup_block_reads", Json::from(stats.lookup_block_reads())),
+                ("bloom_skips", Json::from(stats.bloom_skips())),
                 ("total_blocks_written", Json::from(stats.total_blocks_written())),
                 ("total_blocks_read", Json::from(stats.total_blocks_read())),
                 ("total_blocks_preserved", Json::from(stats.total_blocks_preserved())),

@@ -47,6 +47,7 @@ pub mod memtable;
 pub mod merge;
 pub mod policy;
 pub mod record;
+pub mod sharded;
 pub mod shared;
 pub mod stats;
 pub mod stepped;
@@ -67,6 +68,7 @@ pub use memtable::Memtable;
 pub use merge::{MergeEngine, MergeOutcome, MergeSource};
 pub use policy::{MergeChoice, MergePolicy, MixedParams, PolicySpec};
 pub use record::{Key, OpKind, Record, Request, RequestSource};
+pub use sharded::ShardedLsmTree;
 pub use shared::SharedLsmTree;
 pub use stats::{LevelStats, MergeKind, TreeStats};
 pub use stepped::SteppedMergeTree;

@@ -49,17 +49,18 @@ impl SharedLsmTree {
 
     /// Point lookup (shared — runs concurrently with other readers).
     ///
-    /// Runs under the read lock, so it cannot update the tree's lookup
-    /// counters in [`TreeStats`]; it is exactly [`SharedLsmTree::peek`].
-    /// Probed blocks still go through the buffer cache (recency + hit/miss
-    /// accounting) like any other lookup.
+    /// The read-path counters in [`TreeStats`] are relaxed atomics, so this
+    /// counts the lookup (and its block probes / Bloom skips) even though
+    /// it only holds the read lock — concurrent gets no longer vanish from
+    /// the statistics. Probed blocks go through the buffer cache (recency +
+    /// hit/miss accounting) like any other lookup.
     pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
-        self.inner.read().peek(key)
+        self.inner.read().get(key)
     }
 
-    /// Point lookup without touching [`TreeStats`] (shared). Same lookup
-    /// path as [`SharedLsmTree::get`] — see [`LsmTree::peek`] for the
-    /// cache-touching contract.
+    /// Point lookup without touching [`TreeStats`] (shared) — the
+    /// documented no-stats path. Same block-probing and cache-touching
+    /// contract as [`SharedLsmTree::get`]; see [`LsmTree::peek`].
     pub fn peek(&self, key: Key) -> Result<Option<Bytes>> {
         self.inner.read().peek(key)
     }
@@ -127,8 +128,9 @@ mod tests {
         t.delete(1).unwrap();
         assert_eq!(t.get(1).unwrap(), None);
         assert_eq!(t.get(2).unwrap().as_deref(), Some(&[2u8; 4][..]));
+        assert_eq!(t.stats().lookups(), 2, "shared gets are counted");
         assert_eq!(t.peek(2).unwrap().as_deref(), Some(&[2u8; 4][..]));
-        assert_eq!(t.stats().lookups, 0, "shared lookups do not touch TreeStats");
+        assert_eq!(t.stats().lookups(), 2, "peek is the no-stats path");
         assert_eq!(t.scan_collect(0, 10).unwrap().len(), 1);
         assert_eq!(t.height(), 2);
     }
@@ -171,6 +173,8 @@ mod tests {
             }
         });
         assert!(readers_ok.load(std::sync::atomic::Ordering::Relaxed));
+        // Every concurrent get was counted (3 readers × 3000 lookups).
+        assert_eq!(t.stats().lookups(), 9_000);
         // Post-condition: everything consistent.
         crate::verify::check_tree(&t.inner.read(), true).unwrap();
     }

@@ -6,6 +6,16 @@
 //! per-merge structure (cycle boundaries for the Mixed-policy learner, the
 //! figure harnesses' traces) flows through [`observe::Event`]s emitted to
 //! the sink registered on the tree.
+//!
+//! Write-path counters (puts, deletes, per-level merge costs) are plain
+//! integers mutated under `&mut self` — the tree has a single writer.
+//! Read-path counters (lookups, per-lookup probe costs) are relaxed
+//! atomics so *concurrent* readers holding only `&LsmTree` (e.g. through
+//! [`crate::shared::SharedLsmTree`] or a shard of
+//! [`crate::sharded::ShardedLsmTree`]) are still counted instead of being
+//! silently dropped.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Was a merge full or partial?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,10 +54,27 @@ impl LevelStats {
     pub fn total_writes(&self) -> u64 {
         self.blocks_written
     }
+
+    /// Add every counter of `other` into `self` (shard aggregation).
+    pub fn absorb(&mut self, other: &LevelStats) {
+        self.merges_in += other.merges_in;
+        self.blocks_written += other.blocks_written;
+        self.blocks_read += other.blocks_read;
+        self.blocks_preserved += other.blocks_preserved;
+        self.records_in += other.records_in;
+        self.compactions += other.compactions;
+        self.compaction_writes += other.compaction_writes;
+        self.pairwise_fixes += other.pairwise_fixes;
+    }
 }
 
 /// Whole-tree counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// The lookup counters are interior-mutable (relaxed atomics) so the
+/// shared read path can account through `&self`; read them with
+/// [`TreeStats::lookups`], [`TreeStats::lookup_block_reads`], and
+/// [`TreeStats::bloom_skips`].
+#[derive(Debug, Default)]
 pub struct TreeStats {
     /// Per-level counters; `levels[0]` is L1.
     pub levels: Vec<LevelStats>,
@@ -55,13 +82,36 @@ pub struct TreeStats {
     pub puts: u64,
     /// Delete requests applied.
     pub deletes: u64,
-    /// Point lookups served.
-    pub lookups: u64,
-    /// Blocks read by lookups (not merges).
-    pub lookup_block_reads: u64,
-    /// Lookups answered without any block read thanks to Bloom filters.
-    pub bloom_skips: u64,
+    lookups: AtomicU64,
+    lookup_block_reads: AtomicU64,
+    bloom_skips: AtomicU64,
 }
+
+impl Clone for TreeStats {
+    fn clone(&self) -> Self {
+        TreeStats {
+            levels: self.levels.clone(),
+            puts: self.puts,
+            deletes: self.deletes,
+            lookups: AtomicU64::new(self.lookups()),
+            lookup_block_reads: AtomicU64::new(self.lookup_block_reads()),
+            bloom_skips: AtomicU64::new(self.bloom_skips()),
+        }
+    }
+}
+
+impl PartialEq for TreeStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.levels == other.levels
+            && self.puts == other.puts
+            && self.deletes == other.deletes
+            && self.lookups() == other.lookups()
+            && self.lookup_block_reads() == other.lookup_block_reads()
+            && self.bloom_skips() == other.bloom_skips()
+    }
+}
+
+impl Eq for TreeStats {}
 
 impl TreeStats {
     /// Counter bundle for paper-level `i ≥ 1`, growing the vector on demand.
@@ -78,6 +128,53 @@ impl TreeStats {
     pub fn level(&self, paper_level: usize) -> LevelStats {
         assert!(paper_level >= 1);
         self.levels.get(paper_level - 1).copied().unwrap_or_default()
+    }
+
+    /// Point lookups served (counted by `get`; `peek` stays invisible).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Blocks read by lookups (not merges).
+    pub fn lookup_block_reads(&self) -> u64 {
+        self.lookup_block_reads.load(Ordering::Relaxed)
+    }
+
+    /// Lookups answered without any block read thanks to Bloom filters.
+    pub fn bloom_skips(&self) -> u64 {
+        self.bloom_skips.load(Ordering::Relaxed)
+    }
+
+    /// Count one served lookup (read path, `&self` on purpose).
+    pub(crate) fn note_lookup(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge probe costs of a lookup (read path, `&self` on purpose).
+    pub(crate) fn note_lookup_costs(&self, block_reads: u64, bloom_skips: u64) {
+        if block_reads > 0 {
+            self.lookup_block_reads.fetch_add(block_reads, Ordering::Relaxed);
+        }
+        if bloom_skips > 0 {
+            self.bloom_skips.fetch_add(bloom_skips, Ordering::Relaxed);
+        }
+    }
+
+    /// Add every counter of `other` into `self` — the aggregation used by
+    /// [`crate::sharded::ShardedLsmTree::stats`] to present N shards as one
+    /// logical index.
+    pub fn absorb(&mut self, other: &TreeStats) {
+        if self.levels.len() < other.levels.len() {
+            self.levels.resize(other.levels.len(), LevelStats::default());
+        }
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.absorb(theirs);
+        }
+        self.puts += other.puts;
+        self.deletes += other.deletes;
+        self.lookups.fetch_add(other.lookups(), Ordering::Relaxed);
+        self.lookup_block_reads.fetch_add(other.lookup_block_reads(), Ordering::Relaxed);
+        self.bloom_skips.fetch_add(other.bloom_skips(), Ordering::Relaxed);
     }
 
     /// Total data-block writes across all levels — the paper's primary
@@ -129,6 +226,39 @@ mod tests {
         s.puts = 3;
         s.deletes = 2;
         assert_eq!(s.total_requests(), 5);
+    }
+
+    #[test]
+    fn lookup_counters_work_through_shared_refs() {
+        let s = TreeStats::default();
+        s.note_lookup();
+        s.note_lookup();
+        s.note_lookup_costs(3, 1);
+        assert_eq!(s.lookups(), 2);
+        assert_eq!(s.lookup_block_reads(), 3);
+        assert_eq!(s.bloom_skips(), 1);
+        let cloned = s.clone();
+        assert_eq!(cloned, s);
+        assert_eq!(cloned.lookups(), 2);
+    }
+
+    #[test]
+    fn absorb_sums_everything() {
+        let mut a = TreeStats { puts: 1, ..Default::default() };
+        a.level_mut(1).blocks_written = 2;
+        a.note_lookup();
+        let mut b = TreeStats { puts: 4, deletes: 5, ..Default::default() };
+        b.level_mut(2).blocks_written = 7;
+        b.note_lookup();
+        b.note_lookup_costs(2, 0);
+        a.absorb(&b);
+        assert_eq!(a.puts, 5);
+        assert_eq!(a.deletes, 5);
+        assert_eq!(a.levels.len(), 2);
+        assert_eq!(a.level(1).blocks_written, 2);
+        assert_eq!(a.level(2).blocks_written, 7);
+        assert_eq!(a.lookups(), 2);
+        assert_eq!(a.lookup_block_reads(), 2);
     }
 
     #[test]

@@ -225,8 +225,8 @@ impl SteppedMergeTree {
     }
 
     /// Point lookup: memtable, then every level's runs newest-first.
-    pub fn get(&mut self, key: Key) -> Result<Option<Bytes>> {
-        self.stats.lookups += 1;
+    pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
+        self.stats.note_lookup();
         if let Some(r) = self.mem.get(key) {
             return Ok(match r.op {
                 OpKind::Put => Some(r.payload.clone()),
@@ -238,12 +238,12 @@ impl SteppedMergeTree {
                 let Some(handle) = run.find_block_for(key) else { continue };
                 if let Some(bloom) = &handle.bloom {
                     if !bloom.may_contain(key) {
-                        self.stats.bloom_skips += 1;
+                        self.stats.note_lookup_costs(0, 1);
                         continue;
                     }
                 }
                 let block = self.store.read_block(handle)?;
-                self.stats.lookup_block_reads += 1;
+                self.stats.note_lookup_costs(1, 0);
                 if let Some(r) = block.find(key) {
                     return Ok(match r.op {
                         OpKind::Put => Some(r.payload.clone()),

@@ -128,6 +128,8 @@ impl TreeOptionsBuilder {
 
 /// What a single lookup cost: counted by the shared lookup path and folded
 /// into [`TreeStats`] by [`LsmTree::get`] (discarded by [`LsmTree::peek`]).
+/// The fold goes through relaxed atomics, so `get` works through `&self`
+/// and concurrent readers are all counted.
 #[derive(Debug, Clone, Copy, Default)]
 struct LookupProbe {
     bloom_skips: u64,
@@ -269,23 +271,24 @@ impl LsmTree {
     /// Caching contract: any block probed on the way down goes through the
     /// buffer cache, refreshing its LRU recency and counting toward cache
     /// hit/miss statistics — exactly like [`LsmTree::peek`]. `get`
-    /// additionally updates the tree's own [`TreeStats`] lookup counters,
-    /// which is why it needs `&mut self`.
-    pub fn get(&mut self, key: Key) -> Result<Option<Bytes>> {
-        self.stats.lookups += 1;
+    /// additionally updates the tree's own [`TreeStats`] lookup counters.
+    /// Those counters are relaxed atomics, so `get` takes `&self` and
+    /// concurrent readers (e.g. through [`crate::shared::SharedLsmTree`])
+    /// are all accounted rather than silently dropped.
+    pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
+        self.stats.note_lookup();
         let (value, probe) = self.lookup(key)?;
-        self.stats.bloom_skips += probe.bloom_skips;
-        self.stats.lookup_block_reads += probe.block_reads;
+        self.stats.note_lookup_costs(probe.block_reads, probe.bloom_skips);
         Ok(value)
     }
 
-    /// Read-only point lookup through a shared reference — the basis for
-    /// concurrent readers (see [`crate::shared::SharedLsmTree`]).
+    /// Read-only point lookup that leaves [`TreeStats`] untouched — the
+    /// documented no-stats path for probes that must not perturb the
+    /// measurement (doctors, verifiers, learner probes).
     ///
     /// Caching contract: identical block-probing path as [`LsmTree::get`]
     /// (blocks read through the buffer cache touch LRU recency and cache
-    /// statistics), but the per-tree [`TreeStats`] lookup counters are left
-    /// untouched, which is what allows `&self`.
+    /// statistics); only the per-tree lookup counters are skipped.
     pub fn peek(&self, key: Key) -> Result<Option<Bytes>> {
         self.lookup(key).map(|(value, _)| value)
     }
@@ -795,7 +798,7 @@ mod tests {
         t.delete(1).unwrap();
         t.get(2).unwrap();
         let s = t.stats();
-        assert_eq!((s.puts, s.deletes, s.lookups), (2, 1, 1));
+        assert_eq!((s.puts, s.deletes, s.lookups()), (2, 1, 1));
         assert_eq!(s.total_requests(), 3);
     }
 

@@ -173,6 +173,25 @@ pub enum Event {
         /// Raw block id.
         block: u64,
     },
+    /// A request was routed to a shard of a sharded front-end.
+    ShardRouted {
+        /// Zero-based shard index the key hashed to.
+        shard: usize,
+    },
+    /// A merge completed inside a shard of a sharded front-end. Emitted by
+    /// the shard's tagging sink right after the (untagged)
+    /// [`Event::MergeFinish`] of the shard's own tree, so per-shard merge
+    /// activity can be attributed without guessing from interleaving.
+    ShardMergeFinish {
+        /// Zero-based shard index the merge ran in.
+        shard: usize,
+        /// Paper-numbered target level within that shard's tree.
+        target_level: usize,
+        /// `true` for a full merge.
+        full: bool,
+        /// Blocks written into the target level.
+        writes: u64,
+    },
 }
 
 /// The kind of fault a fault-injection device fired, as reported by
@@ -239,6 +258,8 @@ impl Event {
             Event::RetryAttempt { .. } => "retry_attempt",
             Event::BlockQuarantined { .. } => "block_quarantined",
             Event::ReadRepair { .. } => "read_repair",
+            Event::ShardRouted { .. } => "shard_routed",
+            Event::ShardMergeFinish { .. } => "shard_merge_finish",
         }
     }
 
@@ -309,6 +330,13 @@ impl Event {
             Event::RetryAttempt { attempt } => put("attempt", Json::from(u64::from(attempt))),
             Event::BlockQuarantined { block } | Event::ReadRepair { block } => {
                 put("block", Json::from(block))
+            }
+            Event::ShardRouted { shard } => put("shard", Json::from(shard)),
+            Event::ShardMergeFinish { shard, target_level, full, writes } => {
+                put("shard", Json::from(shard));
+                put("target_level", Json::from(target_level));
+                put("full", Json::from(full));
+                put("writes", Json::from(writes));
             }
         }
         Json::Obj(pairs)
@@ -546,6 +574,10 @@ pub struct CountingSnapshot {
     pub blocks_quarantined: u64,
     /// Quarantined blocks dropped from the structure (read repairs).
     pub read_repairs: u64,
+    /// Requests routed to a shard of a sharded front-end.
+    pub shard_routed: u64,
+    /// Shard-tagged merge completions.
+    pub shard_merges: u64,
 }
 
 /// Counts events per category with relaxed atomics — no locking, safe to
@@ -576,6 +608,8 @@ pub struct CountingSink {
     retry_attempts: AtomicU64,
     blocks_quarantined: AtomicU64,
     read_repairs: AtomicU64,
+    shard_routed: AtomicU64,
+    shard_merges: AtomicU64,
 }
 
 impl CountingSink {
@@ -612,6 +646,8 @@ impl CountingSink {
             retry_attempts: get(&self.retry_attempts),
             blocks_quarantined: get(&self.blocks_quarantined),
             read_repairs: get(&self.read_repairs),
+            shard_routed: get(&self.shard_routed),
+            shard_merges: get(&self.shard_merges),
         }
     }
 }
@@ -649,6 +685,8 @@ impl EventSink for CountingSink {
             Event::RetryAttempt { .. } => bump(&self.retry_attempts),
             Event::BlockQuarantined { .. } => bump(&self.blocks_quarantined),
             Event::ReadRepair { .. } => bump(&self.read_repairs),
+            Event::ShardRouted { .. } => bump(&self.shard_routed),
+            Event::ShardMergeFinish { .. } => bump(&self.shard_merges),
         }
     }
 }
@@ -790,6 +828,11 @@ impl EventSink for MetricsSink {
             }
             Event::BlockQuarantined { .. } => m.incr("degraded.blocks_quarantined"),
             Event::ReadRepair { .. } => m.incr("degraded.read_repairs"),
+            Event::ShardRouted { .. } => m.incr("shard.routed"),
+            Event::ShardMergeFinish { writes, .. } => {
+                m.incr("shard.merges");
+                m.observe("shard.merge_writes", writes);
+            }
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Device-latency injection.
+//!
+//! [`LatencyDevice`] decorates any [`BlockDevice`] and stalls the calling
+//! thread for a [`CostModel`]'s per-operation latency before forwarding.
+//! The in-memory devices complete in nanoseconds, which makes any
+//! wall-clock experiment CPU-bound and scheduler-noisy; charging the cost
+//! model *inline* makes the timed path I/O-dominated the way a real SSD
+//! is. Because the stall is a sleep — not a spin — other threads run while
+//! one waits, so concurrent front-ends genuinely overlap independent
+//! device operations, which is exactly the effect a sharded tree exploits.
+//!
+//! The stall is wall-clock sleep, so the kernel's timer slack (typically
+//! tens of microseconds) stretches each operation slightly; treat the
+//! model as a lower bound per op, not an exact simulation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use observe::SinkHandle;
+
+use crate::cost::CostModel;
+use crate::device::{BlockDevice, BlockId};
+use crate::error::Result;
+use crate::stats::IoSnapshot;
+
+/// A [`BlockDevice`] wrapper that sleeps each operation's [`CostModel`]
+/// latency before forwarding to the inner device.
+pub struct LatencyDevice {
+    inner: Arc<dyn BlockDevice>,
+    model: CostModel,
+}
+
+impl LatencyDevice {
+    /// Wrap `inner`, charging `model`'s per-operation latencies.
+    pub fn new(inner: Arc<dyn BlockDevice>, model: CostModel) -> Self {
+        LatencyDevice { inner, model }
+    }
+
+    /// The cost model being charged.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    fn stall(us: f64) {
+        if us > 0.0 {
+            std::thread::sleep(Duration::from_nanos((us * 1_000.0) as u64));
+        }
+    }
+}
+
+impl BlockDevice for LatencyDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn read(&self, id: BlockId) -> Result<Bytes> {
+        Self::stall(self.model.read_us);
+        self.inner.read(id)
+    }
+
+    fn write(&self, id: BlockId, frame: &[u8]) -> Result<()> {
+        Self::stall(self.model.write_us);
+        self.inner.write(id, frame)
+    }
+
+    fn trim(&self, id: BlockId) -> Result<()> {
+        Self::stall(self.model.trim_us);
+        self.inner.trim(id)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.inner.io_snapshot()
+    }
+
+    fn set_sink(&self, sink: SinkHandle) {
+        self.inner.set_sink(sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDevice;
+    use std::time::Instant;
+
+    fn mem(blocks: u64) -> Arc<dyn BlockDevice> {
+        Arc::new(MemDevice::with_block_size(blocks, 64))
+    }
+
+    #[test]
+    fn delegates_all_operations() {
+        let d = LatencyDevice::new(
+            mem(8),
+            CostModel { read_us: 0.0, write_us: 0.0, trim_us: 0.0, read_uj: 0.0, write_uj: 0.0 },
+        );
+        assert_eq!(d.block_size(), 64);
+        assert_eq!(d.capacity(), 8);
+        d.write(BlockId(3), &[7u8; 64]).unwrap();
+        assert_eq!(d.read(BlockId(3)).unwrap(), Bytes::from(vec![7u8; 64]));
+        d.trim(BlockId(3)).unwrap();
+        assert!(d.read(BlockId(3)).is_err());
+        d.sync().unwrap();
+        // The post-trim read failed, and the device counts successes only.
+        let io = d.io_snapshot();
+        assert_eq!((io.reads, io.writes, io.trims, io.syncs), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn charges_at_least_the_model_latency() {
+        // 1 ms per write, 5 writes: at least 5 ms must elapse. Generous
+        // enough that timer slack can't make it flaky in either direction.
+        let model = CostModel {
+            read_us: 0.0,
+            write_us: 1_000.0,
+            trim_us: 0.0,
+            read_uj: 0.0,
+            write_uj: 0.0,
+        };
+        let d = LatencyDevice::new(mem(8), model);
+        assert_eq!(d.model().write_us, 1_000.0);
+        let t = Instant::now();
+        for i in 0..5 {
+            d.write(BlockId(i), &[0u8; 64]).unwrap();
+        }
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -25,6 +25,9 @@
 //! * [`FaultDevice`] — a deterministic, seeded fault-injection decorator
 //!   over any device: scripted transient errors, bit flips, torn writes,
 //!   dropped syncs, and power cuts, for crash / error-path testing.
+//! * [`LatencyDevice`] — a decorator that charges a [`CostModel`]'s
+//!   per-operation latency inline (as a sleep), so wall-clock experiments
+//!   are I/O-dominated the way they would be on the real device.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +39,7 @@ pub mod device;
 pub mod error;
 pub mod fault;
 pub mod file;
+pub mod latency;
 pub mod mem;
 pub mod stats;
 
@@ -46,5 +50,6 @@ pub use device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
 pub use error::{DeviceError, FaultKind, Result};
 pub use fault::{FaultDevice, FaultPlan, SplitMix64};
 pub use file::FileDevice;
+pub use latency::LatencyDevice;
 pub use mem::MemDevice;
 pub use stats::{IoSnapshot, IoStats};

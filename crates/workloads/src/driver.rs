@@ -73,19 +73,31 @@ pub fn reach_steady_state<W: Workload + ?Sized>(
     max_requests: u64,
 ) -> Result<u64> {
     workload.set_ratio(InsertRatio::HALF);
-    let bottom = tree.height() - 1;
+    let mut bottom = tree.height() - 1;
     if bottom < 2 {
         // Two-level tree: every merge already lands in the bottom.
         return Ok(0);
     }
-    let second_to_last_records =
-        (tree.config().level_capacity_blocks(bottom - 1) * tree.config().block_capacity()) as u64;
-    let start = tree.stats().level(bottom).records_in;
+    let needed = |tree: &LsmTree, bottom: usize| {
+        (tree.config().level_capacity_blocks(bottom - 1) * tree.config().block_capacity()) as u64
+    };
+    let mut target = needed(tree, bottom);
+    let mut start = tree.stats().level(bottom).records_in;
     let mut n = 0u64;
-    while n < max_requests && tree.stats().level(bottom).records_in < start + second_to_last_records
-    {
+    while n < max_requests && tree.stats().level(bottom).records_in < start + target {
         tree.apply(workload.next_request())?;
         n += 1;
+        // The index may grow (or shrink) mid-run, renumbering the levels:
+        // after a growth the old `bottom` paper-level names the *new
+        // second-to-last* level, whose merge traffic would satisfy the
+        // stale criterion while the real bottom had absorbed nothing.
+        // Re-resolve the bottom and restart the baseline on every change.
+        let now = tree.height() - 1;
+        if now != bottom {
+            bottom = now;
+            target = needed(tree, bottom);
+            start = tree.stats().level(bottom).records_in;
+        }
     }
     Ok(n)
 }
@@ -218,6 +230,52 @@ mod tests {
         let n = reach_steady_state(&mut t, &mut w, 2_000_000).unwrap();
         assert!(n > 0);
         assert!(t.stats().level(bottom).records_in > before);
+    }
+
+    #[test]
+    fn steady_state_survives_height_growth() {
+        // A workload that stays insert-only no matter what the driver
+        // requests, so the index keeps growing during reach_steady_state.
+        struct InsertOnly(Uniform);
+        impl lsm_tree::RequestSource for InsertOnly {
+            fn next_request(&mut self) -> lsm_tree::Request {
+                self.0.next_request()
+            }
+        }
+        impl Workload for InsertOnly {
+            fn set_ratio(&mut self, _ratio: InsertRatio) {}
+        }
+
+        let mut t = tiny_tree(PolicySpec::ChooseBest);
+        let mut w = InsertOnly(Uniform::new(8, 1 << 24, 4, InsertRatio::INSERT_ONLY));
+        fill_to_bytes(&mut t, &mut w.0, 40_000).unwrap();
+        // Top up until the bottom level sits near its capacity, so the
+        // growth event lands *inside* reach_steady_state below.
+        while t.levels().last().unwrap().num_blocks() * 10
+            < t.config().level_capacity_blocks(t.height() - 1) * 9
+        {
+            t.apply(w.0.next_request()).unwrap();
+        }
+        let height_before = t.height();
+        assert!(height_before >= 3);
+        let max = 2_000_000;
+        let n = reach_steady_state(&mut t, &mut w, max).unwrap();
+        // The insert-only stream must have grown the index mid-run —
+        // otherwise this test exercises nothing.
+        assert!(t.height() > height_before, "index never grew; test is vacuous");
+        assert!(n < max, "criterion never satisfied after growth");
+        // Regression: the criterion must have been met by the *current*
+        // bottom level, not by a stale pre-growth paper-level. After the
+        // last baseline reset the loop only exits once the real bottom
+        // absorbed a full second-to-last level's worth of records.
+        let bottom = t.height() - 1;
+        let needed =
+            (t.config().level_capacity_blocks(bottom - 1) * t.config().block_capacity()) as u64;
+        assert!(
+            t.stats().level(bottom).records_in >= needed,
+            "bottom level short of the steady-state criterion: {} < {needed}",
+            t.stats().level(bottom).records_in
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod driver;
 pub mod histogram;
 pub mod keyset;
@@ -26,6 +27,9 @@ pub mod tpc;
 pub mod uniform;
 pub mod zipf;
 
+pub use concurrent::{
+    run_closed_loop, ClosedLoopReport, ConcurrentIndex, OffsetKeys, PrebuiltRequests, ThreadPlan,
+};
 pub use driver::{
     fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, CostReading,
     Workload,

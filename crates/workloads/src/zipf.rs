@@ -87,10 +87,47 @@ impl Zipf {
         }
     }
 
-    /// Scatter rank → key with an odd-multiplier permutation so hot keys
+    /// Scatter rank → key with a permutation of `[0, domain)` so hot keys
     /// spread across the key space.
+    ///
+    /// This must be a *bijection*: if two ranks collided on one key, that
+    /// key would absorb both ranks' Zipf mass and part of the key space
+    /// would never be touched (the old odd-multiplier-mod-domain scatter
+    /// did exactly that for non-power-of-two domains). A 4-round Feistel
+    /// network permutes `[0, 2^bits)` for the smallest even `bits`
+    /// covering the domain; cycle-walking (re-encrypting until the value
+    /// lands inside the domain) restricts it to a permutation of
+    /// `[0, domain)`. Since `2^bits < 4·domain`, the walk takes < 4 steps
+    /// in expectation and always terminates (a permutation cannot cycle
+    /// outside the domain forever).
     fn rank_to_key(&self, rank: u64) -> Key {
-        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % self.domain
+        debug_assert!(rank < self.domain);
+        let bits = 64 - (self.domain - 1).leading_zeros().min(62) as u64;
+        let bits = (bits + 1) & !1; // even, so both Feistel halves are equal
+        let half = bits / 2;
+        let mask = (1u64 << half) - 1;
+        const ROUND_KEYS: [u64; 4] = [
+            0x9E37_79B9_7F4A_7C15,
+            0xBF58_476D_1CE4_E5B9,
+            0x94D0_49BB_1331_11EB,
+            0xD6E8_FEB8_6659_FD93,
+        ];
+        let mut x = rank;
+        loop {
+            let mut l = x >> half;
+            let mut r = x & mask;
+            for key in ROUND_KEYS {
+                let mut f = r ^ key;
+                f = (f ^ (f >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                f = (f ^ (f >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                f ^= f >> 31;
+                (l, r) = (r, l ^ (f & mask));
+            }
+            x = (l << half) | r;
+            if x < self.domain {
+                return x;
+            }
+        }
     }
 }
 
@@ -179,6 +216,23 @@ mod tests {
         let k1 = g.rank_to_key(1);
         let k2 = g.rank_to_key(2);
         assert!(k0.abs_diff(k1) > 1000 && k1.abs_diff(k2) > 1000);
+    }
+
+    #[test]
+    fn rank_to_key_is_a_bijection_for_non_pow2_domains() {
+        // Regression: the old odd-multiplier-mod-domain scatter collided
+        // ranks whenever the domain was not a power of two, silently
+        // concentrating Zipf mass and shrinking the reachable key space.
+        for domain in [2u64, 3, 1000, 1 << 12, (1 << 12) + 1, 99_991] {
+            let g = Zipf::new(7, domain, 4, InsertRatio::INSERT_ONLY, 0.99);
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..domain {
+                let k = g.rank_to_key(rank);
+                assert!(k < domain, "key {k} escaped domain {domain}");
+                assert!(seen.insert(k), "rank collision on key {k} (domain {domain})");
+            }
+            assert_eq!(seen.len() as u64, domain);
+        }
     }
 
     #[test]

@@ -65,10 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let s = store.stats();
     println!(
         "lookups: {} | block reads: {} | bloom-filter skips: {} ({:.1}% of absent probes answered for free)",
-        s.lookups,
-        s.lookup_block_reads,
-        s.bloom_skips,
-        100.0 * s.bloom_skips as f64 / absent_probes as f64
+        s.lookups(),
+        s.lookup_block_reads(),
+        s.bloom_skips(),
+        100.0 * s.bloom_skips() as f64 / absent_probes as f64
     );
     println!("present keys probed: {found}");
 

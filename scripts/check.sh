@@ -17,4 +17,7 @@ cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
 # Full soak (thousands of seeds), not part of the gate:
 #   cargo test --release --test crash_torture -- --ignored
 
+echo "== sharded front-end throughput smoke =="
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke
+
 echo "All checks passed."
