@@ -5,14 +5,16 @@
 //!
 //! ```text
 //! cargo run --release --bin lsm_doctor -- [--policy=choosebest|full|rr|testmixed] \
-//!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path]
+//!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path] \
+//!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv] \
+//!     [--series-every=1000] [--tick-clock]
 //! ```
 
 use std::sync::Arc;
 
 use lsm_bench::report::{fmt_f, merged_json};
-use lsm_bench::{Args, PolicyCase, Table, WorkloadKind};
-use lsm_tree::observe::{MetricsSink, SinkHandle};
+use lsm_bench::{Args, ObsPipeline, PolicyCase, Table, WorkloadKind};
+use lsm_tree::observe::{FanoutSink, MetricsSink, SinkHandle};
 use lsm_tree::{LsmTree, PolicySpec, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, MemDevice};
 use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
@@ -21,7 +23,8 @@ fn main() {
     let args = Args::from_env();
     let size_mb: u64 = args.get_or("size-mb", 20);
     let seed: u64 = args.get_or("seed", 1);
-    let policy = match args.get("policy").unwrap_or("choosebest") {
+    let policy_str = args.get("policy").unwrap_or("choosebest").to_string();
+    let policy = match policy_str.as_str() {
         "full" => PolicySpec::Full,
         "rr" => PolicySpec::RoundRobin,
         "testmixed" => PolicySpec::TestMixed,
@@ -42,13 +45,22 @@ fn main() {
     let device = Arc::new(MemDevice::with_block_size(device_blocks.max(8192), cfg.block_size));
     let metrics_sink = Arc::new(MetricsSink::new());
     let metrics = metrics_sink.metrics();
+    let obs = ObsPipeline::from_args(
+        &args,
+        cfg.block_capacity() as u64,
+        &[("policy", &policy_str), ("workload", kind.name())],
+    )
+    .expect("open observability exporters");
+    // The doctor's own registry (merged into the JSON report) always runs;
+    // the exporter stack fans in beside it when requested. Spans route to
+    // the pipeline's tracer — the plain registry sink ignores them.
+    let sink = match obs.sink().as_arc() {
+        Some(extra) => SinkHandle::of(FanoutSink::new(vec![metrics_sink as _, extra])),
+        None => SinkHandle::new(metrics_sink as _),
+    };
     let mut tree = LsmTree::new(
         cfg.clone(),
-        TreeOptions::builder()
-            .policy(policy)
-            .preserve_blocks(case.preserve)
-            .sink(SinkHandle::new(metrics_sink as _))
-            .build(),
+        TreeOptions::builder().policy(policy).preserve_blocks(case.preserve).sink(sink).build(),
         Arc::clone(&device) as Arc<dyn BlockDevice>,
     )
     .unwrap();
@@ -124,6 +136,44 @@ fn main() {
     // the deep check, which reads every block back and would otherwise
     // pollute the device/cache numbers with verification traffic.
     let doc = merged_json("lsm_doctor", &tree, Some(&wear), Some(&metrics));
+
+    // Amplification over time: how write amplification, cache behaviour,
+    // and wear accumulated as the device absorbed operations. Printed (a
+    // spaced subset) whenever --series-out sampled the run.
+    if let Some(series) = obs.series() {
+        let samples = series.samples();
+        println!("\n=== amplification over time ({} samples) ===", samples.len());
+        let mut t = Table::new([
+            "device ops",
+            "writes",
+            "write amp",
+            "cache hit%",
+            "max wear",
+            "height",
+            "merges",
+        ]);
+        let stride = (samples.len() / 12).max(1);
+        for (i, s) in samples.iter().enumerate() {
+            if i % stride != 0 && i + 1 != samples.len() {
+                continue;
+            }
+            t.row([
+                s.op.to_string(),
+                s.device_writes.to_string(),
+                fmt_f(s.write_amp, 2),
+                fmt_f(100.0 * s.cache_hit_rate, 1),
+                s.max_wear.to_string(),
+                s.height.to_string(),
+                s.merges.to_string(),
+            ]);
+        }
+        t.print();
+    }
+    // Exporters close before the deep check so verification traffic stays
+    // out of the trace and the time series.
+    for path in obs.finish().expect("write observability outputs") {
+        println!("wrote {}", path.display());
+    }
 
     if let Err(e) = lsm_tree::verify::check_tree(&tree, true) {
         println!("INVARIANT VIOLATION: {e}");

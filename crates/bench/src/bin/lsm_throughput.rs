@@ -30,13 +30,21 @@
 //! cargo run --release --bin lsm_throughput -- [--smoke] [--shards=1,2,4,8]
 //!     [--writers=4] [--readers=2] [--requests-per-writer=N] [--seed=1]
 //!     [--raw-device] [--read-us=25] [--write-us=200]
+//!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv]
 //! ```
+//!
+//! Observability: exporters perturb what a cell measures, so the timed
+//! cells always run un-instrumented. When any of `--trace-out` /
+//! `--prom-out` / `--series-out` is given, one extra *traced* cell runs
+//! after the timing matrix at the largest shard count with the full
+//! pipeline attached — its spans, metrics, and time series describe the
+//! same workload the matrix timed.
 
 use std::sync::Arc;
 
 use lsm_bench::report::fmt_f;
-use lsm_bench::{Args, Csv, Table};
-use lsm_tree::observe::Json;
+use lsm_bench::{Args, Csv, ObsPipeline, Table};
+use lsm_tree::observe::{Json, SinkHandle};
 use lsm_tree::{LsmConfig, PolicySpec, ShardedLsmTree, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, LatencyDevice, MemDevice};
 use workloads::{run_closed_loop, InsertRatio, OffsetKeys, PrebuiltRequests, ThreadPlan, Uniform};
@@ -63,6 +71,7 @@ fn run_cell(
     seed: u64,
     device_blocks: u64,
     model: Option<CostModel>,
+    sink: SinkHandle,
 ) -> Cell {
     let devices: Vec<Arc<dyn BlockDevice>> = (0..shards)
         .map(|_| {
@@ -76,7 +85,7 @@ fn run_cell(
         .collect();
     let tree = ShardedLsmTree::with_devices(
         cfg.clone(),
-        TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(sink).build(),
         devices,
     )
     .expect("valid bench configuration");
@@ -209,7 +218,17 @@ fn main() {
         // robust to a stalled run yet still averages jitter down, unlike a
         // plain median of noisy short runs.
         let mut runs: Vec<Cell> = (0..repeat.max(1))
-            .map(|r| run_cell(&cfg, shards, plan, seed + 1000 * r as u64, device_blocks, model))
+            .map(|r| {
+                run_cell(
+                    &cfg,
+                    shards,
+                    plan,
+                    seed + 1000 * r as u64,
+                    device_blocks,
+                    model,
+                    SinkHandle::none(),
+                )
+            })
             .collect();
         runs.sort_by(|a, b| a.write_kops.total_cmp(&b.write_kops));
         let trim = runs.len() / 4;
@@ -250,6 +269,28 @@ fn main() {
         cells.push(cell);
     }
     table.print();
+
+    // Dedicated traced cell — see the module docs: the exporter stack
+    // attaches to a fresh run at the largest shard count, leaving the
+    // timed matrix above unperturbed.
+    let obs = ObsPipeline::from_args(
+        &args,
+        cfg.block_capacity() as u64,
+        &[("bench", "lsm_throughput"), ("policy", "choose_best")],
+    )
+    .expect("open observability exporters");
+    if obs.active() {
+        let traced_shards = shard_counts.iter().copied().max().unwrap_or(1);
+        eprintln!("  traced cell: shards={traced_shards}, exporters attached");
+        let cell = run_cell(&cfg, traced_shards, plan, seed, device_blocks, model, obs.sink());
+        for path in obs.finish().expect("write observability outputs") {
+            println!("wrote {}", path.display());
+        }
+        eprintln!(
+            "  traced cell done: {:.1} kput/s, {} blocks written",
+            cell.write_kops, cell.blocks_written
+        );
+    }
 
     let speedup_4 = match (
         cells.iter().find(|c| c.shards == 1),

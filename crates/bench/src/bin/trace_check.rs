@@ -1,0 +1,122 @@
+//! `trace_check` — validates the observability artifacts the other
+//! binaries export, so CI can assert the exporters stay well-formed:
+//!
+//! - `--trace=PATH`: Chrome `trace_event` JSON — must parse, be an array
+//!   of objects each carrying a `ph` phase, and contain at least one
+//!   complete ("X") span with `name`/`pid`/`tid`/`ts`/`dur`.
+//! - `--prom=PATH`: Prometheus text exposition — must pass the strict
+//!   line validator with at least one sample.
+//! - `--series=PATH`: amplification time series CSV — header row plus
+//!   rows of constant width and monotone device-op counts.
+//!
+//! Exits non-zero with a diagnostic on the first malformed artifact.
+//!
+//! ```text
+//! cargo run --release --bin trace_check -- --trace=t.json --prom=m.prom --series=s.csv
+//! ```
+
+use lsm_bench::Args;
+use observe::metrics::validate_prometheus;
+use observe::Json;
+
+fn fail(what: &str, why: impl std::fmt::Display) -> ! {
+    eprintln!("trace_check: {what}: {why}");
+    std::process::exit(1);
+}
+
+fn read(what: &str, path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(what, format!("{path}: {e}")))
+}
+
+fn check_trace(path: &str) {
+    let doc = Json::parse(&read("trace", path)).unwrap_or_else(|e| fail("trace", e));
+    let Json::Arr(events) = doc else { fail("trace", "top level is not a JSON array") };
+    if events.is_empty() {
+        fail("trace", "empty event array");
+    }
+    let mut complete = 0u64;
+    let mut merges = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Obj(fields) = ev else { fail("trace", format!("event {i} is not an object")) };
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        let Some(Json::Str(ph)) = get("ph") else {
+            fail("trace", format!("event {i} has no \"ph\" phase"))
+        };
+        if ph == "X" {
+            complete += 1;
+            for key in ["name", "pid", "tid", "ts", "dur"] {
+                if get(key).is_none() {
+                    fail("trace", format!("complete event {i} lacks \"{key}\""));
+                }
+            }
+            if let Some(Json::Str(name)) = get("name") {
+                if name.starts_with("merge ") {
+                    merges += 1;
+                }
+            }
+        }
+    }
+    if complete == 0 {
+        fail("trace", "no complete (\"X\") span events");
+    }
+    println!("trace ok: {} events, {complete} complete spans ({merges} merges)", events.len());
+}
+
+fn check_prom(path: &str) {
+    let text = read("prom", path);
+    match validate_prometheus(&text) {
+        Ok(0) => fail("prom", "no samples"),
+        Ok(n) => println!("prom ok: {n} samples"),
+        Err(e) => fail("prom", e),
+    }
+}
+
+fn check_series(path: &str) {
+    let text = read("series", path);
+    let mut lines = text.lines();
+    let Some(header) = lines.next() else { fail("series", "empty file") };
+    if !header.starts_with("op,") {
+        fail("series", format!("header does not start with \"op,\": {header}"));
+    }
+    let width = header.split(',').count();
+    let mut rows = 0u64;
+    let mut last_op: Option<u64> = None;
+    for (i, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != width {
+            fail("series", format!("row {i} has {} cells, header has {width}", cells.len()));
+        }
+        let op: u64 = cells[0].parse().unwrap_or_else(|_| {
+            fail("series", format!("row {i} op is not a number: {}", cells[0]))
+        });
+        if last_op.is_some_and(|prev| op < prev) {
+            fail("series", format!("row {i} device-op count went backwards"));
+        }
+        last_op = Some(op);
+        rows += 1;
+    }
+    if rows == 0 {
+        fail("series", "no data rows");
+    }
+    println!("series ok: {rows} rows of {width} columns");
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut checked = false;
+    if let Some(path) = args.get("trace") {
+        check_trace(path);
+        checked = true;
+    }
+    if let Some(path) = args.get("prom") {
+        check_prom(path);
+        checked = true;
+    }
+    if let Some(path) = args.get("series") {
+        check_series(path);
+        checked = true;
+    }
+    if !checked {
+        fail("usage", "pass at least one of --trace=, --prom=, --series=");
+    }
+}

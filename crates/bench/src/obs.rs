@@ -1,0 +1,206 @@
+//! Shared observability pipeline for the bench binaries.
+//!
+//! Every binary that exports traces or metrics parses the same flags:
+//!
+//! - `--trace-out=PATH` — Chrome `trace_event` JSON (load in Perfetto or
+//!   `chrome://tracing`); spans carry their attributed device I/O.
+//! - `--prom-out=PATH` — Prometheus text exposition of the metrics
+//!   registry, including `span.*_us` duration histograms.
+//! - `--series-out=PATH` — amplification time series; `.json` extension
+//!   selects JSON, anything else CSV.
+//! - `--series-every=N` — device ops between samples (default 1000).
+//! - `--tick-clock` — deterministic tick timestamps (each clock reading is
+//!   the next integer) instead of wall-clock microseconds, for
+//!   byte-reproducible traces.
+//!
+//! [`ObsPipeline::from_args`] assembles the matching sink stack — a
+//! [`Tracer`] in front when anything needs spans, a plain fan-out
+//! otherwise — and [`ObsPipeline::finish`] flushes every exporter to disk.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use observe::{
+    ChromeTraceSink, EventSink, FanoutSink, Metrics, SinkHandle, TextExpositionSink, TickClock,
+    TimeseriesSink, Tracer,
+};
+
+use crate::Args;
+
+/// The assembled exporter stack. Inactive (all no-ops) when none of the
+/// observability flags were given.
+pub struct ObsPipeline {
+    handle: SinkHandle,
+    chrome: Option<Arc<ChromeTraceSink>>,
+    text: Option<Arc<TextExpositionSink>>,
+    series: Option<Arc<TimeseriesSink>>,
+    trace_path: Option<PathBuf>,
+    prom_path: Option<PathBuf>,
+    series_path: Option<PathBuf>,
+}
+
+impl ObsPipeline {
+    /// Build the pipeline the flags ask for. `block_capacity` is records
+    /// per block (the time series expresses write amplification in
+    /// blocks); `global_labels` are stamped onto every Prometheus sample
+    /// (e.g. `[("policy", "choose_best")]`).
+    pub fn from_args(
+        args: &Args,
+        block_capacity: u64,
+        global_labels: &[(&str, &str)],
+    ) -> std::io::Result<ObsPipeline> {
+        let trace_path = args.get("trace-out").map(PathBuf::from);
+        let prom_path = args.get("prom-out").map(PathBuf::from);
+        let series_path = args.get("series-out").map(PathBuf::from);
+        let series_every: u64 = args.get_or("series-every", 1_000);
+
+        let text =
+            prom_path.as_ref().map(|p| Arc::new(TextExpositionSink::new(p.clone(), global_labels)));
+        let series = series_path
+            .as_ref()
+            .map(|_| Arc::new(TimeseriesSink::new(series_every, block_capacity)));
+        let chrome = match &trace_path {
+            Some(p) => Some(Arc::new(ChromeTraceSink::to_file(p)?)),
+            None => None,
+        };
+
+        // Plain event consumers, fed either through the tracer (so their
+        // events carry span context) or directly.
+        let mut consumers: Vec<Arc<dyn EventSink>> = Vec::new();
+        if let Some(t) = &text {
+            consumers.push(Arc::clone(t) as Arc<dyn EventSink>);
+        }
+        if let Some(s) = &series {
+            consumers.push(Arc::clone(s) as Arc<dyn EventSink>);
+        }
+
+        // A tracer goes in front whenever spans matter: to feed the Chrome
+        // trace, or to time spans into the Prometheus registry.
+        let handle = if chrome.is_some() || text.is_some() {
+            let mut tracer = if args.flag("tick-clock") {
+                Tracer::with_clock(Arc::new(TickClock::new()))
+            } else {
+                Tracer::new()
+            };
+            if let Some(c) = &chrome {
+                tracer = tracer.trace_to(Arc::clone(c) as _);
+            }
+            if let Some(t) = &text {
+                tracer = tracer.time_spans_into(t.metrics());
+            }
+            for c in consumers {
+                tracer = tracer.forward_events_to(c);
+            }
+            SinkHandle::of(tracer)
+        } else {
+            match consumers.len() {
+                0 => SinkHandle::none(),
+                1 => SinkHandle::new(consumers.pop().expect("len checked")),
+                _ => SinkHandle::of(FanoutSink::new(consumers)),
+            }
+        };
+
+        Ok(ObsPipeline { handle, chrome, text, series, trace_path, prom_path, series_path })
+    }
+
+    /// Whether any exporter was requested.
+    pub fn active(&self) -> bool {
+        self.handle.is_enabled()
+    }
+
+    /// The sink to install into the tree (via
+    /// [`TreeOptions`](lsm_tree::TreeOptions) or `set_sink`).
+    pub fn sink(&self) -> SinkHandle {
+        self.handle.clone()
+    }
+
+    /// The Prometheus registry, when `--prom-out` was given.
+    pub fn metrics(&self) -> Option<Metrics> {
+        self.text.as_ref().map(|t| t.metrics())
+    }
+
+    /// The amplification time series, when `--series-out` was given.
+    pub fn series(&self) -> Option<&TimeseriesSink> {
+        self.series.as_deref()
+    }
+
+    /// Flush every exporter to disk and return the files written.
+    pub fn finish(&self) -> std::io::Result<Vec<PathBuf>> {
+        self.handle.flush();
+        let mut written = Vec::new();
+        if let (Some(chrome), Some(path)) = (&self.chrome, &self.trace_path) {
+            chrome.finish();
+            written.push(path.clone());
+        }
+        if let (Some(text), Some(path)) = (&self.text, &self.prom_path) {
+            text.write()?;
+            written.push(path.clone());
+        }
+        if let (Some(series), Some(path)) = (&self.series, &self.series_path) {
+            if path.extension().is_some_and(|e| e == "json") {
+                series.write_json(path)?;
+            } else {
+                series.write_csv(path)?;
+            }
+            written.push(path.clone());
+        }
+        Ok(written)
+    }
+}
+
+impl std::fmt::Debug for ObsPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsPipeline")
+            .field("trace", &self.trace_path)
+            .field("prom", &self.prom_path)
+            .field("series", &self.series_path)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_without_flags() {
+        let args = Args::parse_from(Vec::new());
+        let p = ObsPipeline::from_args(&args, 32, &[]).unwrap();
+        assert!(!p.active());
+        assert!(p.metrics().is_none());
+        assert!(p.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn full_stack_exports_all_three_files() {
+        let dir = std::env::temp_dir().join("lsm_bench_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.trace.json");
+        let prom = dir.join("m.prom");
+        let series = dir.join("s.csv");
+        let args = Args::parse_from(vec![
+            format!("--trace-out={}", trace.display()),
+            format!("--prom-out={}", prom.display()),
+            format!("--series-out={}", series.display()),
+            "--series-every=1".into(),
+            "--tick-clock".into(),
+        ]);
+        let p = ObsPipeline::from_args(&args, 32, &[("policy", "test")]).unwrap();
+        assert!(p.active());
+        {
+            let sink = p.sink();
+            let _span = sink.span(observe::SpanOp::merge(1, true));
+            sink.emit(observe::Event::DeviceWrite { block: 0 });
+        }
+        let written = p.finish().unwrap();
+        assert_eq!(written.len(), 3);
+        let trace_doc = std::fs::read_to_string(&trace).unwrap();
+        observe::Json::parse(&trace_doc).expect("trace is valid JSON");
+        let prom_doc = std::fs::read_to_string(&prom).unwrap();
+        observe::metrics::validate_prometheus(&prom_doc).expect("prometheus text is valid");
+        assert!(prom_doc.contains("policy=\"test\""));
+        let series_doc = std::fs::read_to_string(&series).unwrap();
+        assert!(series_doc.starts_with("op,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

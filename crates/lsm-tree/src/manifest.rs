@@ -290,6 +290,7 @@ impl LsmTree {
     /// (the store defers those frees), so a power cut at any point leaves a
     /// manifest on disk whose blocks are all intact.
     pub fn checkpoint<P: AsRef<Path>>(&self, path: P) -> Result<()> {
+        let _span = self.sink().span(observe::SpanOp::checkpoint());
         self.store().sync()?;
         let manifest = Manifest::capture(self);
         let bytes = manifest.encode();

@@ -72,6 +72,14 @@ impl EventSink for ShardTagSink {
         }
     }
 
+    fn span_begin(&self, op: &observe::SpanOp) -> Option<observe::SpanId> {
+        self.inner.span_begin(&op.with_shard(self.shard))
+    }
+
+    fn span_end(&self, id: observe::SpanId, op: &observe::SpanOp) {
+        self.inner.span_end(id, &op.with_shard(self.shard));
+    }
+
     fn flush(&self) {
         self.inner.flush();
     }
@@ -139,9 +147,13 @@ impl ShardedLsmTree {
                 WriteAheadLog::open_and_replay(Self::wal_path(wal_dir.as_ref(), i))?;
             let replayed = requests.len() as u64;
             let mut shard = slot.write();
+            // Span through the shard's tagging sink so replay work carries
+            // the shard index.
+            let span = shard.tree.sink().span(observe::SpanOp::recovery());
             for req in requests {
                 shard.tree.apply(req)?;
             }
+            drop(span);
             shard.wal = Some(wal);
             user_sink.emit_with(|| Event::Recovery { replayed });
         }
@@ -247,8 +259,10 @@ impl ShardedLsmTree {
         };
         let idx = self.shard_of(key);
         self.sink.emit_with(|| Event::ShardRouted { shard: idx });
-        let mut shard = self.shards[idx].write();
+        let mut guard = self.shards[idx].write();
+        let shard = &mut *guard;
         if let Some(wal) = shard.wal.as_mut() {
+            let _span = shard.tree.sink().span(observe::SpanOp::wal_append());
             let bytes = wal.append(&req)? as u64;
             self.sink.emit_with(|| Event::WalAppend { bytes, synced: false });
         }
@@ -281,6 +295,7 @@ impl ShardedLsmTree {
         let mut runs: Vec<Vec<(Key, Bytes)>> = Vec::with_capacity(self.shards.len());
         for slot in self.shards.iter() {
             let shard = slot.read();
+            let _span = shard.tree.sink().span(observe::SpanOp::scan());
             runs.push(shard.tree.scan(lo, hi).collect::<Result<_>>()?);
         }
         Ok(merge_ordered(runs))

@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use observe::{Event, SinkHandle, SpanOp};
 
 use sim_ssd::BlockDevice;
 
@@ -62,6 +63,7 @@ pub struct SteppedMergeTree {
     /// `levels[i]` holds the runs of on-SSD level `i+1`, newest last.
     levels: Vec<Vec<Run>>,
     stats: TreeStats,
+    sink: SinkHandle,
 }
 
 impl SteppedMergeTree {
@@ -86,7 +88,23 @@ impl SteppedMergeTree {
             mem: Memtable::new(),
             levels: Vec::new(),
             stats: TreeStats::default(),
+            sink: SinkHandle::none(),
         })
+    }
+
+    /// Register (or detach, with [`SinkHandle::none`]) the event sink —
+    /// same contract as [`crate::LsmTree::set_sink`]: flush/merge events
+    /// and spans from this tree plus the store's cache and device events
+    /// all flow to the one sink, so the baseline traces on equal terms
+    /// with the leveled tree.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.store.set_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The currently registered sink (detached by default).
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
     /// Create over a fresh in-memory device.
@@ -113,6 +131,7 @@ impl SteppedMergeTree {
         }
         self.mem.apply(req);
         if self.mem.len() >= self.cfg.l0_capacity_records() {
+            let _cascade = self.sink.span(SpanOp::cascade());
             let records = self.mem.extract_all();
             self.flush_run_into(0, records)?;
         }
@@ -124,7 +143,16 @@ impl SteppedMergeTree {
         if self.levels.len() <= idx {
             self.levels.resize_with(idx + 1, Vec::new);
         }
-        let run = self.write_run(idx, records)?;
+        let run = if idx == 0 {
+            // The L0→L1 run write is the memtable flush; deeper run writes
+            // are merge output and stay inside their merge span.
+            let _span = self.sink.span(SpanOp::flush(true));
+            let records_flushed = records.len() as u64;
+            self.sink.emit_with(|| Event::MemtableFlush { records: records_flushed, full: true });
+            self.write_run(idx, records)?
+        } else {
+            self.write_run(idx, records)?
+        };
         if run.records > 0 {
             self.levels[idx].push(run);
         }
@@ -151,17 +179,37 @@ impl SteppedMergeTree {
 
     /// Merge-sort all runs of `levels[idx]` into one run at `idx + 1`.
     fn merge_level_down(&mut self, idx: usize) -> Result<()> {
+        let target_paper = idx + 2;
+        // Stepped merges are always "full" (all k runs at once); a deeper
+        // cascade triggered by the output run nests as a child span.
+        let _span = self.sink.span(SpanOp::merge(target_paper, true));
+        self.sink.emit_with(|| Event::MergeStart { target_level: target_paper, full: true });
         let runs = std::mem::take(&mut self.levels[idx]);
+        let src_records: u64 = runs.iter().map(Run::records).sum();
         // Tombstones can be dropped when merging out of the deepest
         // populated level (nothing below to cancel).
         let is_deepest = self.levels.iter().skip(idx + 1).all(Vec::is_empty);
+        let reads: u64 = runs.iter().map(|r| r.num_blocks() as u64).sum();
         let merged = self.merge_runs(&runs, idx + 1, !is_deepest)?;
         for run in &runs {
             for h in &run.handles {
                 self.store.free_block(h)?;
             }
         }
-        self.flush_run_into(idx + 1, merged)
+        let max_key = merged.last().map_or(0, |r| r.key);
+        let writes_before = self.stats.level(target_paper).blocks_written;
+        self.flush_run_into(idx + 1, merged)?;
+        let writes = self.stats.level(target_paper).blocks_written - writes_before;
+        self.sink.emit_with(|| Event::MergeFinish {
+            target_level: target_paper,
+            full: true,
+            src_records,
+            writes,
+            reads,
+            preserved: 0,
+            max_key,
+        });
+        Ok(())
     }
 
     /// K-way merge with newest-run-wins consolidation. Counts one logical
@@ -226,6 +274,7 @@ impl SteppedMergeTree {
 
     /// Point lookup: memtable, then every level's runs newest-first.
     pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
+        let _span = self.sink.span(SpanOp::lookup());
         self.stats.note_lookup();
         if let Some(r) = self.mem.get(key) {
             return Ok(match r.op {

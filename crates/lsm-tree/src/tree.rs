@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use observe::{Event, SinkHandle};
+use observe::{Event, SinkHandle, SpanGuard, SpanOp};
 
 use sim_ssd::BlockDevice;
 
@@ -276,6 +276,7 @@ impl LsmTree {
     /// concurrent readers (e.g. through [`crate::shared::SharedLsmTree`])
     /// are all accounted rather than silently dropped.
     pub fn get(&self, key: Key) -> Result<Option<Bytes>> {
+        let _span = self.sink.span(SpanOp::lookup());
         self.stats.note_lookup();
         let (value, probe) = self.lookup(key)?;
         self.stats.note_lookup_costs(probe.block_reads, probe.bloom_skips);
@@ -417,8 +418,12 @@ impl LsmTree {
 
     /// Run merges until no level overflows (§II-A).
     fn run_cascade(&mut self) -> Result<()> {
+        // The cascade span opens lazily on the first action, so the common
+        // no-op call (most requests trigger nothing) traces nothing.
+        let mut cascade: Option<SpanGuard> = None;
         loop {
             if self.mem.len() >= self.cfg.l0_capacity_records() {
+                cascade.get_or_insert_with(|| self.sink.span(SpanOp::cascade()));
                 self.merge_from_memtable()?;
                 continue;
             }
@@ -427,6 +432,7 @@ impl LsmTree {
             for vec_idx in 0..h {
                 let paper = vec_idx + 1;
                 if self.levels[vec_idx].num_blocks() >= self.cfg.level_capacity_blocks(paper) {
+                    cascade.get_or_insert_with(|| self.sink.span(SpanOp::cascade()));
                     if vec_idx + 1 == h {
                         self.grow();
                     } else {
@@ -482,6 +488,9 @@ impl LsmTree {
             src_rr_cursor: self.mem_rr_cursor,
         };
         let choice = self.policy.choose(&ctx);
+        // Covers record extraction and the L1 merge; the merge span in
+        // `do_merge` nests underneath.
+        let _flush_span = self.sink.span(SpanOp::flush(choice == MergeChoice::Full));
         self.sink.emit_with(|| Event::PolicyDecision {
             target_level: 1,
             full: choice == MergeChoice::Full,
@@ -540,20 +549,25 @@ impl LsmTree {
             self.preserve_blocks,
         )
         .with_pairwise(self.enforce_pairwise);
-        let src_level = &mut self.levels[src_vec_idx];
-        let mut w = src_level.waste_delta;
-        let seam_fix = engine.fix_pair_if_needed(src_level, range_start, &mut w)?;
-        src_level.waste_delta = w;
-        if let Some(fix) = seam_fix {
-            let ls = self.stats.level_mut(src_paper);
-            ls.pairwise_fixes += 1;
-            ls.blocks_written += fix.writes;
-            ls.blocks_read += fix.reads;
-            self.sink.emit_with(|| Event::PairwiseFix {
-                level: src_paper,
-                writes: fix.writes,
-                reads: fix.reads,
-            });
+        {
+            // The seam fix is its own span (not part of the merge below), so
+            // its writes never pollute merge-span attribution.
+            let _span = self.sink.span(SpanOp::pairwise_fix(src_paper));
+            let src_level = &mut self.levels[src_vec_idx];
+            let mut w = src_level.waste_delta;
+            let seam_fix = engine.fix_pair_if_needed(src_level, range_start, &mut w)?;
+            src_level.waste_delta = w;
+            if let Some(fix) = seam_fix {
+                let ls = self.stats.level_mut(src_paper);
+                ls.pairwise_fixes += 1;
+                ls.blocks_written += fix.writes;
+                ls.blocks_read += fix.reads;
+                self.sink.emit_with(|| Event::PairwiseFix {
+                    level: src_paper,
+                    writes: fix.writes,
+                    reads: fix.reads,
+                });
+            }
         }
         if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[src_vec_idx]) {
             self.compact(src_vec_idx)?;
@@ -573,6 +587,12 @@ impl LsmTree {
         kind: MergeKind,
     ) -> Result<()> {
         let target_paper = target_vec_idx + 1;
+        // Every device operation of `merge_into` — including in-merge
+        // pairwise fixes, whose writes `MergeFinish` folds into `writes` —
+        // lands inside this span; target-side compaction opens a child span
+        // of its own, keeping merge-span attribution equal to
+        // `MergeFinish::writes` exactly.
+        let _merge_span = self.sink.span(SpanOp::merge(target_paper, kind == MergeKind::Full));
         self.sink.emit_with(|| Event::MergeStart {
             target_level: target_paper,
             full: kind == MergeKind::Full,
@@ -623,6 +643,7 @@ impl LsmTree {
 
     fn compact(&mut self, vec_idx: usize) -> Result<()> {
         let paper = vec_idx + 1;
+        let _span = self.sink.span(SpanOp::compaction(paper));
         let engine = MergeEngine::new(
             &self.store,
             self.cfg.block_capacity(),

@@ -246,6 +246,7 @@ impl DurableLsmTree {
         wal_path: P,
     ) -> Result<Self> {
         let mut tree = LsmTree::restore(manifest_path.as_ref(), opts, device)?;
+        let _span = tree.sink().span(observe::SpanOp::recovery());
         let (wal, requests) = WriteAheadLog::open_and_replay(wal_path)?;
         let replayed = requests.len() as u64;
         for req in requests {
@@ -262,6 +263,7 @@ impl DurableLsmTree {
 
     /// Apply one request durably (WAL first, then the index).
     pub fn apply(&mut self, req: Request) -> Result<()> {
+        let span = self.tree.sink().span(observe::SpanOp::wal_append());
         let bytes = self.wal.append(&req)? as u64;
         if self.sync_every_request {
             self.wal.sync()?;
@@ -269,6 +271,7 @@ impl DurableLsmTree {
         self.tree
             .sink()
             .emit_with(|| observe::Event::WalAppend { bytes, synced: self.sync_every_request });
+        drop(span); // the index work that follows is not WAL time
         self.tree.apply(req)
     }
 

@@ -1,0 +1,242 @@
+//! The causal-tracing contract, end to end.
+//!
+//! Three pillars:
+//!
+//! 1. **Observer effect** — attaching the full exporter pipeline (tracer,
+//!    Chrome trace, Prometheus registry, time series) must not change a
+//!    single device frame or tree counter relative to an untraced run.
+//! 2. **Conservation** — every device write either carries a span
+//!    attribution or is explicitly unattributed, and the two buckets sum
+//!    to the device's own counters, per shard.
+//! 3. **Attribution** — each `MergeFinish.writes` equals the device
+//!    writes attributed to *that* merge's span: in-merge pairwise fixes
+//!    are inside, seam fixes and target compactions are not.
+
+use std::sync::Arc;
+
+use lsm_tree::observe::trace::TraceEventKind;
+use lsm_tree::observe::{
+    ChromeTraceSink, Event, NullSink, SinkHandle, SpanKind, TextExpositionSink, TickClock,
+    TimeseriesSink, Tracer, VecTraceSink,
+};
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, ShardedLsmTree, TreeOptions};
+use sim_ssd::{BlockDevice, MemDevice};
+
+fn cfg() -> LsmConfig {
+    LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 4,
+        gamma: 4,
+        cache_blocks: 64,
+        merge_rate: 0.25,
+        ..LsmConfig::default()
+    }
+}
+
+/// Seeded mixed workload: puts, deletes, and lookups over a skewed key
+/// space — enough volume to cascade several levels deep.
+fn drive(tree: &mut LsmTree, n: u64) {
+    let mut x = 0x243F_6A88_85A3_08D3u64;
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = (x >> 17) % 4_096;
+        match i % 11 {
+            10 => tree.delete(key).unwrap(),
+            7 => {
+                tree.get(key).unwrap();
+            }
+            _ => tree.put(key, vec![(key % 251) as u8; 4]).unwrap(),
+        }
+    }
+}
+
+fn build(device: Arc<MemDevice>, sink: SinkHandle) -> LsmTree {
+    LsmTree::new(
+        cfg(),
+        TreeOptions::builder()
+            .policy(PolicySpec::ChooseBest)
+            .preserve_blocks(true)
+            .sink(sink)
+            .build(),
+        device as Arc<dyn BlockDevice>,
+    )
+    .unwrap()
+}
+
+/// Satellite 1: no sink, a [`NullSink`], and the full exporter pipeline
+/// must produce byte-identical device images and identical tree counters
+/// on the same seeded workload.
+#[test]
+fn exporters_have_no_observer_effect() {
+    let run = |sink: SinkHandle| {
+        let device = Arc::new(MemDevice::with_block_size(1 << 16, cfg().block_size));
+        let mut tree = build(Arc::clone(&device), sink);
+        drive(&mut tree, 12_000);
+        (device.image_digest(), format!("{:?}", tree.stats()))
+    };
+
+    let bare = run(SinkHandle::none());
+    let null = run(SinkHandle::of(NullSink));
+    let prom_path = std::env::temp_dir().join("trace_spans_observer_effect.prom");
+    let full = run(SinkHandle::of(
+        Tracer::with_clock(Arc::new(TickClock::new()))
+            .trace_to(Arc::new(VecTraceSink::new()))
+            .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
+            .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
+            .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
+    ));
+
+    assert_eq!(bare.0, null.0, "NullSink changed the device image");
+    assert_eq!(bare.0, full.0, "exporter pipeline changed the device image");
+    assert_eq!(bare.1, null.1, "NullSink changed TreeStats");
+    assert_eq!(bare.1, full.1, "exporter pipeline changed TreeStats");
+    std::fs::remove_file(&prom_path).ok();
+}
+
+/// Satellites 2 (conservation) and the sharded half of the tentpole:
+/// every span the sharded tree opens carries its shard tag, and per
+/// shard, span-attributed device writes plus unattributed ones equal the
+/// device's own write counter — nothing double-counted, nothing lost.
+#[test]
+fn sharded_device_writes_conserve_per_shard() {
+    let shards = 3usize;
+    let vec_sink = Arc::new(VecTraceSink::new());
+    let tracer =
+        Tracer::with_clock(Arc::new(TickClock::new())).trace_to(Arc::clone(&vec_sink) as _);
+    let devices: Vec<Arc<MemDevice>> = (0..shards)
+        .map(|_| Arc::new(MemDevice::with_block_size(1 << 16, cfg().block_size)))
+        .collect();
+    let tree = ShardedLsmTree::with_devices(
+        cfg(),
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(SinkHandle::of(tracer)).build(),
+        devices.iter().map(|d| Arc::clone(d) as Arc<dyn BlockDevice>).collect(),
+    )
+    .unwrap();
+    let mut x = 7u64;
+    for _ in 0..10_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        tree.put(x >> 13, vec![(x % 251) as u8; 4]).unwrap();
+    }
+    tree.scan_collect(0, u64::MAX).unwrap();
+
+    // Map every span id to its op, then attribute each DeviceWrite to the
+    // shard of its innermost enclosing span.
+    let events = vec_sink.events();
+    let mut op_of = std::collections::HashMap::new();
+    let mut attributed = vec![0u64; shards];
+    let mut unattributed = 0u64;
+    let mut spans_seen = 0u64;
+    for ev in &events {
+        match &ev.kind {
+            TraceEventKind::Begin { id, op, .. } => {
+                spans_seen += 1;
+                assert_eq!(
+                    op.shard.map(|s| s < shards),
+                    Some(true),
+                    "sharded span lacks a valid shard tag: {op:?}"
+                );
+                op_of.insert(*id, *op);
+            }
+            TraceEventKind::Emit(Event::DeviceWrite { .. }) => match ev.span {
+                Some(id) => {
+                    let op = op_of.get(&id).expect("write attributed to unknown span");
+                    attributed[op.shard.expect("checked at Begin")] += 1;
+                }
+                None => unattributed += 1,
+            },
+            _ => {}
+        }
+    }
+    assert!(spans_seen > 0, "no spans traced");
+    assert_eq!(unattributed, 0, "all sharded device writes happen inside spans");
+    for (i, device) in devices.iter().enumerate() {
+        let io = device.io_snapshot();
+        assert!(io.writes > 0, "shard {i} never wrote");
+        assert_eq!(
+            attributed[i], io.writes,
+            "shard {i}: span-attributed writes disagree with DeviceStats"
+        );
+    }
+}
+
+/// Satellite of the tentpole's acceptance: each `MergeFinish.writes` is
+/// exactly the number of `DeviceWrite` events attributed to its merge
+/// span — in-merge pairwise fixes included, seam fixes and target-side
+/// compactions excluded (they run in their own spans).
+#[test]
+fn merge_finish_writes_match_span_attribution() {
+    let vec_sink = Arc::new(VecTraceSink::new());
+    let tracer =
+        Tracer::with_clock(Arc::new(TickClock::new())).trace_to(Arc::clone(&vec_sink) as _);
+    let device = Arc::new(MemDevice::with_block_size(1 << 16, cfg().block_size));
+    let mut tree = build(device, SinkHandle::of(tracer));
+    drive(&mut tree, 15_000);
+
+    let events = vec_sink.events();
+    let mut op_of = std::collections::HashMap::new();
+    let mut writes_of = std::collections::HashMap::new();
+    for ev in &events {
+        match &ev.kind {
+            TraceEventKind::Begin { id, op, .. } => {
+                op_of.insert(*id, *op);
+            }
+            TraceEventKind::Emit(Event::DeviceWrite { .. }) => {
+                if let Some(id) = ev.span {
+                    *writes_of.entry(id).or_insert(0u64) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut merges = 0u64;
+    for ev in &events {
+        if let TraceEventKind::Emit(Event::MergeFinish { writes, target_level, .. }) = ev.kind {
+            let id = ev.span.expect("MergeFinish outside any span");
+            let op = op_of[&id];
+            assert_eq!(op.kind, SpanKind::Merge, "MergeFinish attributed to {op:?}");
+            assert_eq!(op.level, Some(target_level), "MergeFinish in the wrong merge span");
+            assert_eq!(
+                writes_of.get(&id).copied().unwrap_or(0),
+                writes,
+                "merge span L{target_level}: attributed writes != MergeFinish.writes"
+            );
+            merges += 1;
+        }
+    }
+    assert!(merges >= 10, "expected a deep cascade, saw {merges} merges");
+}
+
+/// Tick-clock traces are deterministic: two identical runs produce
+/// byte-identical Chrome trace JSON.
+#[test]
+fn tick_clock_chrome_traces_are_byte_identical() {
+    #[derive(Clone, Default)]
+    struct Shared(Arc<parking_lot::Mutex<Vec<u8>>>);
+    impl std::io::Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let run = || {
+        let out = Shared::default();
+        let chrome = Arc::new(ChromeTraceSink::new(out.clone()));
+        let tracer =
+            Tracer::with_clock(Arc::new(TickClock::new())).trace_to(Arc::clone(&chrome) as _);
+        let device = Arc::new(MemDevice::with_block_size(1 << 16, cfg().block_size));
+        let mut tree = build(device, SinkHandle::of(tracer));
+        drive(&mut tree, 8_000);
+        chrome.finish();
+        let bytes = out.0.lock().clone();
+        String::from_utf8(bytes).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert!(a.contains("\"ph\":\"X\""), "trace has no complete spans");
+    assert_eq!(a, b, "tick-clock traces must be byte-identical across runs");
+}

@@ -53,6 +53,25 @@ impl Json {
         out
     }
 
+    /// Parse a JSON document (the inverse of [`Json::render`]).
+    ///
+    /// A strict recursive-descent parser: no trailing garbage, no
+    /// comments, full string-escape handling including `\uXXXX` surrogate
+    /// pairs. Numbers parse as `U64` when unsigned-integral, `I64` when
+    /// negative-integral, `F64` otherwise — so `render(parse(render(x)))`
+    /// equals `render(x)` for every value this module can produce. Used to
+    /// validate emitted trace files without trusting the writer.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -128,6 +147,210 @@ impl Json {
             }
             other => other.write(out),
         }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )),
+            None => Err(format!("expected '{}' but input ended", b as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected '{}' at byte {}", other as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(pairs)),
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos - 1)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos - 1)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or("truncated \\u escape")?;
+            let digit = (b as char).to_digit(16).ok_or_else(|| {
+                format!("bad hex digit '{}' in \\u escape at byte {}", b as char, self.pos - 1)
+            })?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = Vec::<u8>::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into())
+                }
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or("truncated escape")?;
+                    let decoded = match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'b' => '\u{0008}',
+                        b'f' => '\u{000C}',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a low surrogate must follow.
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("lone low surrogate".into());
+                            } else {
+                                hi
+                            };
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint U+{code:04X}"))?
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    };
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(decoded.encode_utf8(&mut buf).as_bytes());
+                }
+                Some(raw) if raw < 0x20 => {
+                    return Err(format!("unescaped control byte 0x{raw:02x} in string"));
+                }
+                Some(raw) => out.push(raw),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF-8 number".to_string())?;
+        if !float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    if let Ok(n) = text.parse::<i64>() {
+                        return Ok(Json::I64(n));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
 }
 
@@ -237,5 +460,46 @@ mod tests {
     fn pretty_rendering_is_stable() {
         let doc = Json::obj([("a", Json::arr([Json::from(1u64)]))]);
         assert_eq!(doc.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let doc = Json::obj([
+            ("name", Json::from("fig6")),
+            ("ok", Json::from(true)),
+            ("neg", Json::from(-3i64)),
+            ("ratio", Json::from(0.5)),
+            ("none", Json::Null),
+            ("items", Json::arr([Json::from(1u64), Json::from("x")])),
+            ("nested", Json::obj([("k", Json::from("v"))])),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let original = Json::from("a\"b\\c\nd\u{1}é→😀");
+        assert_eq!(Json::parse(&original.render()).unwrap(), original);
+        // Surrogate pair escape decodes to one astral character.
+        assert_eq!(Json::parse("\"\\ud83d\\ude00\"").unwrap(), Json::from("😀"));
+        assert_eq!(Json::parse("\"\\u00e9\"").unwrap(), Json::from("é"));
+        assert!(Json::parse("\"\\ud83d\"").is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn parses_numbers_by_type() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("0.25").unwrap(), Json::F64(0.25));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse("18446744073709551615").unwrap(), Json::U64(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"\x01\"", "1 2", "{'a':1}"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

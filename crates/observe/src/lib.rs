@@ -18,15 +18,25 @@
 //! - [`MetricsSink`] — folds events into a shared [`Metrics`] registry of
 //!   counters and histograms.
 //! - [`FanoutSink`] — broadcasts to several sinks at once.
+//!
+//! The [`trace`] module layers *causality* on top: a [`Tracer`] is an
+//! `EventSink` that opens timed, nested spans (see
+//! [`SinkHandle::span`]) and tags every event with the span that caused
+//! it, feeding Chrome-trace, Prometheus, and time-series exporters.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod json;
 pub mod metrics;
+pub mod trace;
 
 pub use json::Json;
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, TextExpositionSink};
+pub use trace::{
+    ChromeTraceSink, Clock, SpanGuard, SpanId, SpanKind, SpanOp, TickClock, TimeseriesSink,
+    TraceEvent, TraceEventKind, TraceSink, Tracer, VecTraceSink, WallClock,
+};
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -351,6 +361,21 @@ pub trait EventSink: Send + Sync {
 
     /// Flush any buffered output. Default: no-op.
     fn flush(&self) {}
+
+    /// Open a causal span covering the operation described by `op`.
+    ///
+    /// Sinks that do not track causality keep the default and return
+    /// `None` — callers use [`SinkHandle::span`], whose guard then does
+    /// nothing on drop, so span-annotated code paths cost one virtual
+    /// call when a plain sink is attached and nothing when none is.
+    /// [`trace::Tracer`] overrides this to allocate a real [`trace::SpanId`].
+    fn span_begin(&self, _op: &trace::SpanOp) -> Option<trace::SpanId> {
+        None
+    }
+
+    /// Close a span previously opened by [`EventSink::span_begin`].
+    /// Implementations must ignore ids they did not issue.
+    fn span_end(&self, _id: trace::SpanId, _op: &trace::SpanOp) {}
 }
 
 /// A cloneable, possibly-absent reference to an [`EventSink`].
@@ -419,6 +444,16 @@ impl SinkHandle {
         if let Some(sink) = &self.sink {
             sink.flush();
         }
+    }
+
+    /// Open a causal span; the returned guard ends it on drop.
+    ///
+    /// Inert (and nearly free) when the handle is disabled or the sink
+    /// does not trace; a real timed span when a [`trace::Tracer`] is
+    /// attached. Spans must be dropped on the thread that opened them.
+    #[inline]
+    pub fn span(&self, op: trace::SpanOp) -> trace::SpanGuard {
+        trace::SpanGuard::begin(self.sink.clone(), op)
     }
 }
 
@@ -784,9 +819,10 @@ impl EventSink for MetricsSink {
                 m.observe("policy.predicted_writes", predicted_writes);
             }
             Event::MergeStart { .. } => {}
-            Event::MergeFinish { writes, reads, preserved, src_records, .. } => {
+            Event::MergeFinish { target_level, writes, reads, preserved, src_records, .. } => {
                 m.incr("merge.count");
                 m.add("merge.writes_total", writes);
+                m.add_with("merge.level_writes", &[("level", &target_level.to_string())], writes);
                 m.observe("merge.writes", writes);
                 m.observe("merge.reads", reads);
                 m.observe("merge.preserved", preserved);
@@ -829,9 +865,10 @@ impl EventSink for MetricsSink {
             Event::BlockQuarantined { .. } => m.incr("degraded.blocks_quarantined"),
             Event::ReadRepair { .. } => m.incr("degraded.read_repairs"),
             Event::ShardRouted { .. } => m.incr("shard.routed"),
-            Event::ShardMergeFinish { writes, .. } => {
+            Event::ShardMergeFinish { shard, writes, .. } => {
                 m.incr("shard.merges");
                 m.observe("shard.merge_writes", writes);
+                m.add_with("shard.merge_writes_total", &[("shard", &shard.to_string())], writes);
             }
         }
     }
@@ -871,6 +908,19 @@ impl EventSink for FanoutSink {
     fn flush(&self) {
         for sink in &self.sinks {
             sink.flush();
+        }
+    }
+
+    /// Spans go to the first inner sink that accepts them (i.e. the first
+    /// [`trace::Tracer`]); at most one tracer per fanout sees spans. Plain
+    /// events still reach every sink.
+    fn span_begin(&self, op: &trace::SpanOp) -> Option<trace::SpanId> {
+        self.sinks.iter().find_map(|sink| sink.span_begin(op))
+    }
+
+    fn span_end(&self, id: trace::SpanId, op: &trace::SpanOp) {
+        for sink in &self.sinks {
+            sink.span_end(id, op);
         }
     }
 }

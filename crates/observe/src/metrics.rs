@@ -1,55 +1,75 @@
 //! A small unified metrics registry: named monotonic counters plus
-//! log₂-bucketed histograms. Cloning a [`Metrics`] shares the underlying
-//! registry, so one instance can be handed to several layers and read once.
+//! log-bucketed histograms (16 linear sub-buckets per power of two, ~4 %
+//! relative width — the same HdrHistogram-style scheme the workload
+//! drivers use for latencies, so block counts and nanoseconds share one
+//! implementation). Cloning a [`Metrics`] shares the underlying registry,
+//! so one instance can be handed to several layers and read once, and the
+//! whole registry renders to Prometheus text exposition format via
+//! [`Metrics::render_prometheus`].
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
+use crate::{Event, EventSink, MetricsSink};
 
-const BUCKETS: usize = 65; // one per power of two a u64 can hold, plus zero
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
 
-/// A log₂-bucketed histogram of `u64` samples.
-///
-/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
-/// `[2^(i-1), 2^i)`. Quantiles are therefore approximate (reported as the
-/// upper bound of the containing bucket) but never off by more than 2×,
-/// which is plenty for block counts and byte sizes.
+fn bucket_of(value: u64) -> usize {
+    let v = value.max(1);
+    let msb = 63 - v.leading_zeros() as u64;
+    if msb < SUB_BITS as u64 {
+        return v as usize;
+    }
+    let shift = msb - SUB_BITS as u64;
+    let sub = (v >> shift) - SUB; // 0..SUB within this octave
+    ((msb - SUB_BITS as u64 + 1) * SUB + sub) as usize
+}
+
+fn bucket_upper_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = (idx / SUB) - 1;
+    let sub = idx % SUB;
+    // The top octave's bound exceeds u64::MAX; saturate instead of wrapping.
+    let bound = u128::from(SUB + sub + 1) << octave;
+    bound.min(u128::from(u64::MAX)) as u64
+}
+
+/// A log-bucketed histogram of `u64` samples: 16 linear sub-buckets per
+/// power of two, so quantiles are accurate to ~4 % of the true value
+/// (values below 16 are exact; the true min and max are tracked exactly).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     count: u64,
-    sum: u64,
+    sum: u128,
     min: u64,
     max: u64,
-    buckets: [u64; BUCKETS],
+    buckets: Vec<u64>,
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
-    }
-}
-
-fn bucket_of(value: u64) -> usize {
-    match value {
-        0 => 0,
-        v => (64 - v.leading_zeros()) as usize,
-    }
-}
-
-fn bucket_upper_bound(bucket: usize) -> u64 {
-    match bucket {
-        0 => 0,
-        b if b >= 64 => u64::MAX,
-        b => (1u64 << b) - 1,
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: Vec::new() }
     }
 }
 
 impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; bucket_of(u64::MAX) + 1];
+        }
         self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.sum += u128::from(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.buckets[bucket_of(value)] += 1;
@@ -60,9 +80,9 @@ impl Histogram {
         self.count
     }
 
-    /// Sum of all samples (saturating).
+    /// Sum of all samples, saturating at `u64::MAX`.
     pub fn sum(&self) -> u64 {
-        self.sum
+        self.sum.min(u128::from(u64::MAX)) as u64
     }
 
     /// Smallest sample, or 0 when empty.
@@ -79,7 +99,7 @@ impl Histogram {
         self.max
     }
 
-    /// Mean of all samples, or 0.0 when empty.
+    /// Mean of all samples (exact), or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -88,22 +108,64 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the first
-    /// bucket whose cumulative count reaches `q * count`. Exact for the
-    /// min (`q = 0`) and never more than 2× above the true value.
+    /// Value at quantile `q ∈ [0, 1]`, accurate to the bucket's ~4 %
+    /// relative width; the true max is returned for `q ≥ 1 − 1/count`.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
-        for (i, &n) in self.buckets.iter().enumerate() {
+        for (idx, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper_bound(i).min(self.max);
+                return bucket_upper_bound(idx).min(self.max);
             }
         }
         self.max
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 0.99 quantile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The 0.999 quantile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; bucket_of(u64::MAX) + 1];
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Occupied buckets as `(upper_bound, count)` pairs, in increasing
+    /// bound order — the raw material for Prometheus `_bucket` lines.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(idx, &n)| (bucket_upper_bound(idx), n))
+            .collect()
     }
 
     /// Render as a JSON object of summary statistics.
@@ -117,6 +179,7 @@ impl Histogram {
             ("p50", Json::from(self.quantile(0.50))),
             ("p90", Json::from(self.quantile(0.90))),
             ("p99", Json::from(self.quantile(0.99))),
+            ("p999", Json::from(self.quantile(0.999))),
         ])
     }
 }
@@ -127,11 +190,92 @@ struct Registry {
     histograms: BTreeMap<String, Histogram>,
 }
 
+/// Build a registry key carrying Prometheus-style labels:
+/// `labeled("merge.writes", &[("level", "2")])` → `merge.writes{level="2"}`.
+///
+/// [`Metrics::render_prometheus`] splits such keys back into base name and
+/// label set; plain keys render unlabeled.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Sanitize a dotted metric name into a Prometheus metric name.
+fn prom_name(base: &str) -> String {
+    let mut out = String::with_capacity(base.len() + 4);
+    out.push_str("lsm_");
+    for (i, c) in base.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        let ok = ok && !(i == 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Split a registry key into `(base, labels)` where `labels` keeps its
+/// surrounding braces (or is empty).
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(at) => (&key[..at], &key[at..]),
+        None => (key, ""),
+    }
+}
+
+/// Merge global labels into a key's own label block, returning the full
+/// `{...}` suffix (or an empty string when there are no labels at all).
+fn merged_labels(own: &str, global: &[(String, String)]) -> String {
+    let own_inner = own.trim_start_matches('{').trim_end_matches('}');
+    let mut parts: Vec<String> = Vec::new();
+    for (k, v) in global {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if !own_inner.is_empty() {
+        parts.push(own_inner.to_string());
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Like [`merged_labels`] but appends one extra label (used for `le`).
+fn merged_labels_plus(own: &str, global: &[(String, String)], extra: &str) -> String {
+    let base = merged_labels(own, global);
+    if base.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &base[..base.len() - 1])
+    }
+}
+
 /// Shared registry of named counters and histograms.
 ///
 /// `Metrics` is cheap to clone (an `Arc` around the registry); all clones
 /// observe the same values. Names are conventionally dotted paths like
-/// `"device.reads"` or `"merge.writes"`.
+/// `"device.reads"` or `"merge.writes"`, optionally carrying labels built
+/// with [`labeled`].
 #[derive(Clone, Default)]
 pub struct Metrics {
     inner: Arc<Mutex<Registry>>,
@@ -170,11 +314,21 @@ impl Metrics {
         });
     }
 
+    /// Increment the labeled counter `name{labels}` by `delta`.
+    pub fn add_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.add(&labeled(name, labels), delta);
+    }
+
     /// Record `value` into the histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
         self.with_registry(|reg| {
             reg.histograms.entry(name.to_string()).or_default().record(value);
         });
+    }
+
+    /// Record `value` into the labeled histogram `name{labels}`.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.observe(&labeled(name, labels), value);
     }
 
     /// Current value of the counter `name` (0 if never incremented).
@@ -203,6 +357,177 @@ impl Metrics {
             Json::obj([("counters", counters), ("histograms", histograms)])
         })
     }
+
+    /// Render every counter and histogram in Prometheus text exposition
+    /// format. Dotted names become `lsm_`-prefixed underscore names;
+    /// label blocks built with [`labeled`] are preserved, and
+    /// `global_labels` (e.g. `policy="choose_best"`) are stamped onto
+    /// every sample. Histograms render as cumulative `_bucket`/`_sum`/
+    /// `_count` families over their occupied buckets.
+    pub fn render_prometheus(&self, global_labels: &[(&str, &str)]) -> String {
+        let global: Vec<(String, String)> =
+            global_labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        self.with_registry(|reg| {
+            let mut out = String::new();
+            let mut typed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            for (key, value) in &reg.counters {
+                let (base, own) = split_key(key);
+                let name = prom_name(base);
+                if typed.insert(name.clone()) {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                }
+                out.push_str(&format!("{name}{} {value}\n", merged_labels(own, &global)));
+            }
+            for (key, hist) in &reg.histograms {
+                let (base, own) = split_key(key);
+                let name = prom_name(base);
+                if typed.insert(name.clone()) {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                }
+                let mut cumulative = 0u64;
+                for (bound, count) in hist.nonzero_buckets() {
+                    cumulative += count;
+                    let labels = merged_labels_plus(own, &global, &format!("le=\"{bound}\""));
+                    out.push_str(&format!("{name}_bucket{labels} {cumulative}\n"));
+                }
+                let labels = merged_labels_plus(own, &global, "le=\"+Inf\"");
+                out.push_str(&format!("{name}_bucket{labels} {}\n", hist.count()));
+                let plain = merged_labels(own, &global);
+                out.push_str(&format!("{name}_sum{plain} {}\n", hist.sum()));
+                out.push_str(&format!("{name}_count{plain} {}\n", hist.count()));
+            }
+            out
+        })
+    }
+}
+
+/// Check that `text` is well-formed Prometheus text exposition format.
+///
+/// Returns the number of sample lines on success, or a description of the
+/// first malformed line. Used by the trace-smoke CI step; intentionally
+/// strict about the subset this crate emits (comments, `name{labels} value`).
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ") || rest.is_empty()) {
+                return Err(format!("line {lineno}: unknown comment form: {line}"));
+            }
+            continue;
+        }
+        let (name_part, value_part) = match line.rfind(' ') {
+            Some(at) => (&line[..at], &line[at + 1..]),
+            None => return Err(format!("line {lineno}: no value: {line}")),
+        };
+        if value_part.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: bad value {value_part:?}"));
+        }
+        let (name, labels) = split_key(name_part);
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        if !labels.is_empty() {
+            let inner = labels
+                .strip_prefix('{')
+                .and_then(|l| l.strip_suffix('}'))
+                .ok_or_else(|| format!("line {lineno}: unbalanced label braces: {line}"))?;
+            for pair in inner.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: label without '=': {pair:?}"))?;
+                if k.is_empty() || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(format!("line {lineno}: bad label name {k:?}"));
+                }
+                if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+                    return Err(format!("line {lineno}: unquoted label value {v:?}"));
+                }
+            }
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+/// An [`EventSink`] that folds events into a [`Metrics`] registry (via
+/// [`MetricsSink`]) and writes the Prometheus text rendering to a file on
+/// every flush — the "pull a fresh scrape off disk" exporter.
+pub struct TextExpositionSink {
+    inner: MetricsSink,
+    path: std::path::PathBuf,
+    global_labels: Vec<(String, String)>,
+}
+
+impl std::fmt::Debug for TextExpositionSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TextExpositionSink").field("path", &self.path).finish()
+    }
+}
+
+impl TextExpositionSink {
+    /// Expose the registry at `path`, stamping `global_labels` onto every
+    /// sample (e.g. `[("policy", "choose_best")]`).
+    pub fn new(path: impl Into<std::path::PathBuf>, global_labels: &[(&str, &str)]) -> Self {
+        TextExpositionSink {
+            inner: MetricsSink::new(),
+            path: path.into(),
+            global_labels: global_labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Same, but folding into an existing registry.
+    pub fn into_registry(
+        metrics: Metrics,
+        path: impl Into<std::path::PathBuf>,
+        global_labels: &[(&str, &str)],
+    ) -> Self {
+        TextExpositionSink {
+            inner: MetricsSink::into_registry(metrics),
+            path: path.into(),
+            global_labels: global_labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Handle on the registry this sink feeds.
+    pub fn metrics(&self) -> Metrics {
+        self.inner.metrics()
+    }
+
+    /// The Prometheus text rendering, as it would be written to the file.
+    pub fn render(&self) -> String {
+        let labels: Vec<(&str, &str)> =
+            self.global_labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        self.metrics().render_prometheus(&labels)
+    }
+
+    /// Write the current rendering to the configured path.
+    pub fn write(&self) -> std::io::Result<()> {
+        std::fs::write(&self.path, self.render())
+    }
+}
+
+impl EventSink for TextExpositionSink {
+    fn emit(&self, event: &Event) {
+        self.inner.emit(event);
+    }
+
+    fn flush(&self) {
+        let _ = self.write();
+    }
 }
 
 #[cfg(test)]
@@ -230,10 +555,47 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 21.2).abs() < 1e-9);
-        // p50 of [0,1,2,3,100]: third sample lands in the [2,4) bucket.
-        assert_eq!(h.quantile(0.5), 3);
+        // p50 of [0,1,2,3,100]: sub-bucketed scheme is exact below 16, and
+        // 0 and 1 share the first occupied bucket, so the third sample
+        // resolves to 2.
+        assert_eq!(h.quantile(0.5), 2);
         // p99 falls in the last occupied bucket, capped at the true max.
         assert_eq!(h.quantile(0.99), 100);
+    }
+
+    #[test]
+    fn quantiles_are_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 5_000f64), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            assert!((got - expect).abs() / expect < 0.08, "q={q}: got {got}, expected ≈{expect}");
+        }
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+        assert_eq!(h.quantile(1.0), 10_000);
+    }
+
+    #[test]
+    fn histograms_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 10_099);
+        assert!(a.quantile(0.25) < 100);
+        assert!(a.quantile(0.75) >= 9_000);
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 200);
     }
 
     #[test]
@@ -243,6 +605,7 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.9), 0);
         assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
     }
 
     #[test]
@@ -264,5 +627,73 @@ mod tests {
             assert!(v <= bucket_upper_bound(b));
             prev = b;
         }
+    }
+
+    #[test]
+    fn labeled_keys_render_with_labels() {
+        assert_eq!(labeled("merge.writes", &[("level", "2")]), "merge.writes{level=\"2\"}");
+        assert_eq!(labeled("a", &[]), "a");
+        assert_eq!(labeled("a", &[("k", "x\"y")]), "a{k=\"x\\\"y\"}");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_valid_and_labeled() {
+        let m = Metrics::new();
+        m.add("device.writes", 42);
+        m.add_with("merge.level_writes", &[("level", "2")], 7);
+        m.add_with("merge.level_writes", &[("level", "3")], 9);
+        m.observe("merge.writes", 5);
+        m.observe("merge.writes", 500);
+        let text = m.render_prometheus(&[("policy", "choose_best")]);
+
+        assert!(text.contains("# TYPE lsm_device_writes counter"), "{text}");
+        assert!(text.contains("lsm_device_writes{policy=\"choose_best\"} 42"), "{text}");
+        assert!(
+            text.contains("lsm_merge_level_writes{policy=\"choose_best\",level=\"2\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE lsm_merge_writes histogram"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("lsm_merge_writes_sum{policy=\"choose_best\"} 505"), "{text}");
+
+        let samples = validate_prometheus(&text).expect("rendering validates");
+        assert!(samples >= 8, "{samples} samples in:\n{text}");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        for v in [1u64, 1, 2, 100] {
+            m.observe("h", v);
+        }
+        let text = m.render_prometheus(&[]);
+        assert!(text.contains("lsm_h_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lsm_h_bucket{le=\"2\"} 3"), "{text}");
+        assert!(text.contains("lsm_h_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lsm_h_count 4"), "{text}");
+        validate_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("lsm_ok 1\n").is_ok());
+        assert!(validate_prometheus("bad name 1\n").is_err());
+        assert!(validate_prometheus("lsm_x{le=3} 1\n").is_err(), "unquoted label value");
+        assert!(validate_prometheus("lsm_x{} nope\n").is_err(), "non-numeric value");
+        assert!(validate_prometheus("9leading 1\n").is_err());
+    }
+
+    #[test]
+    fn text_exposition_sink_writes_on_flush() {
+        let dir = std::env::temp_dir().join(format!("obs_prom_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let sink = TextExpositionSink::new(&path, &[("policy", "test")]);
+        sink.emit(&Event::DeviceWrite { block: 1 });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("lsm_device_writes{policy=\"test\"} 1"), "{text}");
+        validate_prometheus(&text).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,1185 @@
+//! Causal tracing: timed, nested spans layered over the flat event stream.
+//!
+//! The flat [`Event`](crate::Event) stream says *what* happened; it cannot
+//! say *why*. A burst of `DeviceWrite`s could be a memtable flush, a
+//! pairwise seam fix, or a whole-level compaction — the paper's cost models
+//! (§III–§IV) are all about attributing exactly that. This module adds the
+//! missing causal dimension:
+//!
+//! - A [`SpanOp`] describes one logical operation (a merge into L2, a WAL
+//!   append, a lookup, ...).
+//! - A [`Tracer`] is an [`EventSink`] that allocates [`SpanId`]s, keeps a
+//!   per-thread stack of open spans, and re-emits everything as
+//!   [`TraceEvent`]s: span begins, span ends, and every plain event tagged
+//!   with the innermost open span at the moment it fired.
+//! - Timestamps come from an injectable [`Clock`]; the deterministic
+//!   [`TickClock`] makes traces byte-identical across runs, so the
+//!   torture/twin tests can assert on them.
+//!
+//! Consumers implement [`TraceSink`]:
+//!
+//! - [`ChromeTraceSink`] — Chrome `trace_event` JSON, loadable in
+//!   `chrome://tracing` or <https://ui.perfetto.dev> (one pid per shard,
+//!   one tid per operation class).
+//! - [`TimeseriesSink`] — samples cumulative write amplification, cache hit
+//!   rate, and max wear every N device ops (an [`EventSink`], usable with
+//!   or without a tracer).
+//! - [`VecTraceSink`] — buffers trace events for tests and offline
+//!   analysis (the conservation tests are built on it).
+//!
+//! Spans must begin and end on the same thread (the [`SpanGuard`] returned
+//! by [`SinkHandle::span`](crate::SinkHandle::span) enforces this by
+//! construction: it is used locally and dropped where it was created).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::{Event, EventSink};
+
+/// Identifier of one span, unique within the [`Tracer`] that allocated it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw id value.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span#{}", self.0)
+    }
+}
+
+/// Source of monotonic microsecond timestamps for trace events.
+///
+/// Injectable so tests and reproducibility-sensitive runs can swap the wall
+/// clock for a deterministic one.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since an arbitrary (fixed) origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Real monotonic time, microseconds since clock creation.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl WallClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// Deterministic clock: every reading returns the next integer (0, 1, 2, …).
+///
+/// Traces taken with a `TickClock` are byte-identical across runs of the
+/// same single-threaded workload, and "durations" become counts of clock
+/// readings — still ordered, still nonzero for any span that contains
+/// activity.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock starting at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Clock for TickClock {
+    fn now_us(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The class of operation a span covers. Also determines the Chrome trace
+/// `tid` lane, so each class gets its own row in the viewer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A whole merge cascade triggered by one request.
+    Cascade,
+    /// Memtable extraction feeding a merge into L1.
+    MemtableFlush,
+    /// One merge into a target level.
+    Merge,
+    /// A pairwise seam fix after a partial merge.
+    PairwiseFix,
+    /// A whole-level compaction.
+    Compaction,
+    /// One WAL append (and its fsync, if any).
+    WalAppend,
+    /// A manifest checkpoint.
+    Checkpoint,
+    /// Recovery (manifest load + WAL replay).
+    Recovery,
+    /// A point lookup.
+    Lookup,
+    /// A range scan.
+    Scan,
+}
+
+impl SpanKind {
+    /// Short machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Cascade => "cascade",
+            SpanKind::MemtableFlush => "flush",
+            SpanKind::Merge => "merge",
+            SpanKind::PairwiseFix => "pairwise_fix",
+            SpanKind::Compaction => "compaction",
+            SpanKind::WalAppend => "wal_append",
+            SpanKind::Checkpoint => "checkpoint",
+            SpanKind::Recovery => "recovery",
+            SpanKind::Lookup => "lookup",
+            SpanKind::Scan => "scan",
+        }
+    }
+
+    /// Chrome trace `tid` lane for this class.
+    pub fn lane(&self) -> u64 {
+        match self {
+            SpanKind::Cascade => 1,
+            SpanKind::MemtableFlush => 2,
+            SpanKind::Merge => 3,
+            SpanKind::PairwiseFix => 4,
+            SpanKind::Compaction => 5,
+            SpanKind::WalAppend => 6,
+            SpanKind::Checkpoint => 7,
+            SpanKind::Recovery => 8,
+            SpanKind::Lookup => 9,
+            SpanKind::Scan => 10,
+        }
+    }
+
+    /// Every kind, in lane order (used to pre-register viewer lanes).
+    pub fn all() -> [SpanKind; 10] {
+        [
+            SpanKind::Cascade,
+            SpanKind::MemtableFlush,
+            SpanKind::Merge,
+            SpanKind::PairwiseFix,
+            SpanKind::Compaction,
+            SpanKind::WalAppend,
+            SpanKind::Checkpoint,
+            SpanKind::Recovery,
+            SpanKind::Lookup,
+            SpanKind::Scan,
+        ]
+    }
+}
+
+/// Description of one span: its kind plus the attributes that name it.
+///
+/// Built by the emitting layer via the constructors; the sharded front-end
+/// stamps the shard index onto every span of its inner trees with
+/// [`SpanOp::with_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanOp {
+    /// Operation class.
+    pub kind: SpanKind,
+    /// Paper-numbered level the operation targets, if any.
+    pub level: Option<usize>,
+    /// Whether a merge/flush was full (vs. a partial window), if relevant.
+    pub full: Option<bool>,
+    /// Shard the operation ran in (sharded front-end only).
+    pub shard: Option<usize>,
+}
+
+impl SpanOp {
+    /// A span with no level/full/shard attributes.
+    pub fn new(kind: SpanKind) -> Self {
+        SpanOp { kind, level: None, full: None, shard: None }
+    }
+
+    /// A merge into `target_level`.
+    pub fn merge(target_level: usize, full: bool) -> Self {
+        SpanOp { level: Some(target_level), full: Some(full), ..Self::new(SpanKind::Merge) }
+    }
+
+    /// A memtable flush (`full` = whole memtable vs. round-robin window).
+    pub fn flush(full: bool) -> Self {
+        SpanOp { full: Some(full), ..Self::new(SpanKind::MemtableFlush) }
+    }
+
+    /// A pairwise seam fix at `level`.
+    pub fn pairwise_fix(level: usize) -> Self {
+        SpanOp { level: Some(level), ..Self::new(SpanKind::PairwiseFix) }
+    }
+
+    /// A whole-level compaction of `level`.
+    pub fn compaction(level: usize) -> Self {
+        SpanOp { level: Some(level), ..Self::new(SpanKind::Compaction) }
+    }
+
+    /// A merge cascade.
+    pub fn cascade() -> Self {
+        Self::new(SpanKind::Cascade)
+    }
+
+    /// A WAL append.
+    pub fn wal_append() -> Self {
+        Self::new(SpanKind::WalAppend)
+    }
+
+    /// A manifest checkpoint.
+    pub fn checkpoint() -> Self {
+        Self::new(SpanKind::Checkpoint)
+    }
+
+    /// A recovery.
+    pub fn recovery() -> Self {
+        Self::new(SpanKind::Recovery)
+    }
+
+    /// A point lookup.
+    pub fn lookup() -> Self {
+        Self::new(SpanKind::Lookup)
+    }
+
+    /// A range scan.
+    pub fn scan() -> Self {
+        Self::new(SpanKind::Scan)
+    }
+
+    /// The same op stamped with a shard index.
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Human-readable name, e.g. `"merge L2 full"` or `"lookup"`.
+    pub fn label(&self) -> String {
+        let mut s = self.kind.name().to_string();
+        if let Some(level) = self.level {
+            s.push_str(&format!(" L{level}"));
+        }
+        match self.full {
+            Some(true) => s.push_str(" full"),
+            Some(false) => s.push_str(" partial"),
+            None => {}
+        }
+        s
+    }
+}
+
+/// What a [`TraceEvent`] carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A span opened.
+    Begin {
+        /// The new span.
+        id: SpanId,
+        /// The enclosing span open on the same thread, if any.
+        parent: Option<SpanId>,
+        /// What the span covers.
+        op: SpanOp,
+    },
+    /// A span closed. Carries its op so sinks need not remember it.
+    End {
+        /// The closing span.
+        id: SpanId,
+        /// What the span covered.
+        op: SpanOp,
+    },
+    /// A plain event fired, attributed to the innermost open span (if any).
+    Emit(Event),
+}
+
+/// One timestamped, span-attributed entry in the causal trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Clock reading when the entry was produced.
+    pub at_us: u64,
+    /// Innermost span open on the emitting thread. For `Begin` this is the
+    /// parent (the new span is in the payload); for `End` it is the span
+    /// that becomes current after the close.
+    pub span: Option<SpanId>,
+    /// The payload.
+    pub kind: TraceEventKind,
+}
+
+/// Receiver of [`TraceEvent`]s produced by a [`Tracer`].
+pub trait TraceSink: Send + Sync {
+    /// Consume one trace event. Called inline — keep it cheap.
+    fn accept(&self, event: &TraceEvent);
+
+    /// Flush any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+thread_local! {
+    /// Per-thread stack of open spans, tagged with the owning tracer so
+    /// two tracers alive on the same thread (common in tests) cannot see
+    /// each other's spans as parents.
+    static SPAN_STACK: RefCell<Vec<(u64, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_TRACER_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// The span-allocating [`EventSink`].
+///
+/// Components keep emitting flat events exactly as before; when their
+/// `SinkHandle` points at a `Tracer`, `span()` calls start real spans and
+/// every event emitted while one is open is tagged with it. Plain sinks
+/// (counters, metrics, streams) can ride along via
+/// [`Tracer::forward_events_to`] so a single handle feeds everything.
+pub struct Tracer {
+    tag: u64,
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    outs: Vec<Arc<dyn TraceSink>>,
+    forward: Vec<Arc<dyn EventSink>>,
+    metrics: Option<Metrics>,
+    open: Mutex<HashMap<u64, u64>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("trace_sinks", &self.outs.len())
+            .field("forward_sinks", &self.forward.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer on the wall clock with no consumers yet.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// A tracer reading timestamps from `clock`.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Tracer {
+            tag: NEXT_TRACER_TAG.fetch_add(1, Ordering::Relaxed),
+            clock,
+            next_id: AtomicU64::new(0),
+            outs: Vec::new(),
+            forward: Vec::new(),
+            metrics: None,
+            open: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Add a trace consumer.
+    pub fn trace_to(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.outs.push(sink);
+        self
+    }
+
+    /// Also forward every plain event, untagged, to `sink` (e.g. a
+    /// [`MetricsSink`](crate::MetricsSink) or
+    /// [`TimeseriesSink`]) so one handle feeds both worlds.
+    pub fn forward_events_to(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.forward.push(sink);
+        self
+    }
+
+    /// Record span durations as histograms (`"span.merge_us"`, …) into
+    /// `metrics`.
+    pub fn time_spans_into(mut self, metrics: Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The innermost span this tracer has open on the calling thread.
+    pub fn current_span(&self) -> Option<SpanId> {
+        SPAN_STACK
+            .with(|s| s.borrow().iter().rev().find(|&&(tag, _)| tag == self.tag).map(|&(_, id)| id))
+    }
+
+    fn dispatch(&self, event: TraceEvent) {
+        for out in &self.outs {
+            out.accept(&event);
+        }
+    }
+}
+
+impl EventSink for Tracer {
+    fn emit(&self, event: &Event) {
+        for sink in &self.forward {
+            sink.emit(event);
+        }
+        let entry = TraceEvent {
+            at_us: self.clock.now_us(),
+            span: self.current_span(),
+            kind: TraceEventKind::Emit(*event),
+        };
+        self.dispatch(entry);
+    }
+
+    fn flush(&self) {
+        for sink in &self.forward {
+            sink.flush();
+        }
+        for out in &self.outs {
+            out.flush();
+        }
+    }
+
+    fn span_begin(&self, op: &SpanOp) -> Option<SpanId> {
+        let id = SpanId(self.next_id.fetch_add(1, Ordering::Relaxed) + 1);
+        let parent = self.current_span();
+        let at = self.clock.now_us();
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.tag, id)));
+        self.open.lock().unwrap_or_else(|e| e.into_inner()).insert(id.0, at);
+        self.dispatch(TraceEvent {
+            at_us: at,
+            span: parent,
+            kind: TraceEventKind::Begin { id, parent, op: *op },
+        });
+        Some(id)
+    }
+
+    fn span_end(&self, id: SpanId, op: &SpanOp) {
+        // Ignore ids we never issued (e.g. a fanout peer's span).
+        let Some(began) = self.open.lock().unwrap_or_else(|e| e.into_inner()).remove(&id.0) else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(tag, sid)| tag == self.tag && sid == id) {
+                stack.remove(pos);
+            }
+        });
+        let at = self.clock.now_us();
+        if let Some(metrics) = &self.metrics {
+            metrics.observe(&format!("span.{}_us", op.kind.name()), at.saturating_sub(began));
+        }
+        self.dispatch(TraceEvent {
+            at_us: at,
+            span: self.current_span(),
+            kind: TraceEventKind::End { id, op: *op },
+        });
+    }
+}
+
+/// RAII handle for an open span; ends the span when dropped.
+///
+/// Obtained from [`SinkHandle::span`](crate::SinkHandle::span). When the
+/// handle is disabled or the sink does not trace, the guard is inert and
+/// costs one `Option` check on drop.
+#[must_use = "dropping the guard ends the span immediately"]
+pub struct SpanGuard {
+    sink: Option<Arc<dyn EventSink>>,
+    id: Option<SpanId>,
+    op: SpanOp,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard").field("id", &self.id).field("op", &self.op).finish()
+    }
+}
+
+impl SpanGuard {
+    /// Begin a span on `sink` (if present and tracing).
+    pub fn begin(sink: Option<Arc<dyn EventSink>>, op: SpanOp) -> Self {
+        let id = sink.as_ref().and_then(|s| s.span_begin(&op));
+        SpanGuard { sink, id, op }
+    }
+
+    /// An inert guard (no sink, no span).
+    pub fn disabled(op: SpanOp) -> Self {
+        SpanGuard { sink: None, id: None, op }
+    }
+
+    /// The span id, if a tracer actually opened one.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let (Some(sink), Some(id)) = (&self.sink, self.id) {
+            sink.span_end(id, &self.op);
+        }
+    }
+}
+
+/// Buffers every [`TraceEvent`] in arrival order, for tests and offline
+/// attribution analysis. Unbounded — keep runs small.
+#[derive(Debug, Default)]
+pub struct VecTraceSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecTraceSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the buffered entries.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Take all buffered entries, leaving the buffer empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for VecTraceSink {
+    fn accept(&self, event: &TraceEvent) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(*event);
+    }
+}
+
+struct OpenChromeSpan {
+    start_us: u64,
+    writes: u64,
+    reads: u64,
+    trims: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct ChromeState {
+    out: Box<dyn Write + Send>,
+    wrote_any: bool,
+    finished: bool,
+    open: HashMap<u64, OpenChromeSpan>,
+    named_pids: HashSet<u64>,
+    named_lanes: HashSet<(u64, u64)>,
+}
+
+/// Writes spans as Chrome `trace_event` JSON (the "JSON array format").
+///
+/// Open the result in `chrome://tracing` or <https://ui.perfetto.dev>.
+/// Each shard becomes a process (`pid` = shard + 1; 0 for an unsharded
+/// tree) and each [`SpanKind`] a thread lane within it, so merges, WAL
+/// appends, and lookups stack into separate rows. Every completed span is
+/// one `"ph": "X"` entry whose `args` carry the device and cache activity
+/// attributed to it.
+///
+/// Entries stream to the writer as spans close; call
+/// [`ChromeTraceSink::finish`] (or drop the sink) to close the JSON array.
+pub struct ChromeTraceSink {
+    state: Mutex<ChromeState>,
+}
+
+impl std::fmt::Debug for ChromeTraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ChromeTraceSink")
+    }
+}
+
+impl ChromeTraceSink {
+    /// Stream to the given writer. Wrap slow targets in a `BufWriter`.
+    pub fn new(out: impl Write + Send + 'static) -> Self {
+        ChromeTraceSink {
+            state: Mutex::new(ChromeState {
+                out: Box::new(out),
+                wrote_any: false,
+                finished: false,
+                open: HashMap::new(),
+                named_pids: HashSet::new(),
+                named_lanes: HashSet::new(),
+            }),
+        }
+    }
+
+    /// Stream to a file at `path`, created or truncated.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+
+    /// Close the JSON array and flush. Idempotent; also runs on drop.
+    pub fn finish(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        Self::finish_locked(&mut state);
+    }
+
+    fn finish_locked(state: &mut ChromeState) {
+        if state.finished {
+            return;
+        }
+        if !state.wrote_any {
+            let _ = state.out.write_all(b"[");
+        }
+        let _ = state.out.write_all(b"\n]\n");
+        let _ = state.out.flush();
+        state.finished = true;
+    }
+
+    fn write_entry(state: &mut ChromeState, entry: &Json) {
+        if state.finished {
+            return;
+        }
+        let prefix = if state.wrote_any { ",\n" } else { "[\n" };
+        state.wrote_any = true;
+        let _ = state.out.write_all(prefix.as_bytes());
+        let _ = state.out.write_all(entry.render().as_bytes());
+    }
+
+    fn pid_of(op: &SpanOp) -> u64 {
+        op.shard.map(|s| s as u64 + 1).unwrap_or(0)
+    }
+
+    fn ensure_names(state: &mut ChromeState, op: &SpanOp) {
+        let pid = Self::pid_of(op);
+        if state.named_pids.insert(pid) {
+            let name = match op.shard {
+                Some(s) => format!("shard {s}"),
+                None => "lsm".to_string(),
+            };
+            let entry = Json::obj([
+                ("name", Json::from("process_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(0u64)),
+                ("args", Json::obj([("name", Json::from(name))])),
+            ]);
+            Self::write_entry(state, &entry);
+        }
+        let lane = op.kind.lane();
+        if state.named_lanes.insert((pid, lane)) {
+            let entry = Json::obj([
+                ("name", Json::from("thread_name")),
+                ("ph", Json::from("M")),
+                ("pid", Json::from(pid)),
+                ("tid", Json::from(lane)),
+                ("args", Json::obj([("name", Json::from(op.kind.name()))])),
+            ]);
+            Self::write_entry(state, &entry);
+        }
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn accept(&self, event: &TraceEvent) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event.kind {
+            TraceEventKind::Begin { id, op, .. } => {
+                Self::ensure_names(&mut state, &op);
+                state.open.insert(
+                    id.as_u64(),
+                    OpenChromeSpan {
+                        start_us: event.at_us,
+                        writes: 0,
+                        reads: 0,
+                        trims: 0,
+                        cache_hits: 0,
+                        cache_misses: 0,
+                    },
+                );
+            }
+            TraceEventKind::Emit(ev) => {
+                let Some(id) = event.span else { return };
+                let Some(open) = state.open.get_mut(&id.as_u64()) else { return };
+                match ev {
+                    Event::DeviceWrite { .. } => open.writes += 1,
+                    Event::DeviceRead { .. } => open.reads += 1,
+                    Event::DeviceTrim { .. } => open.trims += 1,
+                    Event::CacheHit => open.cache_hits += 1,
+                    Event::CacheMiss => open.cache_misses += 1,
+                    _ => {}
+                }
+            }
+            TraceEventKind::End { id, op } => {
+                let Some(open) = state.open.remove(&id.as_u64()) else { return };
+                let mut args: Vec<(String, Json)> = Vec::new();
+                if let Some(level) = op.level {
+                    args.push(("level".into(), Json::from(level)));
+                }
+                if let Some(full) = op.full {
+                    args.push(("full".into(), Json::from(full)));
+                }
+                args.push(("writes".into(), Json::from(open.writes)));
+                args.push(("reads".into(), Json::from(open.reads)));
+                args.push(("trims".into(), Json::from(open.trims)));
+                args.push(("cache_hits".into(), Json::from(open.cache_hits)));
+                args.push(("cache_misses".into(), Json::from(open.cache_misses)));
+                let entry = Json::obj([
+                    ("name", Json::from(op.label())),
+                    ("cat", Json::from(op.kind.name())),
+                    ("ph", Json::from("X")),
+                    ("ts", Json::from(open.start_us)),
+                    ("dur", Json::from(event.at_us.saturating_sub(open.start_us))),
+                    ("pid", Json::from(Self::pid_of(&op))),
+                    ("tid", Json::from(op.kind.lane())),
+                    ("args", Json::Obj(args)),
+                ]);
+                Self::write_entry(&mut state, &entry);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = state.out.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One row of the amplification time-series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeseriesSample {
+    /// Device-op count (reads + writes + trims + syncs) at sampling time.
+    pub op: u64,
+    /// Cumulative device blocks written.
+    pub device_writes: u64,
+    /// Cumulative device blocks read.
+    pub device_reads: u64,
+    /// Cumulative device blocks trimmed.
+    pub device_trims: u64,
+    /// Cumulative records extracted from memtables.
+    pub flushed_records: u64,
+    /// Cumulative write amplification: device blocks written per block of
+    /// flushed user data (0 until the first flush).
+    pub write_amp: f64,
+    /// Cache hits / (hits + misses), 0 before any lookup.
+    pub cache_hit_rate: f64,
+    /// Highest per-block write count seen so far (wear proxy).
+    pub max_wear: u64,
+    /// On-device tree height (levels added so far).
+    pub height: u64,
+    /// Merges completed so far.
+    pub merges: u64,
+    /// Cumulative blocks written into each paper-numbered level by merges,
+    /// compactions, and pairwise fixes.
+    pub level_writes: BTreeMap<usize, u64>,
+}
+
+#[derive(Default)]
+struct TimeseriesState {
+    device_ops: u64,
+    device_writes: u64,
+    device_reads: u64,
+    device_trims: u64,
+    flushed_records: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    merges: u64,
+    height: u64,
+    wear: HashMap<u64, u64>,
+    max_wear: u64,
+    level_writes: BTreeMap<usize, u64>,
+    samples: Vec<TimeseriesSample>,
+}
+
+/// Samples cumulative amplification statistics every N device ops.
+///
+/// A plain [`EventSink`]: attach it directly, inside a
+/// [`FanoutSink`](crate::FanoutSink), or behind a [`Tracer`] via
+/// [`Tracer::forward_events_to`]. Rows accumulate in memory; render them
+/// with [`TimeseriesSink::to_csv`] / [`TimeseriesSink::to_json`].
+///
+/// Write amplification is `device_writes / (flushed_records / block_capacity)`
+/// — device blocks written per block of user data reaching the tree, the
+/// quantity the paper's §III cost model bounds.
+pub struct TimeseriesSink {
+    every: u64,
+    block_capacity: u64,
+    state: Mutex<TimeseriesState>,
+}
+
+impl std::fmt::Debug for TimeseriesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimeseriesSink").field("every", &self.every).finish()
+    }
+}
+
+impl TimeseriesSink {
+    /// Sample every `every` device ops; `block_capacity` is the number of
+    /// records one block holds (needed to express amplification in blocks).
+    pub fn new(every: u64, block_capacity: u64) -> Self {
+        TimeseriesSink {
+            every: every.max(1),
+            block_capacity: block_capacity.max(1),
+            state: Mutex::new(TimeseriesState::default()),
+        }
+    }
+
+    fn sample(&self, state: &mut TimeseriesState) {
+        let user_blocks = state.flushed_records as f64 / self.block_capacity as f64;
+        let write_amp =
+            if user_blocks > 0.0 { state.device_writes as f64 / user_blocks } else { 0.0 };
+        let lookups = state.cache_hits + state.cache_misses;
+        let cache_hit_rate =
+            if lookups > 0 { state.cache_hits as f64 / lookups as f64 } else { 0.0 };
+        state.samples.push(TimeseriesSample {
+            op: state.device_ops,
+            device_writes: state.device_writes,
+            device_reads: state.device_reads,
+            device_trims: state.device_trims,
+            flushed_records: state.flushed_records,
+            write_amp,
+            cache_hit_rate,
+            max_wear: state.max_wear,
+            height: state.height,
+            merges: state.merges,
+            level_writes: state.level_writes.clone(),
+        });
+    }
+
+    /// Copy of the rows sampled so far, plus one final row at the current
+    /// counters (so short runs always yield at least one row).
+    pub fn samples(&self) -> Vec<TimeseriesSample> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.sample(&mut state);
+        let rows = state.samples.clone();
+        state.samples.pop();
+        rows
+    }
+
+    /// Render as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "op,device_writes,device_reads,device_trims,flushed_records,write_amp,cache_hit_rate,max_wear,height,merges\n",
+        );
+        for s in self.samples() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.4},{:.4},{},{},{}\n",
+                s.op,
+                s.device_writes,
+                s.device_reads,
+                s.device_trims,
+                s.flushed_records,
+                s.write_amp,
+                s.cache_hit_rate,
+                s.max_wear,
+                s.height,
+                s.merges
+            ));
+        }
+        out
+    }
+
+    /// Render as a JSON array of row objects (includes per-level writes).
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.samples().into_iter().map(|s| {
+            Json::obj([
+                ("op", Json::from(s.op)),
+                ("device_writes", Json::from(s.device_writes)),
+                ("device_reads", Json::from(s.device_reads)),
+                ("device_trims", Json::from(s.device_trims)),
+                ("flushed_records", Json::from(s.flushed_records)),
+                ("write_amp", Json::from(s.write_amp)),
+                ("cache_hit_rate", Json::from(s.cache_hit_rate)),
+                ("max_wear", Json::from(s.max_wear)),
+                ("height", Json::from(s.height)),
+                ("merges", Json::from(s.merges)),
+                (
+                    "level_writes",
+                    Json::Obj(
+                        s.level_writes
+                            .iter()
+                            .map(|(l, w)| (format!("L{l}"), Json::from(*w)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }))
+    }
+
+    /// Write the CSV rendering to `path`.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Write the JSON rendering to `path`.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+}
+
+impl EventSink for TimeseriesSink {
+    fn emit(&self, event: &Event) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut device_op = false;
+        match *event {
+            Event::DeviceWrite { block } => {
+                device_op = true;
+                state.device_writes += 1;
+                let wear = state.wear.entry(block).or_insert(0);
+                *wear += 1;
+                let wear = *wear;
+                state.max_wear = state.max_wear.max(wear);
+            }
+            Event::DeviceRead { .. } => {
+                device_op = true;
+                state.device_reads += 1;
+            }
+            Event::DeviceTrim { .. } => {
+                device_op = true;
+                state.device_trims += 1;
+            }
+            Event::DeviceSync => device_op = true,
+            Event::MemtableFlush { records, .. } => state.flushed_records += records,
+            Event::CacheHit => state.cache_hits += 1,
+            Event::CacheMiss => state.cache_misses += 1,
+            Event::LevelAdded { new_height } => state.height = state.height.max(new_height as u64),
+            Event::MergeFinish { target_level, writes, .. } => {
+                state.merges += 1;
+                *state.level_writes.entry(target_level).or_insert(0) += writes;
+            }
+            Event::Compaction { level, writes } => {
+                *state.level_writes.entry(level).or_insert(0) += writes;
+            }
+            Event::PairwiseFix { level, writes, .. } => {
+                *state.level_writes.entry(level).or_insert(0) += writes;
+            }
+            _ => {}
+        }
+        if device_op {
+            state.device_ops += 1;
+            if state.device_ops.is_multiple_of(self.every) {
+                self.sample(&mut state);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SinkHandle;
+
+    fn tracer_with(buffer: Arc<VecTraceSink>) -> SinkHandle {
+        SinkHandle::of(Tracer::with_clock(Arc::new(TickClock::new())).trace_to(buffer))
+    }
+
+    #[test]
+    fn spans_nest_and_tag_events() {
+        let buffer = Arc::new(VecTraceSink::new());
+        let handle = tracer_with(buffer.clone());
+
+        let outer = handle.span(SpanOp::cascade());
+        let outer_id = outer.id().unwrap();
+        handle.emit(Event::DeviceWrite { block: 1 });
+        let inner = handle.span(SpanOp::merge(2, false));
+        let inner_id = inner.id().unwrap();
+        handle.emit(Event::DeviceWrite { block: 2 });
+        drop(inner);
+        handle.emit(Event::DeviceWrite { block: 3 });
+        drop(outer);
+        handle.emit(Event::DeviceSync);
+
+        let events = buffer.events();
+        let spans: Vec<Option<SpanId>> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Emit(_) => Some(e.span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec![Some(outer_id), Some(inner_id), Some(outer_id), None]);
+
+        let parents: Vec<Option<SpanId>> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Begin { parent, .. } => Some(parent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(parents, vec![None, Some(outer_id)]);
+    }
+
+    #[test]
+    fn tick_clock_makes_traces_deterministic() {
+        let run = || {
+            let buffer = Arc::new(VecTraceSink::new());
+            let handle = tracer_with(buffer.clone());
+            let guard = handle.span(SpanOp::merge(1, true));
+            handle.emit(Event::DeviceWrite { block: 7 });
+            drop(guard);
+            buffer.events()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn plain_sinks_ignore_spans() {
+        let handle = SinkHandle::of(crate::NullSink);
+        let guard = handle.span(SpanOp::lookup());
+        assert!(guard.id().is_none());
+    }
+
+    #[test]
+    fn disabled_handle_spans_are_inert() {
+        let handle = SinkHandle::none();
+        let guard = handle.span(SpanOp::lookup());
+        assert!(guard.id().is_none());
+    }
+
+    #[test]
+    fn fanout_routes_spans_to_the_tracer() {
+        let buffer = Arc::new(VecTraceSink::new());
+        let tracer =
+            Arc::new(Tracer::with_clock(Arc::new(TickClock::new())).trace_to(buffer.clone()));
+        let counter = Arc::new(crate::CountingSink::new());
+        let handle = SinkHandle::of(crate::FanoutSink::new(vec![counter.clone(), tracer.clone()]));
+
+        let guard = handle.span(SpanOp::flush(true));
+        assert!(guard.id().is_some());
+        handle.emit(Event::DeviceWrite { block: 0 });
+        drop(guard);
+
+        assert_eq!(counter.snapshot().device_writes, 1);
+        let kinds: Vec<bool> = buffer
+            .events()
+            .iter()
+            .map(|e| matches!(e.kind, TraceEventKind::Begin { .. } | TraceEventKind::End { .. }))
+            .collect();
+        assert_eq!(kinds, vec![true, false, true]);
+    }
+
+    #[test]
+    fn foreign_span_end_is_ignored() {
+        let tracer = Tracer::with_clock(Arc::new(TickClock::new()));
+        // An id this tracer never issued must not underflow or panic.
+        tracer.span_end(SpanId(999), &SpanOp::lookup());
+        assert!(tracer.current_span().is_none());
+    }
+
+    #[test]
+    fn span_durations_feed_metrics() {
+        let metrics = Metrics::new();
+        let handle = SinkHandle::of(
+            Tracer::with_clock(Arc::new(TickClock::new())).time_spans_into(metrics.clone()),
+        );
+        let guard = handle.span(SpanOp::merge(3, true));
+        handle.emit(Event::DeviceWrite { block: 1 });
+        drop(guard);
+        let h = metrics.histogram("span.merge_us").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 1, "tick clock advances inside the span");
+    }
+
+    #[test]
+    fn chrome_sink_writes_valid_complete_events() {
+        #[derive(Clone, Default)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buffer = Shared::default();
+        let chrome = Arc::new(ChromeTraceSink::new(buffer.clone()));
+        let handle =
+            SinkHandle::of(Tracer::with_clock(Arc::new(TickClock::new())).trace_to(chrome.clone()));
+        let guard = handle.span(SpanOp::merge(2, false).with_shard(1));
+        handle.emit(Event::DeviceWrite { block: 4 });
+        handle.emit(Event::DeviceRead { block: 5 });
+        drop(guard);
+        chrome.finish();
+
+        let text = String::from_utf8(buffer.0.lock().unwrap().clone()).unwrap();
+        let doc = Json::parse(&text).expect("chrome trace parses");
+        let Json::Arr(entries) = doc else { panic!("not an array: {text}") };
+        let complete: Vec<&Json> = entries
+            .iter()
+            .filter(|e| matches!(e, Json::Obj(pairs) if pairs.iter().any(|(k, v)| k == "ph" && *v == Json::from("X"))))
+            .collect();
+        assert_eq!(complete.len(), 1);
+        let Json::Obj(pairs) = complete[0] else { unreachable!() };
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        assert_eq!(get("name"), Some(Json::from("merge L2 partial")));
+        assert_eq!(get("pid"), Some(Json::from(2u64)), "shard 1 maps to pid 2");
+        let Some(Json::Obj(args)) = get("args") else { panic!("missing args") };
+        assert!(args.contains(&("writes".to_string(), Json::from(1u64))));
+        assert!(args.contains(&("reads".to_string(), Json::from(1u64))));
+    }
+
+    #[test]
+    fn timeseries_samples_every_n_device_ops() {
+        let series = TimeseriesSink::new(2, 4);
+        for block in 0..5 {
+            series.emit(&Event::DeviceWrite { block });
+        }
+        series.emit(&Event::MemtableFlush { records: 8, full: true });
+        series.emit(&Event::CacheHit);
+        series.emit(&Event::CacheMiss);
+
+        let rows = series.samples();
+        // 5 device ops at every=2 → samples at op 2 and 4, plus the final row.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].op, 2);
+        assert_eq!(rows[1].op, 4);
+        let last = rows.last().unwrap();
+        assert_eq!(last.device_writes, 5);
+        assert_eq!(last.flushed_records, 8);
+        // 5 writes for 8/4 = 2 user blocks → amplification 2.5.
+        assert!((last.write_amp - 2.5).abs() < 1e-9);
+        assert!((last.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(last.max_wear, 1);
+
+        let csv = series.to_csv();
+        assert!(csv.starts_with("op,device_writes"));
+        assert_eq!(csv.lines().count(), 4, "{csv}");
+    }
+
+    #[test]
+    fn timeseries_wear_tracks_hottest_block() {
+        let series = TimeseriesSink::new(100, 1);
+        for _ in 0..3 {
+            series.emit(&Event::DeviceWrite { block: 9 });
+        }
+        series.emit(&Event::DeviceWrite { block: 1 });
+        assert_eq!(series.samples().last().unwrap().max_wear, 3);
+    }
+
+    #[test]
+    fn span_op_labels() {
+        assert_eq!(SpanOp::merge(2, true).label(), "merge L2 full");
+        assert_eq!(SpanOp::flush(false).label(), "flush partial");
+        assert_eq!(SpanOp::lookup().label(), "lookup");
+        assert_eq!(SpanOp::pairwise_fix(3).label(), "pairwise_fix L3");
+    }
+}

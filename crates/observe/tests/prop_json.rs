@@ -1,0 +1,96 @@
+//! Property tests for the hand-rolled JSON module: rendering and parsing
+//! must round-trip every string — control characters, quotes, backslashes,
+//! non-ASCII — exactly. An escaping bug here would silently corrupt every
+//! trace file and metrics report the bench suite writes.
+
+use proptest::prelude::*;
+
+use observe::Json;
+
+/// Characters exercising the escaping-sensitive ranges: ASCII controls,
+/// dedicated-escape characters, plain ASCII, BMP and astral non-ASCII.
+fn nasty_string() -> BoxedStrategy<String> {
+    let ch = prop_oneof![
+        // Control characters (the \u00XX escape path).
+        (0u32..0x20).prop_map(|c| char::from_u32(c).unwrap()),
+        // Characters with dedicated escapes.
+        prop_oneof![Just('"'), Just('\\'), Just('\n'), Just('\r'), Just('\t'), Just('/')],
+        // Plain ASCII.
+        (0x20u32..0x7f).prop_map(|c| char::from_u32(c).unwrap()),
+        // Hand-picked non-ASCII, including an astral-plane pair.
+        prop_oneof![Just('é'), Just('→'), Just('世'), Just('\u{2028}'), Just('😀'), Just('𝔘')],
+        // Arbitrary codepoints (surrogate range folds to U+FFFD).
+        any::<u32>().prop_map(|c| char::from_u32(c % 0x11_0000).unwrap_or('\u{FFFD}')),
+    ];
+    prop::collection::vec(ch, 0..32).prop_map(|cs| cs.into_iter().collect()).boxed()
+}
+
+fn json_leaf() -> BoxedStrategy<Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<u64>().prop_map(Json::U64),
+        // Negative only: non-negative i64 renders identically to u64 and
+        // deliberately re-parses as U64.
+        (0u64..(1u64 << 62)).prop_map(|n| Json::I64(-(n as i64) - 1)),
+        nasty_string().prop_map(Json::Str),
+    ]
+    .boxed()
+}
+
+/// One structural level (array/object) over `inner` values.
+fn json_level(inner: BoxedStrategy<Json>) -> BoxedStrategy<Json> {
+    prop_oneof![
+        2 => inner.clone(),
+        1 => prop::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+        1 => prop::collection::vec((nasty_string(), inner), 0..4).prop_map(Json::Obj),
+    ]
+    .boxed()
+}
+
+/// Value trees up to two structural levels deep.
+fn json_value() -> BoxedStrategy<Json> {
+    json_level(json_level(json_leaf()))
+}
+
+proptest! {
+    /// Any string survives render → parse exactly.
+    #[test]
+    fn strings_round_trip(s in nasty_string()) {
+        let rendered = Json::Str(s.clone()).render();
+        prop_assert_eq!(Json::parse(&rendered).unwrap(), Json::Str(s));
+    }
+
+    /// Strings as object keys survive too (keys take a separate code path).
+    #[test]
+    fn object_keys_round_trip(k in nasty_string(), v in nasty_string()) {
+        let doc = Json::Obj(vec![(k, Json::Str(v))]);
+        let rendered = doc.render();
+        prop_assert_eq!(Json::parse(&rendered).unwrap(), doc);
+    }
+
+    /// Whole value trees are render-stable: parsing a rendering and
+    /// re-rendering reproduces the exact document. (Value equality is too
+    /// strict only for floats, whose decimal form is the canonical one —
+    /// render-stability is what trace-file consumers rely on.)
+    #[test]
+    fn documents_are_render_stable(doc in json_value()) {
+        let rendered = doc.render();
+        let reparsed = Json::parse(&rendered).unwrap();
+        prop_assert_eq!(reparsed.render(), rendered.clone());
+        // And pretty rendering parses back to the same document.
+        let pretty = Json::parse(&doc.render_pretty()).unwrap();
+        prop_assert_eq!(pretty.render(), rendered);
+    }
+
+    /// Non-float documents round-trip by value, not just by rendering.
+    #[test]
+    fn string_trees_round_trip_by_value(
+        pairs in prop::collection::vec((nasty_string(), nasty_string()), 0..8)
+    ) {
+        let doc = Json::Obj(
+            pairs.into_iter().map(|(k, v)| (k, Json::Str(v))).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+}

@@ -67,6 +67,29 @@ impl MemDevice {
         WearSummary { max_wear: max, total_programs: sum, blocks_touched: worn }
     }
 
+    /// Order-independent digest of the device image: every written frame's
+    /// index and contents, FNV-1a-folded. Two devices that hold the same
+    /// frames (written blocks with the same bytes, the same blocks
+    /// unwritten) digest equally regardless of operation history — the
+    /// primitive behind the observer-effect and crash-twin comparisons.
+    pub fn image_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let frames = self.frames.read();
+        let mut acc = 0u64;
+        for (idx, frame) in frames.iter().enumerate() {
+            let Some(frame) = frame else { continue };
+            let mut h = FNV_OFFSET;
+            for byte in (idx as u64).to_le_bytes().into_iter().chain(frame.iter().copied()) {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            // XOR-fold per frame: commutative, so iteration order is moot.
+            acc ^= h;
+        }
+        acc
+    }
+
     fn check_range(&self, id: BlockId) -> Result<usize> {
         let cap = self.capacity();
         if id.0 >= cap {
@@ -210,6 +233,31 @@ mod tests {
         let _ = dev.read(BlockId(0)); // unwritten
         let s = dev.io_snapshot();
         assert_eq!((s.writes, s.reads), (0, 0));
+    }
+
+    #[test]
+    fn image_digest_reflects_contents_not_history() {
+        let a = MemDevice::with_block_size(4, 64);
+        let b = MemDevice::with_block_size(4, 64);
+        assert_eq!(a.image_digest(), b.image_digest(), "empty devices agree");
+        a.write(BlockId(0), &frame(&a, 1)).unwrap();
+        a.write(BlockId(2), &frame(&a, 2)).unwrap();
+        // Same image via a different history (extra rewrites and trims).
+        b.write(BlockId(2), &frame(&b, 9)).unwrap();
+        b.write(BlockId(2), &frame(&b, 2)).unwrap();
+        b.write(BlockId(1), &frame(&b, 5)).unwrap();
+        b.trim(BlockId(1)).unwrap();
+        b.write(BlockId(0), &frame(&b, 1)).unwrap();
+        assert_eq!(a.image_digest(), b.image_digest());
+        // Any divergence shows.
+        b.write(BlockId(3), &frame(&b, 3)).unwrap();
+        assert_ne!(a.image_digest(), b.image_digest());
+        // Same bytes at a different index is a different image.
+        let c = MemDevice::with_block_size(4, 64);
+        c.write(BlockId(1), &frame(&c, 1)).unwrap();
+        let d = MemDevice::with_block_size(4, 64);
+        d.write(BlockId(2), &frame(&d, 1)).unwrap();
+        assert_ne!(c.image_digest(), d.image_digest());
     }
 
     #[test]

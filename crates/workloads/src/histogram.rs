@@ -1,110 +1,80 @@
-//! Log-bucketed latency histogram (HdrHistogram-style, dependency-free).
+//! Latency histogram for the workload drivers.
 //!
 //! The paper's §I case for partial merges is *availability*: a full merge
 //! stalls the index for as long as it takes to rewrite the next level,
 //! while ChooseBest bounds every merge (Theorem 2). Request-latency tails
-//! make that visible; this histogram records nanosecond latencies into
-//! buckets of ~4 % relative width so p50…p999.9 can be reported without
-//! storing every sample.
+//! make that visible.
+//!
+//! The bucketing lives in [`observe::Histogram`] (16 linear sub-buckets
+//! per power of two, ~4 % relative width) — one implementation shared by
+//! the metrics registry and the drivers, so a latency recorded here and a
+//! block count recorded by a
+//! [`MetricsSink`](observe::MetricsSink) resolve quantiles identically.
+//! This type is a thin domain wrapper that keeps the drivers' API.
 
 /// A histogram over `u64` values (nanoseconds, block counts, …) with
 /// logarithmic buckets: 16 linear sub-buckets per power of two.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    max: u64,
-    sum: u128,
-}
-
-const SUB_BITS: u32 = 4;
-const SUB: u64 = 1 << SUB_BITS;
-
-fn bucket_of(value: u64) -> usize {
-    let v = value.max(1);
-    let msb = 63 - v.leading_zeros() as u64;
-    if msb < SUB_BITS as u64 {
-        return v as usize;
-    }
-    let shift = msb - SUB_BITS as u64;
-    let sub = (v >> shift) - SUB; // 0..SUB within this octave
-    ((msb - SUB_BITS as u64 + 1) * SUB + sub) as usize
-}
-
-fn bucket_upper_bound(idx: usize) -> u64 {
-    let idx = idx as u64;
-    if idx < SUB {
-        return idx;
-    }
-    let octave = (idx / SUB) - 1;
-    let sub = idx % SUB;
-    (SUB + sub + 1) << octave
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: observe::Histogram,
 }
 
 impl LatencyHistogram {
     /// Empty histogram covering the full `u64` range.
     pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; bucket_of(u64::MAX) + 1], total: 0, max: 0, sum: 0 }
+        Self::default()
     }
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
-        self.counts[bucket_of(value)] += 1;
-        self.total += 1;
-        self.max = self.max.max(value);
-        self.sum += u128::from(value);
+        self.inner.record(value);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Largest recorded sample (exact).
     pub fn max(&self) -> u64 {
-        self.max
+        self.inner.max()
     }
 
     /// Mean of the samples (exact).
     pub fn mean(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.total as f64
-        }
+        self.inner.mean()
     }
 
     /// Value at quantile `q ∈ [0, 1]`, accurate to the bucket's ~4 %
     /// relative width (the true max is returned for q ≥ 1 − 1/total).
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_upper_bound(idx).min(self.max);
-            }
-        }
-        self.max
+        self.inner.quantile(q)
+    }
+
+    /// Median (the 0.5 quantile).
+    pub fn p50(&self) -> u64 {
+        self.inner.p50()
+    }
+
+    /// The 0.99 quantile.
+    pub fn p99(&self) -> u64 {
+        self.inner.p99()
+    }
+
+    /// The 0.999 quantile.
+    pub fn p999(&self) -> u64 {
+        self.inner.p999()
     }
 
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max = self.max.max(other.max);
-        self.sum += other.sum;
+        self.inner.merge(&other.inner);
+    }
+
+    /// The shared-bucketing histogram underneath (e.g. to render this
+    /// histogram alongside registry metrics).
+    pub fn as_observe(&self) -> &observe::Histogram {
+        &self.inner
     }
 }
 
@@ -127,7 +97,9 @@ mod tests {
             assert!((got - expect).abs() / expect < 0.08, "q={q}: got {got}, expected ≈{expect}");
         }
         assert_eq!(h.quantile(1.0), 10_000);
-        assert!(h.quantile(0.0) >= 1);
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
     }
 
     #[test]
@@ -168,17 +140,31 @@ mod tests {
         assert!(a.quantile(0.75) >= 9_000);
     }
 
+    /// Cross-consistency with the shared implementation: the same samples
+    /// recorded directly into an [`observe::Histogram`] resolve to the
+    /// same counts, extremes, and quantiles at every probed q.
     #[test]
-    fn bucket_bounds_are_monotone() {
-        let mut prev = 0;
-        for idx in 0..200 {
-            let ub = bucket_upper_bound(idx);
-            assert!(ub >= prev, "bucket {idx}: {ub} < {prev}");
-            prev = ub;
+    fn agrees_with_observe_histogram() {
+        let mut ours = LatencyHistogram::new();
+        let mut theirs = observe::Histogram::new();
+        let mut v = 1u64;
+        for i in 0..5_000u64 {
+            // A spread of octaves plus repeated small values.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let sample = match i % 4 {
+                0 => v % 17,
+                1 => v % 1_000,
+                2 => v % 1_000_000,
+                _ => v % (1 << 40),
+            };
+            ours.record(sample);
+            theirs.record(sample);
         }
-        // bucket_of and upper bounds agree: value ≤ upper_bound(bucket).
-        for v in [1u64, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2] {
-            assert!(v <= bucket_upper_bound(bucket_of(v)), "value {v}");
+        assert_eq!(ours.count(), theirs.count());
+        assert_eq!(ours.max(), theirs.max());
+        assert_eq!(ours.mean(), theirs.mean());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1.0] {
+            assert_eq!(ours.quantile(q), theirs.quantile(q), "q={q}");
         }
     }
 }

@@ -20,4 +20,14 @@ cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
 echo "== sharded front-end throughput smoke =="
 cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke
 
+echo "== trace exporter smoke (Chrome trace + Prometheus + time series) =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --shards=2 \
+    --trace-out="$obs_dir/trace.json" --prom-out="$obs_dir/metrics.prom" \
+    --series-out="$obs_dir/series.csv"
+cargo run --release -q -p lsm-bench --bin trace_check -- \
+    --trace="$obs_dir/trace.json" --prom="$obs_dir/metrics.prom" \
+    --series="$obs_dir/series.csv"
+
 echo "All checks passed."
