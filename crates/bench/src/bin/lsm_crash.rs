@@ -5,10 +5,19 @@
 //! that violates the durability invariant, printing the seed so the cycle
 //! can be replayed under a debugger.
 //!
+//! With `--bundle-dir` every failing cycle also drops a post-mortem
+//! bundle (`lsm_crash_seed_<seed>.postmortem.json`) capturing the flight
+//! recorder, decision ledger, tree topology, and device wear at the point
+//! of failure; `--always-dump` bundles surviving cycles too (smoke tests
+//! use it to exercise the dump path without needing a real failure).
+//! Inspect a bundle with `lsm_postmortem <bundle.json>`.
+//!
 //! ```text
 //! cargo run --release --bin lsm_crash -- [--seeds=200] [--seed-base=0] \
-//!     [--ops=400] [--verbose]
+//!     [--ops=400] [--verbose] [--bundle-dir=DIR] [--always-dump]
 //! ```
+
+use std::path::PathBuf;
 
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Table};
@@ -20,6 +29,12 @@ fn main() {
     let seed_base: u64 = args.get_or("seed-base", 0);
     let ops: u64 = args.get_or("ops", 400);
     let verbose = args.get("verbose").is_some();
+    let bundle_dir = args.get("bundle-dir").map(PathBuf::from);
+    let always_dump = args.flag("always-dump");
+    if always_dump && bundle_dir.is_none() {
+        eprintln!("--always-dump needs --bundle-dir=DIR to say where bundles go");
+        std::process::exit(2);
+    }
 
     eprintln!("crash torture: {seeds} seeds from {seed_base}, up to {ops} requests each ...");
     let mut reports: Vec<TortureReport> = Vec::with_capacity(seeds as usize);
@@ -27,15 +42,33 @@ fn main() {
     for seed in seed_base..seed_base + seeds {
         let mut cfg = TortureConfig::for_seed(seed);
         cfg.ops = ops;
+        cfg.bundle_dir = bundle_dir.clone();
+        cfg.always_dump = always_dump;
         match run_crash_cycle(&cfg) {
             Ok(report) => {
                 if verbose {
                     eprintln!("{report:?}");
                 }
+                if always_dump && verbose {
+                    if let Some(dir) = &bundle_dir {
+                        eprintln!(
+                            "  bundle: {}",
+                            lsm_tree::torture::bundle_path(dir, seed).display()
+                        );
+                    }
+                }
                 reports.push(report);
             }
             Err(e) => {
                 eprintln!("FAIL (seed {seed}): {e}");
+                if let Some(bundle) = &e.bundle {
+                    eprintln!(
+                        "  post-mortem bundle: {} (inspect with: cargo run --release \
+                         -p lsm-bench --bin lsm_postmortem -- {})",
+                        bundle.display(),
+                        bundle.display()
+                    );
+                }
                 eprintln!(
                     "  reproduce: cargo run --release -p lsm-bench --bin lsm_crash -- \
                      --seeds=1 --seed-base={seed}"

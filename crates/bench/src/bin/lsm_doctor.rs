@@ -7,15 +7,21 @@
 //! cargo run --release --bin lsm_doctor -- [--policy=choosebest|full|rr|testmixed] \
 //!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path] \
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv] \
-//!     [--series-every=1000] [--tick-clock]
+//!     [--series-every=1000] [--tick-clock] [--ledger]
 //! ```
+//!
+//! `--ledger` attaches a [`DecisionLedger`] to the tree: every merge
+//! decision is recorded with its full candidate set and reconciled against
+//! the actual writes of the matching `MergeFinish`, and the doctor prints
+//! the per-level predicted-vs-actual table with the policy's cumulative
+//! regret against the best candidate in hindsight.
 
 use std::sync::Arc;
 
 use lsm_bench::report::{fmt_f, merged_json};
 use lsm_bench::{Args, ObsPipeline, PolicyCase, Table, WorkloadKind};
-use lsm_tree::observe::{FanoutSink, MetricsSink, SinkHandle};
-use lsm_tree::{LsmTree, PolicySpec, TreeOptions};
+use lsm_tree::observe::{FanoutSink, Json, MetricsSink, SinkHandle};
+use lsm_tree::{DecisionLedger, LsmTree, PolicySpec, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, MemDevice};
 use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
 
@@ -58,9 +64,15 @@ fn main() {
         Some(extra) => SinkHandle::of(FanoutSink::new(vec![metrics_sink as _, extra])),
         None => SinkHandle::new(metrics_sink as _),
     };
+    let ledger = args.flag("ledger").then(|| Arc::new(DecisionLedger::new(1024)));
+    let mut opts_builder =
+        TreeOptions::builder().policy(policy).preserve_blocks(case.preserve).sink(sink);
+    if let Some(l) = &ledger {
+        opts_builder = opts_builder.ledger(Arc::clone(l));
+    }
     let mut tree = LsmTree::new(
         cfg.clone(),
-        TreeOptions::builder().policy(policy).preserve_blocks(case.preserve).sink(sink).build(),
+        opts_builder.build(),
         Arc::clone(&device) as Arc<dyn BlockDevice>,
     )
     .unwrap();
@@ -118,6 +130,59 @@ fn main() {
     }
     table.print();
 
+    if let Some(ledger) = &ledger {
+        let totals = ledger.totals();
+        println!("\n=== decision ledger ({} policy) ===", tree.policy_name());
+        println!(
+            "{} decisions ({} full), {} reconciled | predicted {} vs actual {} blocks \
+             | cumulative regret {} blocks, model error {} blocks",
+            totals.decisions,
+            totals.full_merges,
+            totals.closed,
+            totals.predicted,
+            totals.actual,
+            totals.regret,
+            totals.model_error,
+        );
+        let mut t = Table::new([
+            "level",
+            "decisions",
+            "full",
+            "predicted",
+            "actual",
+            "regret",
+            "model err",
+        ]);
+        for (level, tot) in ledger.per_level() {
+            t.row([
+                format!("L{level}"),
+                tot.decisions.to_string(),
+                tot.full_merges.to_string(),
+                tot.predicted.to_string(),
+                tot.actual.to_string(),
+                tot.regret.to_string(),
+                tot.model_error.to_string(),
+            ]);
+        }
+        t.print();
+        // The ledger and the metrics registry hear about outcomes through
+        // independent paths (the ledger's own mutex vs `LedgerOutcome`
+        // events through the sink); the doctor cross-checks them exactly.
+        let outcomes = metrics.counter("policy.ledger_outcomes");
+        let regret = metrics.counter("policy.regret_blocks");
+        if outcomes != totals.closed || regret != totals.regret {
+            println!(
+                "LEDGER MISMATCH: registry saw {outcomes} outcomes / {regret} regret blocks, \
+                 ledger closed {} / {}",
+                totals.closed, totals.regret
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "registry agrees: {outcomes} ledger outcomes, {regret} regret blocks (exact match)."
+        );
+    }
+
     let io = device.io_snapshot();
     let wear = device.wear_summary();
     let est = CostModel::default().estimate(&io);
@@ -135,7 +200,10 @@ fn main() {
     // metrics the sink accumulated, written next to the CSVs. Built before
     // the deep check, which reads every block back and would otherwise
     // pollute the device/cache numbers with verification traffic.
-    let doc = merged_json("lsm_doctor", &tree, Some(&wear), Some(&metrics));
+    let mut doc = merged_json("lsm_doctor", &tree, Some(&wear), Some(&metrics));
+    if let (Some(l), Json::Obj(pairs)) = (&ledger, &mut doc) {
+        pairs.push(("ledger".into(), l.to_json()));
+    }
 
     // Amplification over time: how write amplification, cache behaviour,
     // and wear accumulated as the device absorbed operations. Printed (a

@@ -46,6 +46,7 @@ pub mod manifest;
 pub mod memtable;
 pub mod merge;
 pub mod policy;
+pub mod postmortem;
 pub mod record;
 pub mod sharded;
 pub mod shared;
@@ -66,13 +67,15 @@ pub use error::{LsmError, Result};
 pub use manifest::Manifest;
 pub use memtable::Memtable;
 pub use merge::{MergeEngine, MergeOutcome, MergeSource};
+pub use policy::ledger::{Candidate, DecisionLedger, DecisionRow, LedgerTotals};
 pub use policy::{MergeChoice, MergePolicy, MixedParams, PolicySpec};
+pub use postmortem::PostMortem;
 pub use record::{Key, OpKind, Record, Request, RequestSource};
 pub use sharded::ShardedLsmTree;
 pub use shared::SharedLsmTree;
 pub use stats::{LevelStats, MergeKind, TreeStats};
 pub use stepped::SteppedMergeTree;
 pub use store::{RetryPolicy, Store};
-pub use torture::{run_crash_cycle, TortureConfig, TortureReport};
+pub use torture::{run_crash_cycle, TortureConfig, TortureFailure, TortureReport};
 pub use tree::{LsmTree, TreeOptions, TreeOptionsBuilder};
 pub use wal::{DurableLsmTree, WriteAheadLog};

@@ -18,6 +18,12 @@
 //! The paper also notes a linear scan ("start from τ = 0 and stop when
 //! C(τ) starts to increase") is adequate for a coarse grid; both are
 //! provided.
+//!
+//! A [`DecisionLedger`](crate::policy::ledger::DecisionLedger) attached to
+//! the tree keeps recording across the learner's `set_policy` swaps — the
+//! ledger lives on the tree, not the policy — so a post-mortem of a run
+//! that included learning shows the forced-mode probe decisions too, each
+//! tagged with the policy name that made it.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -466,6 +472,51 @@ mod tests {
         // And the tree still works.
         tree.put(7, vec![9u8; 4]).unwrap();
         assert!(tree.get(7).unwrap().is_some());
+    }
+
+    #[test]
+    fn ledger_survives_policy_swaps_during_learning() {
+        let ledger = Arc::new(crate::policy::ledger::DecisionLedger::new(64));
+        let cfg = LsmConfig {
+            block_size: 256,
+            payload_size: 4,
+            k0_blocks: 4,
+            gamma: 4,
+            cache_blocks: 128,
+            merge_rate: 0.25,
+            ..LsmConfig::default()
+        };
+        let mut tree = LsmTree::with_mem_device(
+            cfg,
+            TreeOptions::builder()
+                .policy(PolicySpec::ChooseBest)
+                .ledger(Arc::clone(&ledger))
+                .build(),
+            1 << 17,
+        )
+        .unwrap();
+        let mut src = TestSource::new(11, 3000);
+        for k in 0..2000u64 {
+            tree.put(k, vec![1u8; 4]).unwrap();
+            src.positions.insert(k, src.live.len());
+            src.live.push(k);
+        }
+        let before = ledger.decisions();
+        assert!(before > 0, "growth must have recorded decisions");
+        let opts = LearnOptions {
+            cycles_per_measurement: 1,
+            max_requests_per_measurement: 100_000,
+            ..LearnOptions::default()
+        };
+        learn_mixed_params(&mut tree, &mut src, &opts).unwrap();
+        assert!(
+            ledger.decisions() > before,
+            "the ledger must keep recording across the learner's set_policy swaps"
+        );
+        assert!(
+            ledger.rows().iter().any(|r| r.policy == "Mixed"),
+            "probe decisions are tagged with the policy that made them"
+        );
     }
 
     #[test]

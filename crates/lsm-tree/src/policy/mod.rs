@@ -14,6 +14,7 @@
 //! reads data blocks.
 
 pub mod learn;
+pub mod ledger;
 pub mod window;
 
 use std::collections::BTreeMap;

@@ -117,6 +117,44 @@ pub fn choose_best_aligned_window(
     best
 }
 
+/// Enumerate every window of `window` consecutive source blocks together
+/// with its target-overlap count — the full candidate set that
+/// [`choose_best_window`] scans. Unlike the selection scan this never
+/// early-exits on zero overlap, because its consumer (the decision
+/// ledger) wants the complete table of predicted costs, not just the
+/// winner. Same two-pointer O(n + m) pass; when the source has at most
+/// `window` blocks the single whole-source window is the only candidate.
+pub fn scan_window_candidates(
+    src: &[RunMeta],
+    target: &[BlockHandle],
+    window: usize,
+) -> Vec<(Window, usize)> {
+    debug_assert!(!src.is_empty());
+    let n = src.len();
+    if n <= window {
+        let w = Window { start: 0, len: n };
+        return vec![(w, window_overlap(src, target, w))];
+    }
+    let mut out = Vec::with_capacity(n - window + 1);
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    for start in 0..=(n - window) {
+        let kmin = src[start].min;
+        let kmax = src[start + window - 1].max;
+        while lo < target.len() && target[lo].max < kmin {
+            lo += 1;
+        }
+        if hi < lo {
+            hi = lo;
+        }
+        while hi < target.len() && target[hi].min <= kmax {
+            hi += 1;
+        }
+        out.push((Window { start, len: window }, hi - lo));
+    }
+    out
+}
+
 /// Number of target blocks overlapping the key span of
 /// `src[window.start .. window.start + window.len]` — used by tests and
 /// by brute-force verification.
@@ -228,6 +266,58 @@ mod tests {
                 "trial {trial}: scan disagrees with brute force"
             );
         }
+    }
+
+    #[test]
+    fn candidate_scan_agrees_with_choose_best() {
+        let mut state = 987654u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % 1000
+        };
+        for trial in 0..50 {
+            let mut src_points: Vec<u64> = (0..20).map(|_| next()).collect();
+            src_points.sort_unstable();
+            src_points.dedup();
+            let src: Vec<RunMeta> = src_points
+                .windows(2)
+                .map(|w| RunMeta { min: w[0], max: w[1] - 1, count: 4 })
+                .collect();
+            let mut tgt_points: Vec<u64> = (0..30).map(|_| next()).collect();
+            tgt_points.sort_unstable();
+            tgt_points.dedup();
+            let target: Vec<BlockHandle> =
+                tgt_points.windows(2).map(|w| th(w[0], w[1] - 1)).collect();
+            if src.len() < 4 || target.is_empty() {
+                continue;
+            }
+            let window = 3;
+            let cands = scan_window_candidates(&src, &target, window);
+            assert_eq!(cands.len(), src.len() - window + 1, "one candidate per start");
+            for &(w, ov) in &cands {
+                assert_eq!(
+                    ov,
+                    window_overlap(&src, &target, w),
+                    "trial {trial}: candidate overlap disagrees with brute force"
+                );
+            }
+            // The leftmost-minimum candidate is exactly what the
+            // selection scan picks.
+            let best = cands.iter().min_by_key(|&&(w, ov)| (ov, w.start)).expect("nonempty").0;
+            assert_eq!(
+                best,
+                choose_best_window(&src, &target, window),
+                "trial {trial}: ledger candidates disagree with ChooseBest"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_scan_small_source_is_single_whole_window() {
+        let src = vec![run(0, 9), run(10, 19)];
+        let target = vec![th(5, 12)];
+        let cands = scan_window_candidates(&src, &target, 5);
+        assert_eq!(cands, vec![(Window { start: 0, len: 2 }, 1)]);
     }
 
     #[test]

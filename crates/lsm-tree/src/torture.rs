@@ -29,15 +29,18 @@
 //! failing seed from the torture suite be replayed under a debugger.
 
 use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
+use observe::{FlightRecorderSink, Json, SinkHandle, TickClock, TraceSink, Tracer};
 use sim_ssd::{BlockDevice, FaultDevice, FaultPlan, MemDevice, SplitMix64};
 
 use crate::config::LsmConfig;
+use crate::policy::ledger::DecisionLedger;
 use crate::policy::PolicySpec;
+use crate::postmortem::PostMortem;
 use crate::record::Request;
 use crate::store::RetryPolicy;
 use crate::tree::TreeOptions;
@@ -63,6 +66,13 @@ pub struct TortureConfig {
     pub write_error_rate: f64,
     /// Requests applied to the recovered tree before the final deep check.
     pub continue_ops: u64,
+    /// Where to write a post-mortem bundle when a cycle fails (or on
+    /// success too, with [`TortureConfig::always_dump`]). `None` (the
+    /// default) disables bundling entirely.
+    pub bundle_dir: Option<PathBuf>,
+    /// Dump a bundle even when the cycle passes — used by the determinism
+    /// suite and by `lsm_crash --always-dump` for smoke checks.
+    pub always_dump: bool,
 }
 
 impl TortureConfig {
@@ -78,9 +88,44 @@ impl TortureConfig {
             read_error_rate: 0.01,
             write_error_rate: 0.01,
             continue_ops: 60,
+            bundle_dir: None,
+            always_dump: false,
         }
     }
 }
+
+/// The bundle file a failing (or `always_dump`) cycle for `seed` writes
+/// under `dir` — named after the seed so "FAIL (seed N)" output and the
+/// file on disk can be matched by eye, and deliberately free of process
+/// ids so same-seed bundles are byte-comparable.
+pub fn bundle_path(dir: &Path, seed: u64) -> PathBuf {
+    dir.join(format!("lsm_crash_seed_{seed}.postmortem.json"))
+}
+
+/// Why a torture cycle failed: the violated invariant (or failed step),
+/// the seed to replay it, and the post-mortem bundle if one was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TortureFailure {
+    /// The seed that produced the failing cycle.
+    pub seed: u64,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Path of the post-mortem bundle, when `bundle_dir` was set and the
+    /// dump succeeded.
+    pub bundle: Option<PathBuf>,
+}
+
+impl std::fmt::Display for TortureFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[seed {}] {}", self.seed, self.message)?;
+        if let Some(path) = &self.bundle {
+            write!(f, " (post-mortem: {})", path.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TortureFailure {}
 
 /// What one crash cycle did — for aggregation and debugging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,10 +191,17 @@ fn to_request(op: &LoggedOp) -> Request {
     }
 }
 
-/// Run one seeded crash cycle; `Err` carries a human-readable description
-/// of the violated invariant (prefixed with the seed for replay).
-pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
-    let fail = |msg: String| format!("[seed {}] {msg}", cfg.seed);
+/// Run one seeded crash cycle; `Err` carries the violated invariant, the
+/// seed for replay, and (when [`TortureConfig::bundle_dir`] is set) the
+/// path of the post-mortem bundle the failure wrote.
+///
+/// Every cycle runs with a black box attached: a deterministic
+/// [`Tracer`] ([`TickClock`]) feeding a [`FlightRecorderSink`], plus a
+/// [`DecisionLedger`] on the tree. On failure — or on success with
+/// [`TortureConfig::always_dump`] — their contents are serialized into a
+/// bundle at [`bundle_path`]. Bundles are deterministic: two runs of the
+/// same seed produce byte-identical files.
+pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, TortureFailure> {
     let (man_path, wal_path) = temp_paths(cfg.seed);
     let cleanup = || {
         std::fs::remove_file(&man_path).ok();
@@ -159,11 +211,53 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
 
     let mut rng = SplitMix64::new(cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
     let inner = Arc::new(MemDevice::with_block_size(1 << 14, 256));
-    let fault = Arc::new(FaultDevice::new(inner, cfg.seed));
+    let fault = Arc::new(FaultDevice::new(Arc::clone(&inner) as Arc<dyn BlockDevice>, cfg.seed));
+
+    // The black box: deterministic tracer → flight recorder, and a
+    // decision ledger on the tree. Sinks cannot perturb the cycle (the
+    // observer-effect contract), and TickClock keeps the bundle free of
+    // wall-clock time, so determinism per seed is preserved.
+    let recorder = Arc::new(FlightRecorderSink::new(512));
+    let ledger = Arc::new(DecisionLedger::new(256));
+    let sink = SinkHandle::of(
+        Tracer::with_clock(Arc::new(TickClock::new()))
+            .trace_to(Arc::clone(&recorder) as Arc<dyn TraceSink>),
+    );
+
+    // Writes a bundle if a directory is configured; returns its path.
+    let dump = |reason: &str, error: Option<&str>, tree_json: Option<Json>| -> Option<PathBuf> {
+        let dir = cfg.bundle_dir.as_deref()?;
+        let path = bundle_path(dir, cfg.seed);
+        let mut pm = PostMortem::new(reason)
+            .seed(cfg.seed)
+            .repro(&format!(
+                "cargo run --release -p lsm-bench --bin lsm_crash -- --seeds=1 --seed-base={}",
+                cfg.seed
+            ))
+            .flight(&recorder)
+            .ledger(&ledger)
+            .device_io(inner.io_snapshot())
+            .wear(&inner.wear_snapshot(), 32);
+        if let Some(msg) = error {
+            pm = pm.error(msg);
+        }
+        if let Some(tree) = tree_json {
+            pm = pm.section("tree", tree);
+        }
+        pm.write_to(&path).ok()?;
+        Some(path)
+    };
+    let fail = |msg: String, bundle: Option<PathBuf>| TortureFailure {
+        seed: cfg.seed,
+        message: msg,
+        bundle,
+    };
 
     let opts = TreeOptions::builder()
         .policy(PolicySpec::ChooseBest)
         .retry(RetryPolicy { max_attempts: 4, base_backoff_us: 0 })
+        .sink(sink)
+        .ledger(Arc::clone(&ledger))
         .build();
     let mut tree = DurableLsmTree::create(
         tiny_cfg(),
@@ -172,7 +266,11 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
         &man_path,
         &wal_path,
     )
-    .map_err(|e| fail(format!("create failed: {e}")))?;
+    .map_err(|e| {
+        let msg = format!("create failed: {e}");
+        let bundle = dump("torture failure: create", Some(&msg), None);
+        fail(msg, bundle)
+    })?;
 
     // Schedule the cut only now, so creation itself cannot be cut: an
     // index that never existed has no durability contract to check. The
@@ -236,16 +334,25 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
     // flushed-but-unsynced tail.
     // ------------------------------------------------------------------
     let wal_synced = tree.wal_synced_len();
+    // The tree is about to be leaked to simulate the host dying; snapshot
+    // its state first so bundles from later phases can still say what the
+    // pre-crash tree looked like.
+    let pre_crash_tree = cfg.bundle_dir.is_some().then(|| PostMortem::tree_json(tree.tree()));
     std::mem::forget(tree);
     let on_disk = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
     let tail = on_disk.saturating_sub(wal_synced);
     let keep = wal_synced + if tail > 0 { rng.gen_range(tail + 1) } else { 0 };
     if keep < on_disk {
-        let f = std::fs::OpenOptions::new()
-            .write(true)
-            .open(&wal_path)
-            .map_err(|e| fail(format!("wal truncate open failed: {e}")))?;
-        f.set_len(keep).map_err(|e| fail(format!("wal truncate failed: {e}")))?;
+        let f = std::fs::OpenOptions::new().write(true).open(&wal_path).map_err(|e| {
+            let msg = format!("wal truncate open failed: {e}");
+            let bundle = dump("torture failure: wal truncate", Some(&msg), pre_crash_tree.clone());
+            fail(msg, bundle)
+        })?;
+        f.set_len(keep).map_err(|e| {
+            let msg = format!("wal truncate failed: {e}");
+            let bundle = dump("torture failure: wal truncate", Some(&msg), pre_crash_tree.clone());
+            fail(msg, bundle)
+        })?;
     }
 
     // ------------------------------------------------------------------
@@ -254,8 +361,10 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
     // ------------------------------------------------------------------
     let mut recovered = DurableLsmTree::recover(opts, fault.inner(), &man_path, &wal_path)
         .map_err(|e| {
+            let msg = format!("recovery failed: {e}");
+            let bundle = dump("torture failure: recovery", Some(&msg), pre_crash_tree.clone());
             cleanup();
-            fail(format!("recovery failed: {e}"))
+            fail(msg, bundle)
         })?;
     let replayed = recovered.wal_backlog();
 
@@ -267,8 +376,14 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
     // ------------------------------------------------------------------
     let recovered_map: BTreeMap<u64, Bytes> =
         recovered.tree().scan(0, u64::MAX).collect::<crate::error::Result<_>>().map_err(|e| {
+            let msg = format!("scan of recovered tree failed: {e}");
+            let bundle = dump(
+                "torture failure: recovered scan",
+                Some(&msg),
+                Some(PostMortem::tree_json(recovered.tree())),
+            );
             cleanup();
-            fail(format!("scan of recovered tree failed: {e}"))
+            fail(msg, bundle)
         })?;
     let recovered_keys = recovered_map.len() as u64;
 
@@ -296,11 +411,17 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
         }
     }
     let Some(matched_prefix) = matched else {
-        cleanup();
-        return Err(fail(format!(
+        let msg = format!(
             "recovered state matches no request prefix in [{durable_floor}, {issued}] \
              (issued {issued}, replayed {replayed}, {recovered_keys} live keys)"
-        )));
+        );
+        let bundle = dump(
+            "torture failure: durability invariant",
+            Some(&msg),
+            Some(PostMortem::tree_json(recovered.tree())),
+        );
+        cleanup();
+        return Err(fail(msg, bundle));
     };
 
     // ------------------------------------------------------------------
@@ -310,19 +431,40 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, String> {
     for i in 0..cfg.continue_ops {
         let op = draw_op(&mut rng, cfg.key_space);
         recovered.apply(to_request(&op)).map_err(|e| {
+            let msg = format!("continuation op {i} failed: {e}");
+            let bundle = dump(
+                "torture failure: continuation",
+                Some(&msg),
+                Some(PostMortem::tree_json(recovered.tree())),
+            );
             cleanup();
-            fail(format!("continuation op {i} failed: {e}"))
+            fail(msg, bundle)
         })?;
     }
     recovered.checkpoint().map_err(|e| {
+        let msg = format!("post-recovery checkpoint failed: {e}");
+        let bundle = dump(
+            "torture failure: checkpoint",
+            Some(&msg),
+            Some(PostMortem::tree_json(recovered.tree())),
+        );
         cleanup();
-        fail(format!("post-recovery checkpoint failed: {e}"))
+        fail(msg, bundle)
     })?;
     crate::verify::check_tree(recovered.tree(), true).map_err(|e| {
+        let msg = format!("deep check after recovery failed: {e}");
+        let bundle = dump(
+            "torture failure: deep check",
+            Some(&msg),
+            Some(PostMortem::tree_json(recovered.tree())),
+        );
         cleanup();
-        fail(format!("deep check after recovery failed: {e}"))
+        fail(msg, bundle)
     })?;
 
+    if cfg.always_dump {
+        dump("explicit dump", None, Some(PostMortem::tree_json(recovered.tree())));
+    }
     drop(recovered);
     cleanup();
     Ok(TortureReport {
@@ -356,5 +498,59 @@ mod tests {
             assert!(report.matched_prefix >= report.durable_floor);
             assert!(report.matched_prefix <= report.issued);
         }
+    }
+
+    #[test]
+    fn same_seed_bundles_are_byte_identical() {
+        let base = std::env::temp_dir().join(format!("lsm-bundle-det-{}", std::process::id()));
+        let dir_a = base.join("a");
+        let dir_b = base.join("b");
+        // A seed no other test in this module touches, so concurrent test
+        // threads never share the cycle's temp manifest/WAL files.
+        let mut cfg = TortureConfig::for_seed(9001);
+        cfg.always_dump = true;
+        cfg.bundle_dir = Some(dir_a.clone());
+        run_crash_cycle(&cfg).unwrap_or_else(|e| panic!("first run failed: {e}"));
+        cfg.bundle_dir = Some(dir_b.clone());
+        run_crash_cycle(&cfg).unwrap_or_else(|e| panic!("second run failed: {e}"));
+
+        let a = std::fs::read(bundle_path(&dir_a, 9001)).expect("first bundle written");
+        let b = std::fs::read(bundle_path(&dir_b, 9001)).expect("second bundle written");
+        assert_eq!(a, b, "same-seed bundles must be byte-identical");
+
+        let text = String::from_utf8(a).expect("bundle is UTF-8");
+        let doc = Json::parse(&text).expect("bundle parses");
+        let problems = crate::postmortem::validate_bundle(&doc);
+        assert!(problems.is_empty(), "invalid bundle: {problems:?}");
+        // The bundle names its seed and an exact repro command, and carries
+        // the black box: flight events, ledger, wear, and the tree section.
+        let Json::Obj(pairs) = doc else { panic!("bundle not an object") };
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        assert_eq!(get("seed"), Some(Json::from(9001u64)));
+        let Some(Json::Str(repro)) = get("repro") else { panic!("missing repro") };
+        assert!(repro.contains("--seed-base=9001"), "repro names the seed: {repro}");
+        for key in ["flight", "ledger", "wear", "device_io", "tree"] {
+            assert!(get(key).is_some(), "bundle missing {key} section");
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn failure_display_names_seed_and_bundle() {
+        let plain = TortureFailure { seed: 7, message: "boom".into(), bundle: None };
+        assert_eq!(plain.to_string(), "[seed 7] boom");
+        let with_bundle = TortureFailure {
+            seed: 7,
+            message: "boom".into(),
+            bundle: Some(PathBuf::from("/tmp/x/lsm_crash_seed_7.postmortem.json")),
+        };
+        assert_eq!(
+            with_bundle.to_string(),
+            "[seed 7] boom (post-mortem: /tmp/x/lsm_crash_seed_7.postmortem.json)"
+        );
+        assert_eq!(
+            bundle_path(Path::new("/tmp/x"), 7),
+            PathBuf::from("/tmp/x/lsm_crash_seed_7.postmortem.json")
+        );
     }
 }

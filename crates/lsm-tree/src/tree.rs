@@ -13,6 +13,7 @@ use crate::error::{LsmError, Result};
 use crate::level::Level;
 use crate::memtable::Memtable;
 use crate::merge::{MergeEngine, MergeSource};
+use crate::policy::ledger::{enumerate_candidates, DecisionLedger};
 use crate::policy::window::{runs_of_handles, window_overlap};
 use crate::policy::{MergeChoice, MergeCtx, MergePolicy, PolicySpec};
 use crate::record::{Key, OpKind, Request};
@@ -53,6 +54,11 @@ pub struct TreeOptions {
     /// Bounded retry-with-backoff for transient device errors (see
     /// [`RetryPolicy`]). Defaults to 4 attempts, 50 µs base backoff.
     pub retry: RetryPolicy,
+    /// Optional decision ledger recording every merge decision's candidate
+    /// table, prediction, and reconciled actual cost. When absent (the
+    /// default) candidates are never enumerated, so the ledger costs
+    /// nothing on the device image or the tree's counters.
+    pub ledger: Option<Arc<DecisionLedger>>,
 }
 
 impl Default for TreeOptions {
@@ -64,6 +70,7 @@ impl Default for TreeOptions {
             enforce_level_waste: true,
             sink: SinkHandle::none(),
             retry: RetryPolicy::default(),
+            ledger: None,
         }
     }
 }
@@ -120,6 +127,14 @@ impl TreeOptionsBuilder {
         self
     }
 
+    /// Attach a decision ledger (default: none). The same ledger may be
+    /// shared with post-mortem tooling; it survives policy swaps because
+    /// it lives on the tree, not the policy.
+    pub fn ledger(mut self, ledger: Arc<DecisionLedger>) -> Self {
+        self.opts.ledger = Some(ledger);
+        self
+    }
+
     /// Finish, yielding the options.
     pub fn build(self) -> TreeOptions {
         self.opts
@@ -153,6 +168,7 @@ pub struct LsmTree {
     mem_rr_cursor: Option<Key>,
     stats: TreeStats,
     sink: SinkHandle,
+    ledger: Option<Arc<DecisionLedger>>,
 }
 
 impl LsmTree {
@@ -184,6 +200,7 @@ impl LsmTree {
             mem_rr_cursor: None,
             stats: TreeStats::default(),
             sink: opts.sink,
+            ledger: opts.ledger,
         })
     }
 
@@ -220,6 +237,7 @@ impl LsmTree {
             mem_rr_cursor,
             stats: TreeStats::default(),
             sink: opts.sink,
+            ledger: opts.ledger,
         }
     }
 
@@ -399,6 +417,11 @@ impl LsmTree {
         &self.sink
     }
 
+    /// The attached decision ledger, if any.
+    pub fn ledger(&self) -> Option<&Arc<DecisionLedger>> {
+        self.ledger.as_ref()
+    }
+
     /// Is block preservation active?
     pub fn preserves_blocks(&self) -> bool {
         self.preserve_blocks
@@ -487,14 +510,20 @@ impl LsmTree {
             target_is_bottom: self.levels.len() == 1,
             src_rr_cursor: self.mem_rr_cursor,
         };
+        let window_blocks = ctx.window_blocks;
         let choice = self.policy.choose(&ctx);
+        let predicted = Self::predicted_writes(&runs, &self.levels[0], choice);
         // Covers record extraction and the L1 merge; the merge span in
         // `do_merge` nests underneath.
         let _flush_span = self.sink.span(SpanOp::flush(choice == MergeChoice::Full));
         self.sink.emit_with(|| Event::PolicyDecision {
             target_level: 1,
             full: choice == MergeChoice::Full,
-            predicted_writes: Self::predicted_writes(&runs, &self.levels[0], choice),
+            predicted_writes: predicted,
+        });
+        let ledger_token = self.ledger.as_ref().map(|l| {
+            let cands = enumerate_candidates(&runs, self.levels[0].handles(), window_blocks);
+            l.open(self.policy_name, 1, cands, choice, predicted)
         });
         let (records, kind) = match choice {
             MergeChoice::Full => (self.mem.extract_all(), MergeKind::Full),
@@ -507,7 +536,7 @@ impl LsmTree {
             records: src_records,
             full: kind == MergeKind::Full,
         });
-        self.do_merge(0, MergeSource::Records(records), src_records, kind)?;
+        self.do_merge(0, MergeSource::Records(records), src_records, kind, ledger_token)?;
         Ok(())
     }
 
@@ -527,11 +556,18 @@ impl LsmTree {
             target_is_bottom: src_vec_idx + 2 == self.levels.len(),
             src_rr_cursor: self.levels[src_vec_idx].rr_cursor,
         };
+        let window_blocks = ctx.window_blocks;
         let choice = self.policy.choose(&ctx);
+        let predicted = Self::predicted_writes(&runs, &self.levels[src_vec_idx + 1], choice);
         self.sink.emit_with(|| Event::PolicyDecision {
             target_level: src_paper + 1,
             full: choice == MergeChoice::Full,
-            predicted_writes: Self::predicted_writes(&runs, &self.levels[src_vec_idx + 1], choice),
+            predicted_writes: predicted,
+        });
+        let ledger_token = self.ledger.as_ref().map(|l| {
+            let cands =
+                enumerate_candidates(&runs, self.levels[src_vec_idx + 1].handles(), window_blocks);
+            l.open(self.policy_name, src_paper + 1, cands, choice, predicted)
         });
         let (range, kind) = match choice {
             MergeChoice::Full => (0..runs.len(), MergeKind::Full),
@@ -573,7 +609,7 @@ impl LsmTree {
             self.compact(src_vec_idx)?;
         }
 
-        self.do_merge(src_vec_idx + 1, MergeSource::Blocks(x), src_records, kind)?;
+        self.do_merge(src_vec_idx + 1, MergeSource::Blocks(x), src_records, kind, ledger_token)?;
         Ok(())
     }
 
@@ -585,6 +621,7 @@ impl LsmTree {
         src: MergeSource,
         src_records: u64,
         kind: MergeKind,
+        ledger_token: Option<u64>,
     ) -> Result<()> {
         let target_paper = target_vec_idx + 1;
         // Every device operation of `merge_into` — including in-merge
@@ -632,6 +669,20 @@ impl LsmTree {
             preserved: outcome.preserved,
             max_key: outcome.max_key,
         });
+        // Reconcile the ledger row with the same `writes` the MergeFinish
+        // above reported, then surface the closed decision as an event.
+        if let (Some(ledger), Some(token)) = (self.ledger.as_ref(), ledger_token) {
+            if let Some(closed) = ledger.close(token, outcome.writes) {
+                self.sink.emit_with(|| Event::LedgerOutcome {
+                    target_level: closed.target_level,
+                    full: closed.full,
+                    candidates: closed.candidates,
+                    predicted: closed.predicted,
+                    best_predicted: closed.best_predicted,
+                    actual: closed.actual,
+                });
+            }
+        }
 
         // Target-side level-wise waste check (§II-B case 4).
         if self.enforce_level_waste && self.engine().needs_compaction(&self.levels[target_vec_idx])
@@ -809,6 +860,64 @@ mod tests {
         t.set_sink(SinkHandle::none());
         fill(&mut t, 100, 3);
         assert!(sink.is_empty(), "detached sink receives nothing");
+    }
+
+    #[test]
+    fn ledger_rows_reconcile_exactly_with_merge_finish_writes() {
+        let sink = Arc::new(observe::VecSink::new());
+        let ledger = Arc::new(DecisionLedger::new(4096));
+        let mut t = LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions::builder()
+                .policy(PolicySpec::ChooseBest)
+                .sink(SinkHandle::new(sink.clone()))
+                .ledger(Arc::clone(&ledger))
+                .build(),
+            1 << 16,
+        )
+        .unwrap();
+        fill(&mut t, 2000, 13);
+        let rows = ledger.rows();
+        assert!(!rows.is_empty(), "sustained inserts must have merged");
+        let finishes: Vec<u64> = sink
+            .drain()
+            .iter()
+            .filter_map(|e| match e {
+                Event::MergeFinish { writes, .. } => Some(*writes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rows.len(), finishes.len(), "one ledger row per MergeFinish");
+        for (row, writes) in rows.iter().zip(&finishes) {
+            assert_eq!(row.actual, Some(*writes), "row {} actual != MergeFinish writes", row.id);
+        }
+        assert_eq!(ledger.totals().closed, ledger.decisions(), "every decision reconciled");
+        assert_eq!(
+            ledger.cumulative_regret(),
+            0,
+            "ChooseBest picks the min-predicted candidate by construction"
+        );
+    }
+
+    #[test]
+    fn full_policy_accrues_regret_in_ledger() {
+        let ledger = Arc::new(DecisionLedger::new(4096));
+        let mut t = LsmTree::with_mem_device(
+            tiny_cfg(),
+            TreeOptions::builder().policy(PolicySpec::Full).ledger(Arc::clone(&ledger)).build(),
+            1 << 16,
+        )
+        .unwrap();
+        fill(&mut t, 3000, 7);
+        let totals = ledger.totals();
+        assert_eq!(totals.full_merges, totals.decisions, "Full policy only makes full merges");
+        assert!(
+            totals.regret > 0,
+            "full merges over a populated target must beat some window somewhere"
+        );
+        // Detached trees never touch a ledger.
+        let bare = tree_with(PolicySpec::Full);
+        assert!(bare.ledger().is_none());
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Flight recorder: a fixed-capacity ring buffer of recent events.
+//!
+//! A [`FlightRecorderSink`] retains the last N events with the span that
+//! caused each one (when attached behind a [`Tracer`](crate::Tracer)), plus
+//! an exact count of how many older events the ring has dropped. It is the
+//! black box a [post-mortem bundle] serializes after a failure: cheap
+//! enough to leave attached in every run, bounded so it can never blow up
+//! memory, and — like every sink — incapable of touching the device image
+//! or the tree's own counters.
+//!
+//! Two attachment modes:
+//!
+//! - As a plain [`EventSink`]: events are recorded without span ids or
+//!   timestamps (`SinkHandle::of(FlightRecorderSink::new(256))`).
+//! - As a [`TraceSink`] behind a tracer
+//!   (`Tracer::with_clock(...).trace_to(recorder)`): every entry carries
+//!   the tracer's timestamp and innermost span id, and the recorder also
+//!   tracks the stack of spans still open — the "where was everyone when
+//!   it happened" of a crash dump.
+//!
+//! The ring is a `Mutex<VecDeque>` with a small critical section (one
+//! push, at most one pop); per-thread event order is preserved because
+//! each entry is sequenced under the same lock that stores it.
+//!
+//! [post-mortem bundle]: crate::flight::FlightRecorderSink::to_json
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::trace::{SpanId, SpanOp, TraceEvent, TraceEventKind, TraceSink};
+use crate::{Event, EventSink};
+
+/// One retained event: the payload plus where and when it happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEntry {
+    /// Global arrival index (0-based, never reset): `seq` of the oldest
+    /// retained entry equals the number of dropped events.
+    pub seq: u64,
+    /// Tracer clock reading, when recorded through a tracer; `None` when
+    /// the recorder is attached as a plain event sink.
+    pub at_us: Option<u64>,
+    /// Innermost open span when the event fired, if traced.
+    pub span: Option<SpanId>,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl FlightEntry {
+    /// Render as a JSON object (`span`/`at_us` are `null` when untraced).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seq", Json::from(self.seq)),
+            ("at_us", self.at_us.map(Json::from).unwrap_or(Json::Null)),
+            ("span", self.span.map(|s| Json::from(s.as_u64())).unwrap_or(Json::Null)),
+            ("event", self.event.to_json()),
+        ])
+    }
+}
+
+/// One span that was open (begun, not yet ended) at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenSpan {
+    /// The span's id.
+    pub id: SpanId,
+    /// Its parent span, if nested.
+    pub parent: Option<SpanId>,
+    /// What the span covers.
+    pub op: SpanOp,
+}
+
+impl OpenSpan {
+    /// Render as a JSON object with the op's human-readable label.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.as_u64())),
+            ("parent", self.parent.map(|p| Json::from(p.as_u64())).unwrap_or(Json::Null)),
+            ("op", Json::from(self.op.label())),
+            ("shard", self.op.shard.map(Json::from).unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct FlightState {
+    ring: VecDeque<FlightEntry>,
+    total: u64,
+    open: Vec<OpenSpan>,
+}
+
+/// Fixed-capacity ring buffer of the last N events (see module docs).
+pub struct FlightRecorderSink {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl std::fmt::Debug for FlightRecorderSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorderSink").field("capacity", &self.capacity).finish()
+    }
+}
+
+impl FlightRecorderSink {
+    /// A recorder retaining the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorderSink { capacity: capacity.max(1), state: Mutex::new(FlightState::default()) }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn record(&self, at_us: Option<u64>, span: Option<SpanId>, event: Event) {
+        let mut state = self.lock();
+        let seq = state.total;
+        state.total += 1;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(FlightEntry { seq, at_us, span, event });
+    }
+
+    /// Events offered to the recorder since creation.
+    pub fn total(&self) -> u64 {
+        self.lock().total
+    }
+
+    /// Retained events (at most the capacity).
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact number of events the ring has evicted to stay within
+    /// capacity: `total() - len()`.
+    pub fn dropped(&self) -> u64 {
+        let state = self.lock();
+        state.total - state.ring.len() as u64
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEntry> {
+        self.lock().ring.iter().copied().collect()
+    }
+
+    /// The spans currently open (begun but not ended), outermost first.
+    /// Only populated when the recorder consumes trace events.
+    pub fn open_spans(&self) -> Vec<OpenSpan> {
+        self.lock().open.clone()
+    }
+
+    /// Forget everything (events, drop count, open spans) — used between
+    /// torture cycles so each cycle's dump stands alone.
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        state.ring.clear();
+        state.total = 0;
+        state.open.clear();
+    }
+
+    /// Render the recorder's whole state as one JSON object:
+    /// `{capacity, total, dropped, open_spans: [...], events: [...]}`.
+    pub fn to_json(&self) -> Json {
+        let state = self.lock();
+        let dropped = state.total - state.ring.len() as u64;
+        Json::obj([
+            ("capacity", Json::from(self.capacity)),
+            ("total", Json::from(state.total)),
+            ("dropped", Json::from(dropped)),
+            ("open_spans", Json::arr(state.open.iter().map(OpenSpan::to_json))),
+            ("events", Json::arr(state.ring.iter().map(FlightEntry::to_json))),
+        ])
+    }
+}
+
+impl EventSink for FlightRecorderSink {
+    fn emit(&self, event: &Event) {
+        self.record(None, None, *event);
+    }
+}
+
+impl TraceSink for FlightRecorderSink {
+    fn accept(&self, event: &TraceEvent) {
+        match event.kind {
+            TraceEventKind::Emit(ev) => self.record(Some(event.at_us), event.span, ev),
+            TraceEventKind::Begin { id, parent, op } => {
+                self.lock().open.push(OpenSpan { id, parent, op });
+            }
+            TraceEventKind::End { id, .. } => {
+                let mut state = self.lock();
+                if let Some(pos) = state.open.iter().rposition(|s| s.id == id) {
+                    state.open.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::trace::{TickClock, Tracer};
+    use crate::SinkHandle;
+
+    #[test]
+    fn ring_retains_last_n_and_counts_drops_exactly() {
+        let rec = FlightRecorderSink::new(3);
+        for block in 0..7u64 {
+            rec.emit(&Event::DeviceWrite { block });
+        }
+        assert_eq!(rec.total(), 7);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 4);
+        let entries = rec.snapshot();
+        let blocks: Vec<u64> = entries
+            .iter()
+            .map(|e| match e.event {
+                Event::DeviceWrite { block } => block,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(blocks, vec![4, 5, 6]);
+        assert_eq!(entries[0].seq, 4, "oldest seq equals the drop count");
+        assert!(entries[0].at_us.is_none() && entries[0].span.is_none(), "plain mode is untagged");
+    }
+
+    #[test]
+    fn traced_entries_carry_span_ids_and_open_stack_tracks_begin_end() {
+        let rec = Arc::new(FlightRecorderSink::new(16));
+        let handle = SinkHandle::of(
+            Tracer::with_clock(Arc::new(TickClock::new())).trace_to(Arc::clone(&rec) as _),
+        );
+        let outer = handle.span(SpanOp::cascade());
+        let inner = handle.span(SpanOp::merge(2, false));
+        handle.emit(Event::DeviceWrite { block: 9 });
+
+        let open = rec.open_spans();
+        assert_eq!(open.len(), 2, "two spans open");
+        assert_eq!(open[0].op.label(), "cascade");
+        assert_eq!(open[1].op.label(), "merge L2 partial");
+        assert_eq!(open[1].parent, Some(open[0].id), "inner span parented to outer");
+
+        let entries = rec.snapshot();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].span, inner.id(), "event attributed to innermost span");
+        assert!(entries[0].at_us.is_some());
+
+        drop(inner);
+        assert_eq!(rec.open_spans().len(), 1);
+        drop(outer);
+        assert!(rec.open_spans().is_empty());
+    }
+
+    #[test]
+    fn json_rendering_round_trips() {
+        let rec = FlightRecorderSink::new(2);
+        rec.emit(&Event::CacheHit);
+        rec.emit(&Event::DeviceSync);
+        rec.emit(&Event::CacheMiss);
+        let doc = rec.to_json().render();
+        let parsed = Json::parse(&doc).expect("flight JSON parses");
+        let Json::Obj(pairs) = parsed else { panic!("not an object") };
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        assert_eq!(get("capacity"), Some(Json::from(2u64)));
+        assert_eq!(get("total"), Some(Json::from(3u64)));
+        assert_eq!(get("dropped"), Some(Json::from(1u64)));
+        let Some(Json::Arr(events)) = get("events") else { panic!("missing events") };
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let rec = FlightRecorderSink::new(1);
+        rec.emit(&Event::CacheHit);
+        rec.emit(&Event::CacheHit);
+        assert_eq!(rec.dropped(), 1);
+        rec.clear();
+        assert_eq!((rec.total(), rec.len(), rec.dropped()), (0, 0, 0));
+        assert!(rec.open_spans().is_empty());
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let rec = FlightRecorderSink::new(0);
+        rec.emit(&Event::CacheHit);
+        assert_eq!(rec.capacity(), 1);
+        assert_eq!(rec.len(), 1);
+    }
+}

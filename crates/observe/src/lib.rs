@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{FlightEntry, FlightRecorderSink, OpenSpan};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics, TextExpositionSink};
 pub use trace::{
@@ -202,6 +204,25 @@ pub enum Event {
         /// Blocks written into the target level.
         writes: u64,
     },
+    /// A decision ledger reconciled one merge decision against its actual
+    /// cost: emitted right after the matching [`Event::MergeFinish`], once
+    /// the candidate set, the chosen candidate's predicted cost, the best
+    /// candidate's predicted cost (hindsight optimum under the shared cost
+    /// model), and the realized write count are all known.
+    LedgerOutcome {
+        /// Paper-numbered target level of the decided merge.
+        target_level: usize,
+        /// `true` if the chosen candidate was the full merge.
+        full: bool,
+        /// Candidates the ledger enumerated (every window plus full).
+        candidates: usize,
+        /// Predicted writes of the chosen candidate.
+        predicted: u64,
+        /// Smallest predicted writes over all candidates.
+        best_predicted: u64,
+        /// Blocks actually written, from the matching merge.
+        actual: u64,
+    },
 }
 
 /// The kind of fault a fault-injection device fired, as reported by
@@ -270,6 +291,7 @@ impl Event {
             Event::ReadRepair { .. } => "read_repair",
             Event::ShardRouted { .. } => "shard_routed",
             Event::ShardMergeFinish { .. } => "shard_merge_finish",
+            Event::LedgerOutcome { .. } => "ledger_outcome",
         }
     }
 
@@ -347,6 +369,21 @@ impl Event {
                 put("target_level", Json::from(target_level));
                 put("full", Json::from(full));
                 put("writes", Json::from(writes));
+            }
+            Event::LedgerOutcome {
+                target_level,
+                full,
+                candidates,
+                predicted,
+                best_predicted,
+                actual,
+            } => {
+                put("target_level", Json::from(target_level));
+                put("full", Json::from(full));
+                put("candidates", Json::from(candidates));
+                put("predicted", Json::from(predicted));
+                put("best_predicted", Json::from(best_predicted));
+                put("actual", Json::from(actual));
             }
         }
         Json::Obj(pairs)
@@ -613,6 +650,8 @@ pub struct CountingSnapshot {
     pub shard_routed: u64,
     /// Shard-tagged merge completions.
     pub shard_merges: u64,
+    /// Decision-ledger outcomes reconciled.
+    pub ledger_outcomes: u64,
 }
 
 /// Counts events per category with relaxed atomics — no locking, safe to
@@ -645,6 +684,7 @@ pub struct CountingSink {
     read_repairs: AtomicU64,
     shard_routed: AtomicU64,
     shard_merges: AtomicU64,
+    ledger_outcomes: AtomicU64,
 }
 
 impl CountingSink {
@@ -683,6 +723,7 @@ impl CountingSink {
             read_repairs: get(&self.read_repairs),
             shard_routed: get(&self.shard_routed),
             shard_merges: get(&self.shard_merges),
+            ledger_outcomes: get(&self.ledger_outcomes),
         }
     }
 }
@@ -722,6 +763,7 @@ impl EventSink for CountingSink {
             Event::ReadRepair { .. } => bump(&self.read_repairs),
             Event::ShardRouted { .. } => bump(&self.shard_routed),
             Event::ShardMergeFinish { .. } => bump(&self.shard_merges),
+            Event::LedgerOutcome { .. } => bump(&self.ledger_outcomes),
         }
     }
 }
@@ -869,6 +911,11 @@ impl EventSink for MetricsSink {
                 m.incr("shard.merges");
                 m.observe("shard.merge_writes", writes);
                 m.add_with("shard.merge_writes_total", &[("shard", &shard.to_string())], writes);
+            }
+            Event::LedgerOutcome { predicted, best_predicted, actual, .. } => {
+                m.incr("policy.ledger_outcomes");
+                m.add("policy.regret_blocks", predicted.saturating_sub(best_predicted));
+                m.observe("policy.model_error", actual.abs_diff(predicted));
             }
         }
     }

@@ -17,13 +17,15 @@ const SUB_BITS: u32 = 4;
 const SUB: u64 = 1 << SUB_BITS;
 
 fn bucket_of(value: u64) -> usize {
-    let v = value.max(1);
-    let msb = 63 - v.leading_zeros() as u64;
-    if msb < SUB_BITS as u64 {
-        return v as usize;
+    // Values below SUB (including 0) get their own exact bucket; in
+    // particular 0 lives in bucket 0 rather than sharing a bucket with 1,
+    // so quantiles of zero-heavy distributions stay exact.
+    if value < SUB {
+        return value as usize;
     }
+    let msb = 63 - value.leading_zeros() as u64;
     let shift = msb - SUB_BITS as u64;
-    let sub = (v >> shift) - SUB; // 0..SUB within this octave
+    let sub = (value >> shift) - SUB; // 0..SUB within this octave
     ((msb - SUB_BITS as u64 + 1) * SUB + sub) as usize
 }
 
@@ -555,9 +557,8 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 21.2).abs() < 1e-9);
-        // p50 of [0,1,2,3,100]: sub-bucketed scheme is exact below 16, and
-        // 0 and 1 share the first occupied bucket, so the third sample
-        // resolves to 2.
+        // p50 of [0,1,2,3,100]: the sub-bucketed scheme is exact below 16,
+        // so the third sample resolves to exactly 2.
         assert_eq!(h.quantile(0.5), 2);
         // p99 falls in the last occupied bucket, capped at the true max.
         assert_eq!(h.quantile(0.99), 100);
@@ -606,6 +607,56 @@ mod tests {
         assert_eq!(h.quantile(0.9), 0);
         assert_eq!(h.mean(), 0.0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn empty_histogram_edge_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q} on empty");
+        }
+        assert_eq!((h.p50(), h.p99(), h.p999()), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        for value in [0u64, 1, 7, 15, 16, 1_000_000, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(value);
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), value, "q={q} of single sample {value}");
+            }
+            assert_eq!((h.p50(), h.p99(), h.p999()), (value, value, value));
+            assert_eq!((h.min(), h.max()), (value, value));
+        }
+    }
+
+    #[test]
+    fn zero_samples_are_exact_and_distinct_from_one() {
+        // Regression: 0 used to share value 1's bucket, inflating p50 of
+        // zero-heavy distributions (e.g. per-decision regret of ChooseBest).
+        let mut h = Histogram::new();
+        for _ in 0..3 {
+            h.record(0);
+        }
+        h.record(1);
+        assert_eq!(h.p50(), 0, "majority-zero distribution has a zero median");
+        assert_eq!(h.quantile(1.0), 1);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn max_bucket_distribution_saturates_to_true_max() {
+        let mut h = Histogram::new();
+        h.record(1);
+        for _ in 0..99 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.p50(), u64::MAX, "p50 deep in the saturated top bucket");
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+        assert_eq!(h.quantile(0.0), 1, "rank 1 still resolves to the smallest sample");
+        assert_eq!(h.min(), 1);
     }
 
     #[test]

@@ -51,5 +51,5 @@ pub use error::{DeviceError, FaultKind, Result};
 pub use fault::{FaultDevice, FaultPlan, SplitMix64};
 pub use file::FileDevice;
 pub use latency::LatencyDevice;
-pub use mem::MemDevice;
+pub use mem::{MemDevice, WearCell, WearSnapshot, WearSummary};
 pub use stats::{IoSnapshot, IoStats};

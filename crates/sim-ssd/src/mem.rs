@@ -50,6 +50,13 @@ impl MemDevice {
         self.wear.lock()[id.0 as usize]
     }
 
+    /// Copy of the whole per-block wear vector, frozen at call time —
+    /// the raw material for post-mortem wear histograms and heatmaps
+    /// (see [`WearSnapshot`]).
+    pub fn wear_snapshot(&self) -> WearSnapshot {
+        WearSnapshot { wear: self.wear.lock().clone() }
+    }
+
     /// Summary of wear across the device: (max, mean over worn blocks,
     /// number of blocks ever programmed).
     pub fn wear_summary(&self) -> WearSummary {
@@ -108,6 +115,114 @@ pub struct WearSummary {
     pub total_programs: u64,
     /// Number of distinct blocks ever programmed.
     pub blocks_touched: u64,
+}
+
+/// Frozen per-block wear vector of a [`MemDevice`], taken with
+/// [`MemDevice::wear_snapshot`].
+///
+/// Post-mortem bundles render it two ways: a [`WearSnapshot::histogram`]
+/// of program counts over every block (untouched blocks included, so the
+/// distribution shows how much of the device the workload never reached),
+/// and a downsampled [`WearSnapshot::heatmap`] that keeps the bundle
+/// bounded no matter how large the device is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WearSnapshot {
+    wear: Vec<u32>,
+}
+
+/// One cell of a downsampled wear heatmap: a contiguous range of blocks
+/// reduced to its hottest and average wear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearCell {
+    /// First block id the cell covers.
+    pub start: u64,
+    /// Number of blocks in the cell.
+    pub blocks: u64,
+    /// Highest program count within the cell.
+    pub max: u32,
+    /// Mean program count within the cell.
+    pub mean: f64,
+}
+
+impl WearSnapshot {
+    /// Number of blocks on the device.
+    pub fn blocks(&self) -> u64 {
+        self.wear.len() as u64
+    }
+
+    /// Wear of one block (0 for ids beyond the device).
+    pub fn wear_of(&self, block: u64) -> u32 {
+        self.wear.get(block as usize).copied().unwrap_or(0)
+    }
+
+    /// Program counts of every block folded into an
+    /// [`observe::Histogram`] — untouched blocks record 0.
+    pub fn histogram(&self) -> observe::Histogram {
+        let mut h = observe::Histogram::new();
+        for &w in &self.wear {
+            h.record(u64::from(w));
+        }
+        h
+    }
+
+    /// Downsample into at most `cells` contiguous cells (at least 1),
+    /// each carrying its max and mean wear. The last cell may be shorter
+    /// when the device size is not a multiple of the cell width.
+    pub fn heatmap(&self, cells: usize) -> Vec<WearCell> {
+        if self.wear.is_empty() {
+            return Vec::new();
+        }
+        let cells = cells.max(1).min(self.wear.len());
+        let width = self.wear.len().div_ceil(cells);
+        self.wear
+            .chunks(width)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let max = chunk.iter().copied().max().unwrap_or(0);
+                let sum: u64 = chunk.iter().map(|&w| u64::from(w)).sum();
+                WearCell {
+                    start: (i * width) as u64,
+                    blocks: chunk.len() as u64,
+                    max,
+                    mean: sum as f64 / chunk.len() as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Render as one JSON object: totals, the wear histogram's summary
+    /// statistics, and a heatmap of at most `cells` cells.
+    pub fn to_json(&self, cells: usize) -> observe::Json {
+        use observe::Json;
+        let mut max = 0u32;
+        let mut total = 0u64;
+        let mut touched = 0u64;
+        for &w in &self.wear {
+            if w > 0 {
+                touched += 1;
+                total += u64::from(w);
+                max = max.max(w);
+            }
+        }
+        Json::obj([
+            ("blocks", Json::from(self.blocks())),
+            ("max_wear", Json::from(max)),
+            ("total_programs", Json::from(total)),
+            ("blocks_touched", Json::from(touched)),
+            ("histogram", self.histogram().to_json()),
+            (
+                "heatmap",
+                Json::arr(self.heatmap(cells).into_iter().map(|c| {
+                    Json::obj([
+                        ("start", Json::from(c.start)),
+                        ("blocks", Json::from(c.blocks)),
+                        ("max", Json::from(c.max)),
+                        ("mean", Json::from(c.mean)),
+                    ])
+                })),
+            ),
+        ])
+    }
 }
 
 impl BlockDevice for MemDevice {
@@ -258,6 +373,37 @@ mod tests {
         let d = MemDevice::with_block_size(4, 64);
         d.write(BlockId(2), &frame(&d, 1)).unwrap();
         assert_ne!(c.image_digest(), d.image_digest());
+    }
+
+    #[test]
+    fn wear_snapshot_histogram_and_heatmap() {
+        let dev = MemDevice::with_block_size(10, 64);
+        for _ in 0..4 {
+            dev.write(BlockId(0), &frame(&dev, 1)).unwrap();
+        }
+        dev.write(BlockId(7), &frame(&dev, 2)).unwrap();
+        let snap = dev.wear_snapshot();
+        assert_eq!(snap.blocks(), 10);
+        assert_eq!(snap.wear_of(0), 4);
+        assert_eq!(snap.wear_of(7), 1);
+        assert_eq!(snap.wear_of(99), 0, "out-of-range reads as untouched");
+
+        let h = snap.histogram();
+        assert_eq!(h.count(), 10, "every block contributes a sample");
+        assert_eq!(h.max(), 4);
+        assert_eq!(h.p50(), 0, "mostly-untouched device has a zero median");
+
+        let cells = snap.heatmap(2);
+        assert_eq!(cells.len(), 2);
+        assert_eq!((cells[0].start, cells[0].blocks, cells[0].max), (0, 5, 4));
+        assert_eq!((cells[1].start, cells[1].blocks, cells[1].max), (5, 5, 1));
+        assert!((cells[1].mean - 0.2).abs() < 1e-9);
+
+        // Asking for more cells than blocks degrades to one block per cell;
+        // the JSON rendering parses back.
+        assert_eq!(snap.heatmap(1000).len(), 10);
+        let doc = snap.to_json(4).render();
+        observe::Json::parse(&doc).expect("wear snapshot JSON parses");
     }
 
     #[test]

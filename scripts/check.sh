@@ -20,9 +20,20 @@ cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
 echo "== sharded front-end throughput smoke =="
 cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke
 
+echo "== post-mortem smoke (fault-injected torture cycle -> bundle -> reader) =="
+pm_dir="$(mktemp -d)"
+trap 'rm -rf "$pm_dir"' EXIT
+# One torture cycle (FaultDevice power cut mid-workload) with an
+# unconditional dump; the bundle must exist and validate.
+cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=1 --seed-base=9001 \
+    --bundle-dir="$pm_dir" --always-dump
+bundle="$pm_dir/lsm_crash_seed_9001.postmortem.json"
+test -s "$bundle" || { echo "missing post-mortem bundle $bundle"; exit 1; }
+cargo run --release -q -p lsm-bench --bin lsm_postmortem -- "$bundle" > /dev/null
+
 echo "== trace exporter smoke (Chrome trace + Prometheus + time series) =="
 obs_dir="$(mktemp -d)"
-trap 'rm -rf "$obs_dir"' EXIT
+trap 'rm -rf "$pm_dir" "$obs_dir"' EXIT
 cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --shards=2 \
     --trace-out="$obs_dir/trace.json" --prom-out="$obs_dir/metrics.prom" \
     --series-out="$obs_dir/series.csv"

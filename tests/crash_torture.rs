@@ -29,7 +29,7 @@ fn torture_range(lo: u64, hi: u64) {
                     mid_workload_cuts += 1;
                 }
             }
-            Err(e) => failures.push(e),
+            Err(e) => failures.push(e.to_string()),
         }
     }
     assert!(
