@@ -44,7 +44,12 @@ fn main() {
     // --- Stepped-Merge ------------------------------------------------
     {
         let mut wl = WorkloadKind::Uniform.build(seed, cfg.payload_size, InsertRatio::INSERT_ONLY);
-        let mut sm = SteppedMergeTree::with_mem_device(cfg.clone(), fan_in, device_blocks).unwrap();
+        let mut sm = SteppedMergeTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions::builder().stepped_fan_in(fan_in).build(),
+            device_blocks,
+        )
+        .unwrap();
         for _ in 0..fill {
             sm.apply(wl.next_request()).unwrap();
         }

@@ -29,9 +29,20 @@
 //! ```text
 //! cargo run --release --bin lsm_throughput -- [--smoke] [--shards=1,2,4,8]
 //!     [--writers=4] [--readers=2] [--requests-per-writer=N] [--seed=1]
+//!     [--scheduler=inline|background] [--batch=N]
+//!     [--certify-stall-free] [--certify-shards=2] [--stall-bound-us=N]
 //!     [--raw-device] [--read-us=25] [--write-us=200]
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv]
 //! ```
+//!
+//! `--certify-stall-free` replaces the shard matrix with a stall
+//! certification: the same sustained merge load runs twice on identical
+//! devices — once with merges inline on the overflowing `put`, once with
+//! [`Scheduler::Background`](lsm_tree::Scheduler) — and the run reports
+//! p99.9 and max put latency for both. The certificate PASSES when the
+//! background run's worst put stays within `--stall-bound-us` AND beats
+//! the inline run's worst put by ≥2×; the process exits non-zero
+//! otherwise, so CI can gate on it.
 //!
 //! Observability: exporters perturb what a cell measures, so the timed
 //! cells always run un-instrumented. When any of `--trace-out` /
@@ -45,7 +56,7 @@ use std::sync::Arc;
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, ObsPipeline, Table};
 use lsm_tree::observe::{Json, SinkHandle};
-use lsm_tree::{LsmConfig, PolicySpec, ShardedLsmTree, TreeOptions};
+use lsm_tree::{LsmConfig, PolicySpec, Scheduler, ShardedLsmTree, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, LatencyDevice, MemDevice};
 use workloads::{run_closed_loop, InsertRatio, OffsetKeys, PrebuiltRequests, ThreadPlan, Uniform};
 
@@ -59,11 +70,13 @@ struct Cell {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
+    max_us: f64,
     read_p99_us: f64,
     height: usize,
     blocks_written: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     cfg: &LsmConfig,
     shards: usize,
@@ -71,6 +84,7 @@ fn run_cell(
     seed: u64,
     device_blocks: u64,
     model: Option<CostModel>,
+    scheduler: Scheduler,
     sink: SinkHandle,
 ) -> Cell {
     let devices: Vec<Arc<dyn BlockDevice>> = (0..shards)
@@ -85,7 +99,11 @@ fn run_cell(
         .collect();
     let tree = ShardedLsmTree::with_devices(
         cfg.clone(),
-        TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(sink).build(),
+        TreeOptions::builder()
+            .policy(PolicySpec::ChooseBest)
+            .scheduler(scheduler)
+            .sink(sink)
+            .build(),
         devices,
     )
     .expect("valid bench configuration");
@@ -117,6 +135,9 @@ fn run_cell(
         },
     )
     .expect("closed loop failed");
+    // Quiesce background maintenance (no-op inline) so the verify and the
+    // structural numbers below describe a settled tree.
+    tree.flush().expect("drain maintenance");
     if let Err(e) = tree.deep_verify(true) {
         eprintln!("DEEP VERIFY FAILED (shards={shards}, seed={seed}): {e}");
         std::process::exit(1);
@@ -130,10 +151,60 @@ fn run_cell(
         p50_us: us(0.50, &report.write_latency_ns),
         p99_us: us(0.99, &report.write_latency_ns),
         p999_us: us(0.999, &report.write_latency_ns),
+        max_us: report.write_latency_ns.max() as f64 / 1_000.0,
         read_p99_us: us(0.99, &report.read_latency_ns),
         height: tree.height(),
         blocks_written: stats.total_blocks_written(),
     }
+}
+
+/// The `--certify-stall-free` mode: identical sustained merge load, inline
+/// vs background scheduling, certified on worst-case put latency.
+fn certify_stall_free(
+    cfg: &LsmConfig,
+    plan: ThreadPlan,
+    seed: u64,
+    shards: usize,
+    device_blocks: u64,
+    model: Option<CostModel>,
+    stall_bound_us: f64,
+) -> ! {
+    println!(
+        "\n== Stall-free certification: {} writers, {} puts/writer, {shards} shard(s) ==",
+        plan.writers, plan.requests_per_writer
+    );
+    let cell = |sched: Scheduler| {
+        run_cell(cfg, shards, plan, seed, device_blocks, model, sched, SinkHandle::none())
+    };
+    let inline = cell(Scheduler::Inline);
+    let background = cell(Scheduler::background());
+    let mut table =
+        Table::new(["scheduler", "put kops/s", "put p99 µs", "put p99.9 µs", "put max µs"]);
+    for (name, c) in [("inline", &inline), ("background", &background)] {
+        table.row([
+            name.to_string(),
+            fmt_f(c.write_kops, 1),
+            fmt_f(c.p99_us, 1),
+            fmt_f(c.p999_us, 1),
+            fmt_f(c.max_us, 1),
+        ]);
+    }
+    table.print();
+
+    let bounded = background.max_us <= stall_bound_us;
+    let improved = background.max_us * 2.0 <= inline.max_us;
+    println!(
+        "\nworst put: background {:.0} µs vs inline {:.0} µs (bound {:.0} µs)",
+        background.max_us, inline.max_us, stall_bound_us
+    );
+    println!("  background within bound: {}", if bounded { "yes" } else { "NO" });
+    println!("  ≥2× better than inline:  {}", if improved { "yes" } else { "NO" });
+    if bounded && improved {
+        println!("STALL-FREE CERTIFICATION: PASS");
+        std::process::exit(0);
+    }
+    println!("STALL-FREE CERTIFICATION: FAIL");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -178,7 +249,24 @@ fn main() {
         })
     };
 
-    let plan = ThreadPlan { writers, readers, requests_per_writer, reads_per_reader };
+    let batch: u64 = args.get_or("batch", 1);
+    let plan = ThreadPlan { writers, readers, requests_per_writer, reads_per_reader, batch };
+
+    let scheduler = match args.get_or::<String>("scheduler", "inline".into()).as_str() {
+        "inline" => Scheduler::Inline,
+        "background" => Scheduler::background(),
+        other => {
+            eprintln!("unknown --scheduler={other} (expected inline|background)");
+            std::process::exit(2);
+        }
+    };
+
+    if args.flag("certify-stall-free") {
+        let certify_shards: usize = args.get_or("certify-shards", 2);
+        let stall_bound_us: f64 = args.get_or("stall-bound-us", 20_000.0);
+        certify_stall_free(&cfg, plan, seed, certify_shards, device_blocks, model, stall_bound_us);
+    }
+
     println!(
         "\n== Front-end throughput: {writers} writers + {readers} readers, \
          {requests_per_writer} puts/writer (Uniform, disjoint ranges) =="
@@ -190,6 +278,7 @@ fn main() {
         "put p50 µs",
         "put p99 µs",
         "put p99.9 µs",
+        "put max µs",
         "get p99 µs",
         "height",
         "blocks written",
@@ -205,6 +294,7 @@ fn main() {
             "put_p50_us",
             "put_p99_us",
             "put_p999_us",
+            "put_max_us",
             "get_p99_us",
             "height",
             "blocks_written",
@@ -226,6 +316,7 @@ fn main() {
                     seed + 1000 * r as u64,
                     device_blocks,
                     model,
+                    scheduler,
                     SinkHandle::none(),
                 )
             })
@@ -249,6 +340,7 @@ fn main() {
             fmt_f(cell.p50_us, 1),
             fmt_f(cell.p99_us, 1),
             fmt_f(cell.p999_us, 1),
+            fmt_f(cell.max_us, 1),
             fmt_f(cell.read_p99_us, 1),
             cell.height.to_string(),
             cell.blocks_written.to_string(),
@@ -262,6 +354,7 @@ fn main() {
             format!("{:.2}", cell.p50_us),
             format!("{:.2}", cell.p99_us),
             format!("{:.2}", cell.p999_us),
+            format!("{:.2}", cell.max_us),
             format!("{:.2}", cell.read_p99_us),
             cell.height.to_string(),
             cell.blocks_written.to_string(),
@@ -282,7 +375,8 @@ fn main() {
     if obs.active() {
         let traced_shards = shard_counts.iter().copied().max().unwrap_or(1);
         eprintln!("  traced cell: shards={traced_shards}, exporters attached");
-        let cell = run_cell(&cfg, traced_shards, plan, seed, device_blocks, model, obs.sink());
+        let cell =
+            run_cell(&cfg, traced_shards, plan, seed, device_blocks, model, scheduler, obs.sink());
         for path in obs.finish().expect("write observability outputs") {
             println!("wrote {}", path.display());
         }
@@ -331,6 +425,7 @@ fn main() {
                             ("put_p50_us", Json::from(c.p50_us)),
                             ("put_p99_us", Json::from(c.p99_us)),
                             ("put_p999_us", Json::from(c.p999_us)),
+                            ("put_max_us", Json::from(c.max_us)),
                             ("get_p99_us", Json::from(c.read_p99_us)),
                             ("height", Json::from(c.height)),
                             ("blocks_written", Json::from(c.blocks_written)),

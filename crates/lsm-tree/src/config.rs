@@ -120,6 +120,91 @@ impl LsmConfig {
     }
 }
 
+/// How flush and merge maintenance runs (see
+/// [`TreeOptions::scheduler`](crate::TreeOptionsBuilder::scheduler)).
+///
+/// `Inline` is byte-identical to the historical write path: the request
+/// that overflows L0 (or any deeper level) performs the whole merge
+/// cascade before returning. Deterministic tests — the crash-torture
+/// harness, the shard twin tests — rely on that and run in this mode.
+///
+/// `Background` moves the same work onto a worker pool owned by the
+/// concurrent front-ends ([`crate::SharedLsmTree`],
+/// [`crate::ShardedLsmTree`]): `put` seals the overflowing memtable,
+/// hands it to the [`crate::scheduler::MergeScheduler`], and returns.
+/// A bare [`crate::LsmTree`] has no threads of its own, so it treats
+/// `Background` as "buffer and let the owner drive maintenance" only when
+/// wrapped; used directly it behaves like `Inline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Merges run inline on the triggering request (the default).
+    #[default]
+    Inline,
+    /// Flushes and merges run on a background worker pool.
+    Background(BackgroundPolicy),
+}
+
+impl Scheduler {
+    /// Shorthand for `Background(BackgroundPolicy::default())`.
+    pub fn background() -> Self {
+        Scheduler::Background(BackgroundPolicy::default())
+    }
+
+    /// Whether this is a background configuration.
+    pub fn is_background(&self) -> bool {
+        matches!(self, Scheduler::Background(_))
+    }
+
+    /// The background policy, if any.
+    pub fn background_policy(&self) -> Option<BackgroundPolicy> {
+        match self {
+            Scheduler::Inline => None,
+            Scheduler::Background(p) => Some(*p),
+        }
+    }
+}
+
+/// Tuning of the background merge scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundPolicy {
+    /// Worker threads draining the job queue. At least 1.
+    pub workers: usize,
+    /// Admission-control bound: how many sealed (immutable) memtables a
+    /// tree may accumulate before further writers stall until a background
+    /// flush frees a slot. At least 1.
+    pub max_imm_memtables: usize,
+}
+
+impl Default for BackgroundPolicy {
+    fn default() -> Self {
+        BackgroundPolicy { workers: 2, max_imm_memtables: 4 }
+    }
+}
+
+/// WAL commit discipline (see
+/// [`TreeOptions::group_commit`](crate::TreeOptionsBuilder::group_commit)).
+///
+/// Controls when an append to a write-ahead log becomes crash-durable.
+/// Only WAL-backed front-ends consult it; trees without a WAL ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Appends are buffered; fsync happens only at explicit sync points
+    /// (checkpoints, [`crate::ShardedLsmTree::sync_wals`], shutdown). The
+    /// historical default: fastest, loses the unsynced tail on a crash.
+    #[default]
+    Buffered,
+    /// Every append is followed by its own fsync. Safest and slowest —
+    /// N concurrent writers pay N fsyncs.
+    PerRequest,
+    /// Leader/follower group commit: each writer appends under the shard
+    /// lock, then waits for its append to be covered by an fsync. The
+    /// first waiter becomes the leader and issues one fsync covering every
+    /// append buffered so far; the rest ride along. Same durability as
+    /// [`CommitMode::PerRequest`] (apply returns only after the request is
+    /// on stable storage) at a fraction of the fsyncs.
+    Group,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

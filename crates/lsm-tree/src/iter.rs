@@ -95,7 +95,22 @@ impl<'a> RangeScan<'a> {
         if lo > hi {
             return RangeScan { mem: Vec::new(), mem_pos: 0, cursors: Vec::new(), done: true };
         }
-        let mem: Vec<Record> = tree.memtable().range(lo, hi).cloned().collect();
+        let mem: Vec<Record> = if tree.imm_count() == 0 {
+            tree.memtable().range(lo, hi).cloned().collect()
+        } else {
+            // Fold sealed memtables oldest-first, then the active one, so
+            // the newest version of each key survives the collapse.
+            let mut merged = std::collections::BTreeMap::new();
+            for imm in tree.imm_memtables() {
+                for r in imm.range(lo, hi) {
+                    merged.insert(r.key, r.clone());
+                }
+            }
+            for r in tree.memtable().range(lo, hi) {
+                merged.insert(r.key, r.clone());
+            }
+            merged.into_values().collect()
+        };
         let cursors = tree
             .levels()
             .iter()

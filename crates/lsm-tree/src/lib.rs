@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod block;
 pub mod bloom;
 pub mod config;
@@ -48,6 +49,7 @@ pub mod merge;
 pub mod policy;
 pub mod postmortem;
 pub mod record;
+pub mod scheduler;
 pub mod sharded;
 pub mod shared;
 pub mod stats;
@@ -60,9 +62,10 @@ pub mod wal;
 
 pub use observe;
 
+pub use api::{WriteApi, WriteBatch};
 pub use block::{BlockHandle, DataBlock};
 pub use bloom::BloomFilter;
-pub use config::LsmConfig;
+pub use config::{BackgroundPolicy, CommitMode, LsmConfig, Scheduler};
 pub use error::{LsmError, Result};
 pub use manifest::Manifest;
 pub use memtable::Memtable;
@@ -71,6 +74,7 @@ pub use policy::ledger::{Candidate, DecisionLedger, DecisionRow, LedgerTotals};
 pub use policy::{MergeChoice, MergePolicy, MixedParams, PolicySpec};
 pub use postmortem::PostMortem;
 pub use record::{Key, OpKind, Record, Request, RequestSource};
+pub use scheduler::MergeScheduler;
 pub use sharded::ShardedLsmTree;
 pub use shared::SharedLsmTree;
 pub use stats::{LevelStats, MergeKind, TreeStats};

@@ -84,7 +84,16 @@ impl Manifest {
     pub fn capture(tree: &LsmTree) -> Manifest {
         Manifest {
             config: tree.config().clone(),
-            memtable: tree.memtable().iter().cloned().collect(),
+            // Sealed memtables fold in oldest-first, the active one last:
+            // restore replays these in order, so the newest version of each
+            // key wins. The checkpoint format is unchanged — a background
+            // tree's backlog simply lands in the (bigger) memtable section.
+            memtable: tree
+                .imm_memtables()
+                .flat_map(|m| m.iter())
+                .chain(tree.memtable().iter())
+                .cloned()
+                .collect(),
             mem_rr_cursor: tree.mem_rr_cursor(),
             levels: tree
                 .levels()

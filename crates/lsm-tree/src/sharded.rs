@@ -26,16 +26,17 @@
 //! the `Event` type growing a shard field on every variant.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
 use observe::{Event, EventSink, SinkHandle};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use sim_ssd::BlockDevice;
 
-use crate::config::LsmConfig;
+use crate::config::{CommitMode, LsmConfig};
 use crate::error::Result;
 use crate::record::{Key, Request};
+use crate::scheduler::{MaintainTarget, MergeScheduler};
 use crate::stats::TreeStats;
 use crate::tree::{LsmTree, TreeOptions};
 use crate::wal::WriteAheadLog;
@@ -91,11 +92,72 @@ struct Shard {
     wal: Option<WriteAheadLog>,
 }
 
+/// The scheduler's handle onto one shard. Holds a `Weak` on the shard
+/// vector so the scheduler never keeps the trees alive.
+struct ShardTarget {
+    shards: Weak<Vec<RwLock<Shard>>>,
+    idx: usize,
+}
+
+impl MaintainTarget for ShardTarget {
+    fn maintenance_step(&self) -> Result<bool> {
+        match self.shards.upgrade() {
+            Some(shards) => shards[self.idx].write().tree.maintenance_step(),
+            None => Ok(false),
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.shards.upgrade().map_or(0, |s| s[self.idx].read().tree.imm_count())
+    }
+
+    fn has_pending(&self) -> bool {
+        self.shards.upgrade().is_some_and(|s| s[self.idx].read().tree.maintenance_pending())
+    }
+}
+
+/// Leader/follower group-commit state of one shard (only consulted under
+/// [`CommitMode::Group`]). Writers append under the shard lock, release
+/// it, then rendezvous here: the first waiter becomes the leader and
+/// issues one fsync covering every append buffered so far; the rest ride
+/// along on the leader's fsync.
+struct GroupCommit {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    /// WAL byte offset known crash-durable.
+    synced_seq: u64,
+    /// A leader is currently fsyncing.
+    leader_running: bool,
+}
+
+impl GroupCommit {
+    fn new() -> Self {
+        GroupCommit { state: Mutex::new(GroupState::default()), cv: Condvar::new() }
+    }
+}
+
 /// A thread-safe, sharded handle over N independent [`LsmTree`]s. Cloning
 /// shares the shards.
+///
+/// With [`Scheduler::background`](crate::Scheduler::background) in the
+/// tree options the handle owns a [`MergeScheduler`]: writers seal full
+/// memtables and return, the worker pool runs flushes and merges, and
+/// writers stall only at the sealed-memtable backlog bound. With
+/// [`CommitMode::Group`] N concurrent writers to a WAL-backed shard share
+/// one fsync (see [`GroupCommit`] internals); with
+/// [`CommitMode::PerRequest`] every apply fsyncs before returning.
 #[derive(Clone)]
 pub struct ShardedLsmTree {
+    // Declared before `shards` so the last clone drops (and drains) the
+    // scheduler while the shard trees are still alive.
+    scheduler: Option<Arc<MergeScheduler>>,
     shards: Arc<Vec<RwLock<Shard>>>,
+    group: Arc<Vec<GroupCommit>>,
+    commit: CommitMode,
     /// User sink: receives `ShardRouted` from the router (the per-shard
     /// trees report through their own tagging sinks).
     sink: SinkHandle,
@@ -223,7 +285,24 @@ impl ShardedLsmTree {
             let tree = LsmTree::new(shard_cfg.clone(), shard_opts, device)?;
             vec.push(RwLock::new(Shard { tree, wal: None }));
         }
-        Ok(ShardedLsmTree { shards: Arc::new(vec), sink: user_sink })
+        let shards_arc = Arc::new(vec);
+        let scheduler = opts.scheduler.background_policy().map(|policy| {
+            let sched = Arc::new(MergeScheduler::new(policy, user_sink.clone()));
+            for idx in 0..shards {
+                let id = sched
+                    .register(Arc::new(ShardTarget { shards: Arc::downgrade(&shards_arc), idx }));
+                debug_assert_eq!(id, idx, "scheduler ids follow shard order");
+            }
+            sched
+        });
+        let group = Arc::new((0..shards).map(|_| GroupCommit::new()).collect::<Vec<_>>());
+        Ok(ShardedLsmTree {
+            scheduler,
+            shards: shards_arc,
+            group,
+            commit: opts.commit,
+            sink: user_sink,
+        })
     }
 
     /// Number of shards.
@@ -251,7 +330,11 @@ impl ShardedLsmTree {
     }
 
     /// Apply a request to the shard that owns its key. If the shard is
-    /// WAL-backed the request is logged before it is applied.
+    /// WAL-backed the request is logged before it is applied, with the
+    /// configured [`CommitMode`] deciding when the log bytes become
+    /// durable. In background-scheduler mode a full memtable is sealed and
+    /// handed to the worker pool instead of merged inline; the writer
+    /// stalls only when the sealed backlog hits the policy bound.
     pub fn apply(&self, req: Request) -> Result<()> {
         let key = match &req {
             Request::Put(k, _) => *k,
@@ -259,14 +342,122 @@ impl ShardedLsmTree {
         };
         let idx = self.shard_of(key);
         self.sink.emit_with(|| Event::ShardRouted { shard: idx });
-        let mut guard = self.shards[idx].write();
-        let shard = &mut *guard;
-        if let Some(wal) = shard.wal.as_mut() {
-            let _span = shard.tree.sink().span(observe::SpanOp::wal_append());
-            let bytes = wal.append(&req)? as u64;
-            self.sink.emit_with(|| Event::WalAppend { bytes, synced: false });
+        self.apply_routed(idx, req, true)
+    }
+
+    /// The routed write path. `group_wait` is false only for
+    /// [`WriteApi::write_batch`](crate::WriteApi), which defers the group
+    /// fsync to one rendezvous per batch.
+    fn apply_routed(&self, idx: usize, req: Request, group_wait: bool) -> Result<()> {
+        /// What happened under the shard lock.
+        enum Applied {
+            Done {
+                group_seq: Option<u64>,
+                sealed_backlog: Option<usize>,
+            },
+            /// Backlog at the bound; wait (lock released) and retry.
+            Stall(usize),
         }
-        shard.tree.apply(req)
+        let mut req = Some(req);
+        loop {
+            let outcome = {
+                let mut guard = self.shards[idx].write();
+                let shard = &mut *guard;
+                let stall = self.scheduler.as_ref().is_some_and(|s| {
+                    shard.tree.mem_at_capacity()
+                        && shard.tree.imm_count() >= s.policy().max_imm_memtables.max(1)
+                });
+                if stall {
+                    Applied::Stall(shard.tree.imm_count())
+                } else {
+                    let r = req.take().expect("request applied exactly once");
+                    let mut group_seq = None;
+                    if let Some(wal) = shard.wal.as_mut() {
+                        let _span = shard.tree.sink().span(observe::SpanOp::wal_append());
+                        let bytes = wal.append(&r)? as u64;
+                        match self.commit {
+                            CommitMode::PerRequest => wal.sync()?,
+                            CommitMode::Group => group_seq = Some(wal.len_bytes()),
+                            CommitMode::Buffered => {}
+                        }
+                        // `synced` reports durable-by-return: group-commit
+                        // appends are fsynced before apply returns.
+                        let synced = self.commit != CommitMode::Buffered;
+                        self.sink.emit_with(|| Event::WalAppend { bytes, synced });
+                    }
+                    let mut sealed_backlog = None;
+                    if self.scheduler.is_some() {
+                        shard.tree.apply_buffered(r)?;
+                        if shard.tree.mem_at_capacity() {
+                            shard.tree.seal_memtable();
+                            sealed_backlog = Some(shard.tree.imm_count());
+                        }
+                    } else {
+                        shard.tree.apply(r)?;
+                    }
+                    Applied::Done { group_seq, sealed_backlog }
+                }
+            };
+            // Everything below runs with the shard lock released — the
+            // scheduler lock-order rule, and fsync-wait off the lock.
+            match outcome {
+                Applied::Done { group_seq, sealed_backlog } => {
+                    if let (Some(sched), Some(backlog)) = (&self.scheduler, sealed_backlog) {
+                        sched.notify(idx, backlog);
+                    }
+                    if let (Some(seq), true) = (group_seq, group_wait) {
+                        self.group_commit_wait(idx, seq)?;
+                    }
+                    return Ok(());
+                }
+                Applied::Stall(backlog) => {
+                    let sched =
+                        self.scheduler.as_ref().expect("stall only occurs in background mode");
+                    sched.notify(idx, backlog);
+                    sched.wait_for_room(idx);
+                }
+            }
+        }
+    }
+
+    /// Wait until WAL offset `my_seq` of `idx` is fsynced: become the
+    /// leader (one fsync covers every append buffered so far) or ride on
+    /// the current leader's fsync. Never called with the shard lock held.
+    fn group_commit_wait(&self, idx: usize, my_seq: u64) -> Result<()> {
+        let gc = &self.group[idx];
+        let mut s = gc.state.lock();
+        loop {
+            if s.synced_seq >= my_seq {
+                return Ok(());
+            }
+            if s.leader_running {
+                s = gc.cv.wait(s);
+                continue;
+            }
+            s.leader_running = true;
+            drop(s);
+            let res = {
+                let mut guard = self.shards[idx].write();
+                match guard.wal.as_mut() {
+                    Some(wal) => wal.sync().map(|()| wal.synced_len()),
+                    // WAL vanished (no-WAL build): nothing to make durable.
+                    None => Ok(u64::MAX),
+                }
+            };
+            s = gc.state.lock();
+            s.leader_running = false;
+            match res {
+                Ok(synced) => {
+                    s.synced_seq = s.synced_seq.max(synced);
+                    gc.cv.notify_all();
+                }
+                Err(e) => {
+                    // Let a follower take over leadership and retry.
+                    gc.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Point lookup (shared on its shard; concurrent with everything on
@@ -335,6 +526,28 @@ impl ShardedLsmTree {
         Ok(())
     }
 
+    /// Total fsyncs issued across every shard's WAL — the group-commit
+    /// economy metric (N writers sharing a leader's fsync count once).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().wal.as_ref().map_or(0, WriteAheadLog::syncs)).sum()
+    }
+
+    /// Drain everything pending: background flush/merge jobs (surfacing
+    /// the first background error) or inline leftover maintenance, then
+    /// fsync every WAL. Afterwards the trees are quiescent and every
+    /// applied request is crash-durable.
+    pub fn flush(&self) -> Result<()> {
+        match &self.scheduler {
+            Some(s) => s.drain()?,
+            None => {
+                for slot in self.shards.iter() {
+                    slot.write().tree.drain_maintenance()?;
+                }
+            }
+        }
+        self.sync_wals()
+    }
+
     /// Run a closure under one shard's read lock.
     pub fn with_shard_read<T>(&self, shard: usize, f: impl FnOnce(&LsmTree) -> T) -> T {
         f(&self.shards[shard].read().tree)
@@ -349,6 +562,49 @@ impl ShardedLsmTree {
             crate::verify::check_tree(&shard.tree, deep).map_err(|e| format!("shard {i}: {e}"))?;
         }
         Ok(())
+    }
+}
+
+impl ShardedLsmTree {
+    /// Apply the batch in order; under [`CommitMode::Group`] the whole
+    /// batch commits with one group-commit rendezvous per touched shard
+    /// instead of one per request. `&self` so concurrent writer threads
+    /// can batch without exclusive access.
+    pub fn write_batch(&self, batch: crate::api::WriteBatch) -> Result<()> {
+        let mut last_seq: Vec<Option<u64>> = vec![None; self.shards.len()];
+        for req in batch {
+            let key = match &req {
+                Request::Put(k, _) => *k,
+                Request::Delete(k) => *k,
+            };
+            let idx = self.shard_of(key);
+            self.sink.emit_with(|| Event::ShardRouted { shard: idx });
+            self.apply_routed(idx, req, false)?;
+            if self.commit == CommitMode::Group {
+                last_seq[idx] =
+                    Some(self.shards[idx].read().wal.as_ref().map_or(0, |w| w.len_bytes()));
+            }
+        }
+        for (idx, seq) in last_seq.into_iter().enumerate() {
+            if let Some(seq) = seq {
+                self.group_commit_wait(idx, seq)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl crate::api::WriteApi for ShardedLsmTree {
+    fn apply(&mut self, req: Request) -> Result<()> {
+        ShardedLsmTree::apply(self, req)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        ShardedLsmTree::flush(self)
+    }
+
+    fn write_batch(&mut self, batch: crate::api::WriteBatch) -> Result<()> {
+        ShardedLsmTree::write_batch(self, batch)
     }
 }
 

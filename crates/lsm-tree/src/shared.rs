@@ -10,41 +10,136 @@
 //! the availability argument partial merges were invented for — the write
 //! lock is never held for a whole-level rewrite.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::error::Result;
 use crate::record::{Key, Request};
+use crate::scheduler::{MaintainTarget, MergeScheduler};
 use crate::stats::TreeStats;
 use crate::tree::LsmTree;
 
+/// The scheduler's handle onto the shared tree: one maintenance step per
+/// write-lock acquisition, probes under read locks. Holds a `Weak` so a
+/// scheduler outliving the tree degrades to a no-op.
+struct SharedTarget {
+    tree: Weak<RwLock<LsmTree>>,
+}
+
+impl MaintainTarget for SharedTarget {
+    fn maintenance_step(&self) -> Result<bool> {
+        match self.tree.upgrade() {
+            Some(t) => t.write().maintenance_step(),
+            None => Ok(false),
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.tree.upgrade().map_or(0, |t| t.read().imm_count())
+    }
+
+    fn has_pending(&self) -> bool {
+        self.tree.upgrade().is_some_and(|t| t.read().maintenance_pending())
+    }
+}
+
 /// A thread-safe handle to an [`LsmTree`]. Cloning shares the index.
+///
+/// When the tree was built with
+/// [`Scheduler::background`](crate::Scheduler::background), the wrapper
+/// owns a [`MergeScheduler`]: `put` seals a full memtable and returns,
+/// workers run the flush and merges, and writers stall (with
+/// [`observe::Event::Backpressure`]) only when the sealed-memtable backlog
+/// hits the policy bound. With the default [`Scheduler::Inline`]
+/// (crate::Scheduler::Inline) behaviour is byte-identical to the
+/// historical write path.
 #[derive(Clone)]
 pub struct SharedLsmTree {
+    // Declared before `inner` so the last clone drops the scheduler first:
+    // shutdown drains every queued job while the tree is still alive.
+    scheduler: Option<Arc<MergeScheduler>>,
+    shard_id: usize,
     inner: Arc<RwLock<LsmTree>>,
 }
 
 impl SharedLsmTree {
-    /// Wrap a tree for shared access.
+    /// Wrap a tree for shared access, spawning the background worker pool
+    /// if the tree's [`TreeOptions`](crate::TreeOptions) ask for one.
     pub fn new(tree: LsmTree) -> Self {
-        SharedLsmTree { inner: Arc::new(RwLock::new(tree)) }
+        let spec = tree.scheduler_spec();
+        let sink = tree.sink().clone();
+        let inner = Arc::new(RwLock::new(tree));
+        let (scheduler, shard_id) = match spec.background_policy() {
+            Some(policy) => {
+                let sched = Arc::new(MergeScheduler::new(policy, sink));
+                let id = sched.register(Arc::new(SharedTarget { tree: Arc::downgrade(&inner) }));
+                (Some(sched), id)
+            }
+            None => (None, 0),
+        };
+        SharedLsmTree { scheduler, shard_id, inner }
     }
 
     /// Insert or update `key` (exclusive).
     pub fn put(&self, key: Key, payload: impl Into<Bytes>) -> Result<()> {
-        self.inner.write().put(key, payload)
+        self.apply(Request::Put(key, payload.into()))
     }
 
     /// Delete `key` (exclusive).
     pub fn delete(&self, key: Key) -> Result<()> {
-        self.inner.write().delete(key)
+        self.apply(Request::Delete(key))
     }
 
-    /// Apply a request (exclusive).
+    /// Apply a request (exclusive). Inline mode runs any triggered merge
+    /// cascade before returning; background mode seals and hands off.
     pub fn apply(&self, req: Request) -> Result<()> {
-        self.inner.write().apply(req)
+        let Some(sched) = &self.scheduler else {
+            return self.inner.write().apply(req);
+        };
+        let max_imm = sched.policy().max_imm_memtables.max(1);
+        let mut req = Some(req);
+        loop {
+            // Admission control: the check holds the tree lock, the wait
+            // does not — a stalled writer must never block the worker
+            // that will unstall it.
+            let outcome = {
+                let mut t = self.inner.write();
+                if t.mem_at_capacity() && t.imm_count() >= max_imm {
+                    Err(t.imm_count())
+                } else {
+                    t.apply_buffered(req.take().expect("request not yet applied"))?;
+                    let mut sealed = None;
+                    if t.mem_at_capacity() {
+                        t.seal_memtable();
+                        sealed = Some(t.imm_count());
+                    }
+                    Ok(sealed)
+                }
+            };
+            match outcome {
+                Ok(Some(backlog)) => {
+                    sched.notify(self.shard_id, backlog);
+                    return Ok(());
+                }
+                Ok(None) => return Ok(()),
+                Err(backlog) => {
+                    sched.notify(self.shard_id, backlog);
+                    sched.wait_for_room(self.shard_id);
+                }
+            }
+        }
+    }
+
+    /// Drain everything pending: queued flush/merge jobs in background
+    /// mode (surfacing any background error), a no-op inline. Readers see
+    /// all prior writes afterwards; the tree is quiescent.
+    pub fn flush(&self) -> Result<()> {
+        match &self.scheduler {
+            Some(s) => s.drain(),
+            None => self.with_write(LsmTree::drain_maintenance),
+        }
     }
 
     /// Point lookup (shared — runs concurrently with other readers).
@@ -91,6 +186,33 @@ impl SharedLsmTree {
     /// batched writes).
     pub fn with_write<T>(&self, f: impl FnOnce(&mut LsmTree) -> T) -> T {
         f(&mut self.inner.write())
+    }
+}
+
+impl SharedLsmTree {
+    /// Apply every request in `batch` in order. `&self` so concurrent
+    /// writer threads can batch without exclusive access; each request
+    /// takes the shared lock (and honors backpressure) individually, so a
+    /// large batch never starves readers.
+    pub fn write_batch(&self, batch: crate::api::WriteBatch) -> Result<()> {
+        for req in batch {
+            self.apply(req)?;
+        }
+        Ok(())
+    }
+}
+
+impl crate::api::WriteApi for SharedLsmTree {
+    fn apply(&mut self, req: Request) -> Result<()> {
+        SharedLsmTree::apply(self, req)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        SharedLsmTree::flush(self)
+    }
+
+    fn write_batch(&mut self, batch: crate::api::WriteBatch) -> Result<()> {
+        SharedLsmTree::write_batch(self, batch)
     }
 }
 

@@ -28,6 +28,7 @@ use crate::memtable::Memtable;
 use crate::record::{Key, OpKind, Record, Request};
 use crate::stats::TreeStats;
 use crate::store::Store;
+use crate::tree::TreeOptions;
 
 /// One immutable sorted run.
 #[derive(Debug, Clone, Default)]
@@ -67,9 +68,16 @@ pub struct SteppedMergeTree {
 }
 
 impl SteppedMergeTree {
-    /// Create over an existing device with fan-in `k ≥ 2`.
-    pub fn new(cfg: LsmConfig, k: usize, device: Arc<dyn BlockDevice>) -> Result<Self> {
+    /// Create over an existing device. The fan-in `k ≥ 2` comes from
+    /// [`TreeOptions::stepped_fan_in`](crate::TreeOptions) — like the
+    /// leveled tree, the stepped baseline is configured exclusively through
+    /// [`TreeOptions::builder`](crate::TreeOptions::builder), which also
+    /// routes the sink and retry policy. (The merge-policy and ledger
+    /// options do not apply: stepped merges are always full-level, so
+    /// there is no per-merge decision to record.)
+    pub fn new(cfg: LsmConfig, opts: TreeOptions, device: Arc<dyn BlockDevice>) -> Result<Self> {
         let cfg = cfg.validated()?;
+        let k = opts.stepped_fan_in;
         if k < 2 {
             return Err(LsmError::Config("stepped-merge fan-in must be ≥ 2".into()));
         }
@@ -80,8 +88,9 @@ impl SteppedMergeTree {
                 cfg.block_size
             )));
         }
-        let store = Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key);
-        Ok(SteppedMergeTree {
+        let store =
+            Store::new(device, cfg.cache_blocks, cfg.bloom_bits_per_key).with_retry(opts.retry);
+        let mut tree = SteppedMergeTree {
             cfg,
             k,
             store,
@@ -89,7 +98,9 @@ impl SteppedMergeTree {
             levels: Vec::new(),
             stats: TreeStats::default(),
             sink: SinkHandle::none(),
-        })
+        };
+        tree.set_sink(opts.sink);
+        Ok(tree)
     }
 
     /// Register (or detach, with [`SinkHandle::none`]) the event sink —
@@ -107,10 +118,11 @@ impl SteppedMergeTree {
         &self.sink
     }
 
-    /// Create over a fresh in-memory device.
-    pub fn with_mem_device(cfg: LsmConfig, k: usize, device_blocks: u64) -> Result<Self> {
+    /// Create over a fresh in-memory device (fan-in and the rest from
+    /// `opts`, as in [`SteppedMergeTree::new`]).
+    pub fn with_mem_device(cfg: LsmConfig, opts: TreeOptions, device_blocks: u64) -> Result<Self> {
         let dev = Arc::new(sim_ssd::MemDevice::with_block_size(device_blocks, cfg.block_size));
-        Self::new(cfg, k, dev)
+        Self::new(cfg, opts, dev)
     }
 
     /// Insert or update.
@@ -329,6 +341,27 @@ impl SteppedMergeTree {
         self.mem.len() as u64
             + self.levels.iter().flat_map(|l| l.iter().map(Run::records)).sum::<u64>()
     }
+
+    /// Force the (possibly non-full) memtable out as a run, cascading any
+    /// level merges it triggers. A no-op when the memtable is empty.
+    pub fn flush_memtable(&mut self) -> Result<()> {
+        if self.mem.is_empty() {
+            return Ok(());
+        }
+        let _cascade = self.sink.span(SpanOp::cascade());
+        let records = self.mem.extract_all();
+        self.flush_run_into(0, records)
+    }
+}
+
+impl crate::api::WriteApi for SteppedMergeTree {
+    fn apply(&mut self, req: Request) -> Result<()> {
+        SteppedMergeTree::apply(self, req)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.flush_memtable()
+    }
 }
 
 #[cfg(test)]
@@ -345,7 +378,12 @@ mod tests {
             merge_rate: 0.25,
             ..LsmConfig::default()
         };
-        SteppedMergeTree::with_mem_device(cfg, 3, 1 << 16).unwrap()
+        SteppedMergeTree::with_mem_device(
+            cfg,
+            TreeOptions::builder().stepped_fan_in(3).build(),
+            1 << 16,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -408,7 +446,12 @@ mod tests {
             merge_rate: 0.25,
             ..LsmConfig::default()
         };
-        let mut sm = SteppedMergeTree::with_mem_device(cfg.clone(), 4, 1 << 16).unwrap();
+        let mut sm = SteppedMergeTree::with_mem_device(
+            cfg.clone(),
+            TreeOptions::builder().stepped_fan_in(4).build(),
+            1 << 16,
+        )
+        .unwrap();
         let mut lsm =
             crate::LsmTree::with_mem_device(cfg, crate::TreeOptions::default(), 1 << 16).unwrap();
         for k in 0..8_000u64 {
@@ -426,6 +469,7 @@ mod tests {
     #[test]
     fn rejects_bad_fan_in() {
         let cfg = LsmConfig { block_size: 256, payload_size: 4, ..LsmConfig::default() };
-        assert!(SteppedMergeTree::with_mem_device(cfg, 1, 1 << 10).is_err());
+        let opts = TreeOptions::builder().stepped_fan_in(1).build();
+        assert!(SteppedMergeTree::with_mem_device(cfg, opts, 1 << 10).is_err());
     }
 }

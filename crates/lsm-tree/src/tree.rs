@@ -1,5 +1,6 @@
 //! The LSM-tree facade: requests in, merges down, lookups across levels.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -8,7 +9,7 @@ use observe::{Event, SinkHandle, SpanGuard, SpanOp};
 use sim_ssd::BlockDevice;
 
 use crate::block::BLOCK_HEADER_LEN;
-use crate::config::LsmConfig;
+use crate::config::{CommitMode, LsmConfig, Scheduler};
 use crate::error::{LsmError, Result};
 use crate::level::Level;
 use crate::memtable::Memtable;
@@ -59,6 +60,17 @@ pub struct TreeOptions {
     /// default) candidates are never enumerated, so the ledger costs
     /// nothing on the device image or the tree's counters.
     pub ledger: Option<Arc<DecisionLedger>>,
+    /// How flush/merge maintenance runs: inline on the triggering request
+    /// (the default — deterministic, byte-identical to the historical
+    /// behaviour) or on a background worker pool owned by the concurrent
+    /// front-ends. See [`Scheduler`].
+    pub scheduler: Scheduler,
+    /// WAL commit discipline for WAL-backed front-ends. See [`CommitMode`].
+    pub commit: CommitMode,
+    /// Stepped-merge fan-in `k` — runs accumulated per level before they
+    /// are merge-sorted one level down. Used only by
+    /// [`crate::SteppedMergeTree`]; must be ≥ 2. Default 4.
+    pub stepped_fan_in: usize,
 }
 
 impl Default for TreeOptions {
@@ -71,6 +83,9 @@ impl Default for TreeOptions {
             sink: SinkHandle::none(),
             retry: RetryPolicy::default(),
             ledger: None,
+            scheduler: Scheduler::Inline,
+            commit: CommitMode::Buffered,
+            stepped_fan_in: 4,
         }
     }
 }
@@ -135,10 +150,42 @@ impl TreeOptionsBuilder {
         self
     }
 
+    /// Choose how flush/merge maintenance runs (default:
+    /// [`Scheduler::Inline`]). [`Scheduler::background`] moves merges onto
+    /// the worker pool of the concurrent front-ends.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.opts.scheduler = scheduler;
+        self
+    }
+
+    /// Choose the WAL commit discipline (default: [`CommitMode::Buffered`]).
+    /// [`CommitMode::Group`] makes N concurrent writers share one fsync.
+    pub fn group_commit(mut self, mode: CommitMode) -> Self {
+        self.opts.commit = mode;
+        self
+    }
+
+    /// Stepped-merge fan-in `k ≥ 2` (default 4). Only
+    /// [`crate::SteppedMergeTree`] reads it.
+    pub fn stepped_fan_in(mut self, k: usize) -> Self {
+        self.opts.stepped_fan_in = k;
+        self
+    }
+
     /// Finish, yielding the options.
     pub fn build(self) -> TreeOptions {
         self.opts
     }
+}
+
+/// Which memtable a flush-merge drains from (see `merge_from_mem`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MemSlot {
+    /// The live memtable — the inline cascade path.
+    Active,
+    /// The oldest sealed memtable on the immutable queue — the
+    /// background-maintenance path.
+    ImmOldest,
 }
 
 /// What a single lookup cost: counted by the shared lookup path and folded
@@ -159,6 +206,9 @@ pub struct LsmTree {
     enforce_level_waste: bool,
     store: Store,
     mem: Memtable,
+    /// Sealed memtables awaiting a background flush, oldest first. Always
+    /// empty under [`Scheduler::Inline`] (the inline cascade never seals).
+    imm: VecDeque<Memtable>,
     /// On-SSD levels; `levels[i]` is paper-level `L_{i+1}`.
     levels: Vec<Level>,
     policy: Box<dyn MergePolicy>,
@@ -169,6 +219,8 @@ pub struct LsmTree {
     stats: TreeStats,
     sink: SinkHandle,
     ledger: Option<Arc<DecisionLedger>>,
+    scheduler: Scheduler,
+    commit: CommitMode,
 }
 
 impl LsmTree {
@@ -194,6 +246,7 @@ impl LsmTree {
             enforce_level_waste: opts.enforce_level_waste,
             store,
             mem: Memtable::new(),
+            imm: VecDeque::new(),
             levels: vec![Level::new()],
             policy,
             policy_name,
@@ -201,6 +254,8 @@ impl LsmTree {
             stats: TreeStats::default(),
             sink: opts.sink,
             ledger: opts.ledger,
+            scheduler: opts.scheduler,
+            commit: opts.commit,
         })
     }
 
@@ -231,6 +286,7 @@ impl LsmTree {
             enforce_level_waste: opts.enforce_level_waste,
             store,
             mem,
+            imm: VecDeque::new(),
             levels,
             policy,
             policy_name,
@@ -238,6 +294,8 @@ impl LsmTree {
             stats: TreeStats::default(),
             sink: opts.sink,
             ledger: opts.ledger,
+            scheduler: opts.scheduler,
+            commit: opts.commit,
         }
     }
 
@@ -262,7 +320,15 @@ impl LsmTree {
 
     /// Apply one request and run any merges it triggers.
     pub fn apply(&mut self, req: Request) -> Result<()> {
-        match &req {
+        self.note_request(&req)?;
+        self.mem.apply(req);
+        self.run_cascade()
+    }
+
+    /// Validate and count one request (shared by the inline and buffered
+    /// write paths).
+    fn note_request(&mut self, req: &Request) -> Result<()> {
+        match req {
             Request::Put(_, payload) => {
                 let record_bytes = 13 + payload.len();
                 let room = self.cfg.block_size - BLOCK_HEADER_LEN;
@@ -276,8 +342,19 @@ impl LsmTree {
             }
             Request::Delete(_) => self.stats.deletes += 1,
         }
+        Ok(())
+    }
+
+    /// Apply one request to the active memtable *without* running merges —
+    /// the foreground half of the background write path. The caller (a
+    /// concurrent front-end running [`Scheduler::Background`]) is
+    /// responsible for sealing the memtable when
+    /// [`LsmTree::mem_at_capacity`] and driving [`LsmTree::maintenance_step`]
+    /// from its worker pool.
+    pub fn apply_buffered(&mut self, req: Request) -> Result<()> {
+        self.note_request(&req)?;
         self.mem.apply(req);
-        self.run_cascade()
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -325,6 +402,17 @@ impl LsmTree {
                 OpKind::Delete => None,
             };
             return Ok((value, probe));
+        }
+        // Sealed memtables are older than the active one but newer than
+        // every on-SSD level: probe newest-first.
+        for imm in self.imm.iter().rev() {
+            if let Some(r) = imm.get(key) {
+                let value = match r.op {
+                    OpKind::Put => Some(r.payload.clone()),
+                    OpKind::Delete => None,
+                };
+                return Ok((value, probe));
+            }
         }
         for level in &self.levels {
             let Some(handle) = level.find_block_for(key) else { continue };
@@ -389,7 +477,9 @@ impl LsmTree {
     /// Total records in the index (upper bound: shadowed versions and
     /// tombstones count until merges consolidate them).
     pub fn record_count(&self) -> u64 {
-        self.mem.len() as u64 + self.levels.iter().map(Level::records).sum::<u64>()
+        self.mem.len() as u64
+            + self.imm.iter().map(|m| m.len() as u64).sum::<u64>()
+            + self.levels.iter().map(Level::records).sum::<u64>()
     }
 
     /// Approximate logical size in bytes.
@@ -436,6 +526,113 @@ impl LsmTree {
     }
 
     // ------------------------------------------------------------------
+    // Background-write-path primitives (memtable handoff)
+    // ------------------------------------------------------------------
+
+    /// The configured maintenance scheduler (see [`Scheduler`]). The tree
+    /// itself never spawns threads; concurrent front-ends read this to
+    /// decide whether to wrap the tree in a
+    /// [`crate::scheduler::MergeScheduler`].
+    pub fn scheduler_spec(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// The configured WAL commit discipline (see [`CommitMode`]).
+    pub fn commit_mode(&self) -> CommitMode {
+        self.commit
+    }
+
+    /// Whether the active memtable has reached L0 capacity (the overflow
+    /// condition the inline cascade acts on).
+    pub fn mem_at_capacity(&self) -> bool {
+        self.mem.len() >= self.cfg.l0_capacity_records()
+    }
+
+    /// Seal the active memtable: swap in a fresh one and push the full one
+    /// onto the immutable queue for a background flush. Emits
+    /// [`Event::FlushEnqueued`]. Returns `false` (and seals nothing) when
+    /// the active memtable is empty.
+    pub fn seal_memtable(&mut self) -> bool {
+        if self.mem.is_empty() {
+            return false;
+        }
+        let sealed = std::mem::take(&mut self.mem);
+        let records = sealed.len() as u64;
+        self.imm.push_back(sealed);
+        let backlog = self.imm.len();
+        self.sink.emit_with(|| Event::FlushEnqueued { records, backlog });
+        true
+    }
+
+    /// Sealed memtables awaiting a background flush.
+    pub fn imm_count(&self) -> usize {
+        self.imm.len()
+    }
+
+    /// Iterate the sealed memtables, oldest first (checkpointing folds
+    /// them into the manifest; scans merge them with the active memtable).
+    pub fn imm_memtables(&self) -> impl Iterator<Item = &Memtable> {
+        self.imm.iter()
+    }
+
+    /// Whether any maintenance is pending: a sealed memtable to flush or
+    /// an overflowing level to merge.
+    pub fn maintenance_pending(&self) -> bool {
+        if self.imm.iter().any(|m| !m.is_empty()) {
+            return true;
+        }
+        let h = self.levels.len();
+        (0..h).any(|i| self.levels[i].num_blocks() >= self.cfg.level_capacity_blocks(i + 1))
+    }
+
+    /// Run **one** bounded maintenance step: one policy-chosen merge out of
+    /// the oldest sealed memtable if any, otherwise one merge (or level
+    /// growth) for the shallowest overflowing level. Returns whether
+    /// anything was done.
+    ///
+    /// This is the unit of work a background worker performs per lock
+    /// acquisition — foreground writers interleave between steps, which is
+    /// what bounds their tail latency (the inline cascade instead charges
+    /// the whole cascade to the triggering request).
+    pub fn maintenance_step(&mut self) -> Result<bool> {
+        while self.imm.front().is_some_and(Memtable::is_empty) {
+            self.imm.pop_front();
+        }
+        if !self.imm.is_empty() {
+            // Each step is its own (short) cascade span, so merge spans
+            // keep nesting under a cascade exactly as in inline mode.
+            let _span = self.sink.span(SpanOp::cascade());
+            self.merge_from_mem(MemSlot::ImmOldest)?;
+            while self.imm.front().is_some_and(Memtable::is_empty) {
+                self.imm.pop_front();
+            }
+            return Ok(true);
+        }
+        let h = self.levels.len();
+        for vec_idx in 0..h {
+            let paper = vec_idx + 1;
+            if self.levels[vec_idx].num_blocks() >= self.cfg.level_capacity_blocks(paper) {
+                let _span = self.sink.span(SpanOp::cascade());
+                if vec_idx + 1 == h {
+                    self.grow();
+                } else {
+                    self.merge_from_level(vec_idx)?;
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Run maintenance steps until the tree is quiescent (no sealed
+    /// memtables, no overflowing level). Used by clean shutdown and
+    /// [`crate::WriteApi::flush`]; a no-op on an inline tree.
+    pub fn drain_maintenance(&mut self) -> Result<()> {
+        while self.maintenance_step()? {}
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Merge machinery
     // ------------------------------------------------------------------
 
@@ -447,7 +644,7 @@ impl LsmTree {
         loop {
             if self.mem.len() >= self.cfg.l0_capacity_records() {
                 cascade.get_or_insert_with(|| self.sink.span(SpanOp::cascade()));
-                self.merge_from_memtable()?;
+                self.merge_from_mem(MemSlot::Active)?;
                 continue;
             }
             let h = self.levels.len();
@@ -495,9 +692,21 @@ impl LsmTree {
         }
     }
 
-    fn merge_from_memtable(&mut self) -> Result<()> {
+    /// Flush one policy-chosen unit (window or all) of a memtable into L1.
+    /// `MemSlot::Active` is the inline path (the cascade flushes the live
+    /// memtable in place); `MemSlot::ImmOldest` is the background path
+    /// (a sealed memtable drains oldest-first so newest-wins shadowing
+    /// across the queue is preserved). Event and span order is identical
+    /// for both slots.
+    fn merge_from_mem(&mut self, slot: MemSlot) -> Result<()> {
         let b = self.cfg.block_capacity();
-        let runs = self.mem.virtual_blocks(b);
+        let runs = match slot {
+            MemSlot::Active => self.mem.virtual_blocks(b),
+            MemSlot::ImmOldest => match self.imm.front() {
+                Some(m) => m.virtual_blocks(b),
+                None => return Ok(()),
+            },
+        };
         if runs.is_empty() {
             return Ok(());
         }
@@ -525,10 +734,14 @@ impl LsmTree {
             let cands = enumerate_candidates(&runs, self.levels[0].handles(), window_blocks);
             l.open(self.policy_name, 1, cands, choice, predicted)
         });
+        let src_mem = match slot {
+            MemSlot::Active => &mut self.mem,
+            MemSlot::ImmOldest => self.imm.front_mut().expect("checked above"),
+        };
         let (records, kind) = match choice {
-            MergeChoice::Full => (self.mem.extract_all(), MergeKind::Full),
+            MergeChoice::Full => (src_mem.extract_all(), MergeKind::Full),
             MergeChoice::Window(w) => {
-                (self.mem.extract_window(w.start, w.len, b), MergeKind::Partial)
+                (src_mem.extract_window(w.start, w.len, b), MergeKind::Partial)
             }
         };
         let src_records = records.len() as u64;
@@ -719,6 +932,16 @@ impl LsmTree {
             self.preserve_blocks,
         )
         .with_pairwise(self.enforce_pairwise)
+    }
+}
+
+impl crate::api::WriteApi for LsmTree {
+    fn apply(&mut self, req: Request) -> Result<()> {
+        LsmTree::apply(self, req)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.drain_maintenance()
     }
 }
 

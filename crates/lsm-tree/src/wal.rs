@@ -51,6 +51,10 @@ pub struct WriteAheadLog {
     /// truncate the file anywhere in `[synced_len, len]` to model what a
     /// host power cut can leave behind.
     synced_len: u64,
+    /// Fsyncs issued over the log's lifetime (not reset by truncation) —
+    /// the denominator of the group-commit economy: N writers sharing one
+    /// fsync show up here as 1, not N.
+    syncs: u64,
 }
 
 impl WriteAheadLog {
@@ -68,6 +72,7 @@ impl WriteAheadLog {
             appended: 0,
             len: 0,
             synced_len: 0,
+            syncs: 0,
         })
     }
 
@@ -163,11 +168,16 @@ impl WriteAheadLog {
         Ok(8 + payload.len())
     }
 
-    /// Flush and fsync.
+    /// Flush and fsync. A no-op (no fsync issued or counted) when
+    /// everything appended is already durable.
     pub fn sync(&mut self) -> Result<()> {
+        if self.synced_len == self.len {
+            return Ok(());
+        }
         self.writer.flush().map_err(DeviceError::Io)?;
         self.writer.get_ref().sync_data().map_err(DeviceError::Io)?;
         self.synced_len = self.len;
+        self.syncs += 1;
         Ok(())
     }
 
@@ -199,6 +209,11 @@ impl WriteAheadLog {
         self.synced_len
     }
 
+    /// Fsyncs issued over the log's lifetime.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
     /// Path of the log file.
     pub fn path(&self) -> &Path {
         &self.path
@@ -226,12 +241,13 @@ impl DurableLsmTree {
         wal_path: P,
     ) -> Result<Self> {
         let tree = LsmTree::new(cfg, opts, device)?;
+        let sync_every_request = tree.commit_mode() == crate::config::CommitMode::PerRequest;
         let wal = WriteAheadLog::create(wal_path)?;
         let durable = DurableLsmTree {
             tree,
             wal,
             manifest_path: manifest_path.as_ref().to_path_buf(),
-            sync_every_request: false,
+            sync_every_request,
         };
         durable.tree.checkpoint(&durable.manifest_path)?;
         Ok(durable)
@@ -253,11 +269,12 @@ impl DurableLsmTree {
             tree.apply(req)?;
         }
         tree.sink().emit_with(|| observe::Event::Recovery { replayed });
+        let sync_every_request = tree.commit_mode() == crate::config::CommitMode::PerRequest;
         Ok(DurableLsmTree {
             tree,
             wal,
             manifest_path: manifest_path.as_ref().to_path_buf(),
-            sync_every_request: false,
+            sync_every_request,
         })
     }
 
@@ -333,6 +350,38 @@ impl DurableLsmTree {
     /// Bytes appended to the WAL since the last checkpoint, durable or not.
     pub fn wal_len_bytes(&self) -> u64 {
         self.wal.len_bytes()
+    }
+
+    /// Fsyncs issued on the WAL over its lifetime (see
+    /// [`WriteAheadLog::syncs`]).
+    pub fn wal_syncs(&self) -> u64 {
+        self.wal.syncs()
+    }
+}
+
+impl crate::api::WriteApi for DurableLsmTree {
+    fn apply(&mut self, req: Request) -> Result<()> {
+        DurableLsmTree::apply(self, req)
+    }
+
+    /// Fsync the WAL and drain pending maintenance.
+    fn flush(&mut self) -> Result<()> {
+        self.wal.sync()?;
+        self.tree.drain_maintenance()
+    }
+
+    /// Apply the whole batch, then — under [`CommitMode::Group`]
+    /// (crate::CommitMode::Group) — make it durable with a *single* fsync
+    /// (the single-writer form of group commit; the sharded front-end does
+    /// the multi-writer leader/follower form).
+    fn write_batch(&mut self, batch: crate::api::WriteBatch) -> Result<()> {
+        for req in batch {
+            DurableLsmTree::apply(self, req)?;
+        }
+        if self.tree.commit_mode() == crate::config::CommitMode::Group {
+            self.wal.sync()?;
+        }
+        Ok(())
     }
 }
 

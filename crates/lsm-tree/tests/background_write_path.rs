@@ -1,0 +1,260 @@
+//! The background write path, end to end: logical equivalence between
+//! `Scheduler::Inline` and `Scheduler::Background`, crash recovery with a
+//! merge job in flight, and the group-commit fsync contract.
+//!
+//! Background scheduling is intentionally nondeterministic in *timing* —
+//! workers interleave with writers — so these tests compare **logical
+//! content** (full scans, point lookups) rather than device images. The
+//! deterministic byte-level contracts stay with the Inline suites
+//! (torture harness, twin tests, observe_events).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use lsm_tree::observe::SinkHandle;
+use lsm_tree::{
+    BackgroundPolicy, CommitMode, Key, LsmConfig, LsmTree, PolicySpec, Request, Scheduler,
+    ShardedLsmTree, SharedLsmTree, TreeOptions, WriteBatch,
+};
+
+fn cfg() -> LsmConfig {
+    LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 4,
+        gamma: 4,
+        cache_blocks: 64,
+        merge_rate: 0.25,
+        ..LsmConfig::default()
+    }
+}
+
+fn opts(scheduler: Scheduler) -> TreeOptions {
+    TreeOptions::builder().policy(PolicySpec::ChooseBest).scheduler(scheduler).build()
+}
+
+/// Seeded mixed single-threaded workload; returns the model.
+fn mixed_ops(seed: u64, n: u64, key_space: u64) -> Vec<Request> {
+    let mut x = seed | 1;
+    let mut ops = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let key = (x >> 17) % key_space;
+        if i % 9 == 8 {
+            ops.push(Request::Delete(key));
+        } else {
+            ops.push(Request::Put(key, Bytes::from(vec![(key % 251) as u8; 4])));
+        }
+    }
+    ops
+}
+
+fn model_of(ops: &[Request]) -> BTreeMap<Key, Bytes> {
+    let mut m = BTreeMap::new();
+    for op in ops {
+        match op {
+            Request::Put(k, v) => {
+                m.insert(*k, v.clone());
+            }
+            Request::Delete(k) => {
+                m.remove(k);
+            }
+        }
+    }
+    m
+}
+
+/// Tentpole invariant: background scheduling changes *when* merges run,
+/// never *what* the index contains. Same ops, inline vs background, same
+/// scan.
+#[test]
+fn shared_background_matches_inline_content() {
+    let ops = mixed_ops(0xBEEF, 20_000, 4_096);
+    let run = |sched: Scheduler| {
+        let tree =
+            SharedLsmTree::new(LsmTree::with_mem_device(cfg(), opts(sched), 1 << 16).unwrap());
+        for op in &ops {
+            tree.apply(op.clone()).unwrap();
+        }
+        tree.flush().unwrap(); // drain pending background jobs
+        tree.scan_collect(0, u64::MAX).unwrap()
+    };
+    let inline = run(Scheduler::Inline);
+    let background = run(Scheduler::background());
+    assert_eq!(inline.len(), background.len(), "scan lengths diverge");
+    assert_eq!(inline, background, "inline and background trees diverge");
+    let model = model_of(&ops);
+    assert_eq!(background.len(), model.len());
+    for (k, v) in &background {
+        assert_eq!(model.get(k), Some(v), "key {k} diverged from the model");
+    }
+}
+
+/// Shard equivalence under the background pool: concurrent writers on
+/// disjoint key ranges, drained, must equal the single-threaded model —
+/// and the same workload under `Scheduler::Inline`.
+#[test]
+fn sharded_equivalence_holds_under_background_pool() {
+    let writers = 4u64;
+    let per_writer = 6_000u64;
+    let run = |sched: Scheduler| {
+        let tree = ShardedLsmTree::with_mem_devices(cfg(), opts(sched), 4, 1 << 16).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let tree = &tree;
+                s.spawn(move || {
+                    let base = 1_000_000 * (w + 1);
+                    let mut x = 0x9E37_79B9u64 + w;
+                    for _ in 0..per_writer {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = base + (x >> 20) % 3_000;
+                        if x.is_multiple_of(8) {
+                            tree.delete(key).unwrap();
+                        } else {
+                            tree.put(key, vec![(key % 251) as u8; 4]).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        tree.flush().unwrap();
+        tree.deep_verify(true).unwrap();
+        tree.scan_collect(0, u64::MAX).unwrap()
+    };
+    let background = run(Scheduler::background());
+    let inline = run(Scheduler::Inline);
+    // Writers own disjoint ranges and are individually deterministic, so
+    // the final logical content is schedule-independent.
+    assert!(!background.is_empty());
+    assert_eq!(inline, background, "background pool diverged from inline on identical writers");
+}
+
+/// Crash with merge jobs in flight: writers run under `PerRequest` commit
+/// (durable by return), the host "dies" without draining the scheduler,
+/// and recovery from the WALs alone must reproduce every acknowledged
+/// request — whatever the background workers were doing at the cut.
+#[test]
+fn power_cut_with_merge_job_in_flight_recovers_durable_image() {
+    let dir = std::env::temp_dir().join(format!("lsm-bg-cut-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let shards = 3;
+    let build_opts = || {
+        TreeOptions::builder()
+            .policy(PolicySpec::ChooseBest)
+            .scheduler(Scheduler::Background(BackgroundPolicy { workers: 2, max_imm_memtables: 2 }))
+            .group_commit(CommitMode::PerRequest)
+            .build()
+    };
+    let ops = mixed_ops(0xCAFE, 8_000, 2_048);
+    let tree = ShardedLsmTree::with_wal_dir(cfg(), build_opts(), shards, 1 << 16, &dir).unwrap();
+    for op in &ops {
+        tree.apply(op.clone()).unwrap();
+    }
+    // Power cut: leak the tree — scheduler threads, sealed memtables, and
+    // any merge mid-step die with the host. No drain, no final sync; the
+    // WAL files on disk are the only survivors. (PerRequest commit means
+    // every acknowledged request is already fsynced.)
+    std::mem::forget(tree);
+
+    let recovered =
+        ShardedLsmTree::recover_with_wal(cfg(), build_opts(), shards, 1 << 16, &dir).unwrap();
+    recovered.flush().unwrap();
+    recovered.deep_verify(true).unwrap();
+    let got = recovered.scan_collect(0, u64::MAX).unwrap();
+    let model = model_of(&ops);
+    assert_eq!(got.len(), model.len(), "recovered key count diverged");
+    for (k, v) in &got {
+        assert_eq!(model.get(k), Some(v), "recovered key {k} diverged");
+    }
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Group commit's acceptance contract: at 4 concurrent writers, batched
+/// group commit needs at most half the fsyncs of per-request commit, and
+/// both recover to identical state.
+#[test]
+fn group_commit_halves_fsyncs_at_4_writers_with_identical_recovery() {
+    let base = std::env::temp_dir().join(format!("lsm-group-commit-{}", std::process::id()));
+    let writers = 4u64;
+    let batches_per_writer = 25u64;
+    let batch_size = 40u64;
+    let shards = 2;
+
+    let run = |mode: CommitMode, sub: &str| -> (u64, Vec<(Key, Bytes)>) {
+        let dir = base.join(sub);
+        std::fs::create_dir_all(&dir).unwrap();
+        let build_opts = || {
+            TreeOptions::builder()
+                .policy(PolicySpec::ChooseBest)
+                .scheduler(Scheduler::background())
+                .group_commit(mode)
+                .build()
+        };
+        let tree =
+            ShardedLsmTree::with_wal_dir(cfg(), build_opts(), shards, 1 << 16, &dir).unwrap();
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let tree = &tree;
+                s.spawn(move || {
+                    let base_key = 500_000 * (w + 1);
+                    let mut x = w + 1;
+                    for _ in 0..batches_per_writer {
+                        let mut wb = WriteBatch::with_capacity(batch_size as usize);
+                        for _ in 0..batch_size {
+                            x = x
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            wb.put(base_key + (x >> 22) % 5_000, vec![(x % 251) as u8; 4]);
+                        }
+                        tree.write_batch(wb).unwrap();
+                    }
+                });
+            }
+        });
+        let fsyncs = tree.wal_fsyncs();
+        tree.flush().unwrap(); // final durability point before "restart"
+        drop(tree);
+        let recovered =
+            ShardedLsmTree::recover_with_wal(cfg(), build_opts(), shards, 1 << 16, &dir).unwrap();
+        recovered.flush().unwrap();
+        (fsyncs, recovered.scan_collect(0, u64::MAX).unwrap())
+    };
+
+    let (per_request_fsyncs, per_request_state) = run(CommitMode::PerRequest, "per-request");
+    let (group_fsyncs, group_state) = run(CommitMode::Group, "group");
+
+    // PerRequest fsyncs once per acknowledged request; batched group
+    // commit needs at most one rendezvous per touched shard per batch.
+    assert_eq!(per_request_fsyncs, writers * batches_per_writer * batch_size);
+    assert!(
+        group_fsyncs * 2 <= per_request_fsyncs,
+        "group commit must at least halve fsyncs: {group_fsyncs} vs {per_request_fsyncs}"
+    );
+    assert_eq!(per_request_state, group_state, "commit modes must recover to identical state");
+    assert!(!group_state.is_empty());
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The scheduler's event vocabulary is live: a sustained workload under a
+/// tight immutable-memtable bound seals memtables (`FlushEnqueued`) and
+/// the worker picks them up (`JobStart`).
+#[test]
+fn scheduler_events_are_emitted() {
+    use lsm_tree::observe::CountingSink;
+    let counting = Arc::new(CountingSink::new());
+    let tree_opts = TreeOptions::builder()
+        .policy(PolicySpec::ChooseBest)
+        .scheduler(Scheduler::Background(BackgroundPolicy { workers: 1, max_imm_memtables: 1 }))
+        .sink(SinkHandle::new(Arc::clone(&counting) as _))
+        .build();
+    let tree = SharedLsmTree::new(LsmTree::with_mem_device(cfg(), tree_opts, 1 << 16).unwrap());
+    for op in mixed_ops(0xF00D, 30_000, 8_192) {
+        tree.apply(op).unwrap();
+    }
+    tree.flush().unwrap();
+    let s = counting.snapshot();
+    assert!(s.flushes_enqueued > 0, "workload never sealed a memtable");
+    assert!(s.job_starts > 0, "scheduler never started a job");
+}

@@ -42,7 +42,12 @@ proptest! {
 
     #[test]
     fn stepped_merge_matches_model(ops in ops(300, 200..800), k in 2usize..6) {
-        let mut tree = SteppedMergeTree::with_mem_device(cfg(), k, 1 << 16).unwrap();
+        let mut tree = SteppedMergeTree::with_mem_device(
+            cfg(),
+            TreeOptions::builder().stepped_fan_in(k).build(),
+            1 << 16,
+        )
+        .unwrap();
         let mut model: BTreeMap<u64, u8> = BTreeMap::new();
         for op in &ops {
             match *op {
@@ -74,7 +79,12 @@ proptest! {
         // On identical inputs it must not write more blocks than the
         // leveled tree (it writes each record once per level; leveled LSM
         // rewrites overlapping regions repeatedly).
-        let mut sm = SteppedMergeTree::with_mem_device(cfg(), 4, 1 << 16).unwrap();
+        let mut sm = SteppedMergeTree::with_mem_device(
+            cfg(),
+            TreeOptions::builder().stepped_fan_in(4).build(),
+            1 << 16,
+        )
+        .unwrap();
         let mut lsm = LsmTree::with_mem_device(cfg(), TreeOptions::default(), 1 << 16).unwrap();
         for op in &ops {
             let req = match *op {

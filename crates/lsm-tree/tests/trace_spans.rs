@@ -102,6 +102,66 @@ fn exporters_have_no_observer_effect() {
     std::fs::remove_file(&prom_path).ok();
 }
 
+/// The observer-effect contract with the background scheduler enabled.
+/// Worker/writer interleaving makes device images timing-dependent, so
+/// the invariant here is *logical*: attaching the full exporter pipeline
+/// must not change what the index contains or how many requests it
+/// acknowledged — and no span may leak past the drained run.
+#[test]
+fn exporters_have_no_observer_effect_with_scheduler() {
+    use lsm_tree::{Scheduler, SharedLsmTree};
+    let run = |sink: SinkHandle| {
+        let device = Arc::new(MemDevice::with_block_size(1 << 16, cfg().block_size));
+        let tree = SharedLsmTree::new(
+            LsmTree::new(
+                cfg(),
+                TreeOptions::builder()
+                    .policy(PolicySpec::ChooseBest)
+                    .preserve_blocks(true)
+                    .scheduler(Scheduler::background())
+                    .sink(sink)
+                    .build(),
+                device as Arc<dyn BlockDevice>,
+            )
+            .unwrap(),
+        );
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for i in 0..12_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let key = (x >> 17) % 4_096;
+            match i % 11 {
+                10 => tree.delete(key).unwrap(),
+                7 => {
+                    tree.get(key).unwrap();
+                }
+                _ => tree.put(key, vec![(key % 251) as u8; 4]).unwrap(),
+            }
+        }
+        tree.flush().unwrap();
+        let stats = tree.stats();
+        (tree.scan_collect(0, u64::MAX).unwrap(), stats.puts, stats.deletes, stats.lookups())
+    };
+
+    let bare = run(SinkHandle::none());
+    let null = run(SinkHandle::of(NullSink));
+    let recorder = Arc::new(FlightRecorderSink::new(256));
+    let prom_path = std::env::temp_dir().join("trace_spans_observer_effect_sched.prom");
+    let full = run(SinkHandle::of(
+        Tracer::with_clock(Arc::new(TickClock::new()))
+            .trace_to(Arc::new(VecTraceSink::new()))
+            .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
+            .trace_to(Arc::clone(&recorder) as _)
+            .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
+            .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
+    ));
+
+    assert_eq!(bare, null, "NullSink changed the scheduled run");
+    assert_eq!(bare, full, "exporter pipeline changed the scheduled run");
+    assert!(recorder.total() > 0, "the pipeline saw no events");
+    assert!(recorder.open_spans().is_empty(), "spans leaked past the drained run");
+    std::fs::remove_file(&prom_path).ok();
+}
+
 /// Satellite: the flight recorder as the shared sink of a sharded tree
 /// under concurrent writers — no deadlock, per-shard emission order is
 /// preserved in the retained window, and the drop count on wrap is exact.

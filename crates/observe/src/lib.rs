@@ -223,6 +223,36 @@ pub enum Event {
         /// Blocks actually written, from the matching merge.
         actual: u64,
     },
+    /// The active memtable overflowed, was sealed, and was handed to the
+    /// merge scheduler as an immutable memtable awaiting a background
+    /// flush. Under `Scheduler::Inline` the flush still runs on the
+    /// triggering request, so this event never fires there — inline trees
+    /// emit [`Event::MemtableFlush`] directly.
+    FlushEnqueued {
+        /// Records in the sealed memtable.
+        records: u64,
+        /// Immutable memtables pending flush, this one included.
+        backlog: usize,
+    },
+    /// A background worker picked up a maintenance job for one tree/shard.
+    /// The job runs merge steps (each bracketed by the usual
+    /// merge/flush spans and `MergeStart`/`MergeFinish` events) until the
+    /// target is quiescent.
+    JobStart {
+        /// Zero-based shard (or tree) index the job targets.
+        shard: usize,
+        /// Jobs still queued after this one was taken.
+        queued: usize,
+    },
+    /// Admission control stalled a writer: the active memtable is full and
+    /// the immutable-memtable backlog is at its bound, so the write waits
+    /// for a background flush to free a slot.
+    Backpressure {
+        /// Zero-based shard (or tree) index the stalled write targeted.
+        shard: usize,
+        /// Immutable memtables pending at stall time.
+        backlog: usize,
+    },
 }
 
 /// The kind of fault a fault-injection device fired, as reported by
@@ -292,6 +322,9 @@ impl Event {
             Event::ShardRouted { .. } => "shard_routed",
             Event::ShardMergeFinish { .. } => "shard_merge_finish",
             Event::LedgerOutcome { .. } => "ledger_outcome",
+            Event::FlushEnqueued { .. } => "flush_enqueued",
+            Event::JobStart { .. } => "job_start",
+            Event::Backpressure { .. } => "backpressure",
         }
     }
 
@@ -384,6 +417,18 @@ impl Event {
                 put("predicted", Json::from(predicted));
                 put("best_predicted", Json::from(best_predicted));
                 put("actual", Json::from(actual));
+            }
+            Event::FlushEnqueued { records, backlog } => {
+                put("records", Json::from(records));
+                put("backlog", Json::from(backlog));
+            }
+            Event::JobStart { shard, queued } => {
+                put("shard", Json::from(shard));
+                put("queued", Json::from(queued));
+            }
+            Event::Backpressure { shard, backlog } => {
+                put("shard", Json::from(shard));
+                put("backlog", Json::from(backlog));
             }
         }
         Json::Obj(pairs)
@@ -652,6 +697,12 @@ pub struct CountingSnapshot {
     pub shard_merges: u64,
     /// Decision-ledger outcomes reconciled.
     pub ledger_outcomes: u64,
+    /// Memtables sealed and enqueued for background flush.
+    pub flushes_enqueued: u64,
+    /// Background maintenance jobs started.
+    pub job_starts: u64,
+    /// Writers stalled by admission control.
+    pub backpressure_stalls: u64,
 }
 
 /// Counts events per category with relaxed atomics — no locking, safe to
@@ -685,6 +736,9 @@ pub struct CountingSink {
     shard_routed: AtomicU64,
     shard_merges: AtomicU64,
     ledger_outcomes: AtomicU64,
+    flushes_enqueued: AtomicU64,
+    job_starts: AtomicU64,
+    backpressure_stalls: AtomicU64,
 }
 
 impl CountingSink {
@@ -724,6 +778,9 @@ impl CountingSink {
             shard_routed: get(&self.shard_routed),
             shard_merges: get(&self.shard_merges),
             ledger_outcomes: get(&self.ledger_outcomes),
+            flushes_enqueued: get(&self.flushes_enqueued),
+            job_starts: get(&self.job_starts),
+            backpressure_stalls: get(&self.backpressure_stalls),
         }
     }
 }
@@ -764,6 +821,9 @@ impl EventSink for CountingSink {
             Event::ShardRouted { .. } => bump(&self.shard_routed),
             Event::ShardMergeFinish { .. } => bump(&self.shard_merges),
             Event::LedgerOutcome { .. } => bump(&self.ledger_outcomes),
+            Event::FlushEnqueued { .. } => bump(&self.flushes_enqueued),
+            Event::JobStart { .. } => bump(&self.job_starts),
+            Event::Backpressure { .. } => bump(&self.backpressure_stalls),
         }
     }
 }
@@ -916,6 +976,19 @@ impl EventSink for MetricsSink {
                 m.incr("policy.ledger_outcomes");
                 m.add("policy.regret_blocks", predicted.saturating_sub(best_predicted));
                 m.observe("policy.model_error", actual.abs_diff(predicted));
+            }
+            Event::FlushEnqueued { records, backlog } => {
+                m.incr("scheduler.flushes_enqueued");
+                m.observe("scheduler.flush_records", records);
+                m.observe("scheduler.imm_backlog", backlog as u64);
+            }
+            Event::JobStart { queued, .. } => {
+                m.incr("scheduler.job_starts");
+                m.observe("scheduler.queue_depth", queued as u64);
+            }
+            Event::Backpressure { backlog, .. } => {
+                m.incr("scheduler.backpressure_stalls");
+                m.observe("scheduler.stall_backlog", backlog as u64);
             }
         }
     }

@@ -18,7 +18,7 @@
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use lsm_tree::{Key, Request, RequestSource, Result, ShardedLsmTree, SharedLsmTree};
+use lsm_tree::{Key, Request, RequestSource, Result, ShardedLsmTree, SharedLsmTree, WriteBatch};
 
 use crate::driver::Workload;
 use crate::histogram::LatencyHistogram;
@@ -26,12 +26,22 @@ use crate::InsertRatio;
 
 /// An index that serves concurrent writers and readers through `&self` —
 /// implemented by both front-ends ([`SharedLsmTree`]'s single lock,
-/// [`ShardedLsmTree`]'s lock per shard).
+/// [`ShardedLsmTree`]'s lock per shard). This is the concurrent face of
+/// [`lsm_tree::WriteApi`]: same request/batch vocabulary, shared `&self`
+/// receivers so writer threads need no external lock.
 pub trait ConcurrentIndex: Sync {
     /// Apply one modification.
     fn apply(&self, req: Request) -> Result<()>;
     /// Point lookup.
     fn get(&self, key: Key) -> Result<Option<Bytes>>;
+    /// Apply every request of `batch` in order. Front-ends with a WAL
+    /// override this to share one fsync across the batch (group commit).
+    fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        for req in batch {
+            self.apply(req)?;
+        }
+        Ok(())
+    }
 }
 
 impl ConcurrentIndex for SharedLsmTree {
@@ -41,6 +51,9 @@ impl ConcurrentIndex for SharedLsmTree {
     fn get(&self, key: Key) -> Result<Option<Bytes>> {
         SharedLsmTree::get(self, key)
     }
+    fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        SharedLsmTree::write_batch(self, batch)
+    }
 }
 
 impl ConcurrentIndex for ShardedLsmTree {
@@ -49,6 +62,9 @@ impl ConcurrentIndex for ShardedLsmTree {
     }
     fn get(&self, key: Key) -> Result<Option<Bytes>> {
         ShardedLsmTree::get(self, key)
+    }
+    fn write_batch(&self, batch: WriteBatch) -> Result<()> {
+        ShardedLsmTree::write_batch(self, batch)
     }
 }
 
@@ -135,6 +151,18 @@ pub struct ThreadPlan {
     pub requests_per_writer: u64,
     /// Lookups issued by each reader.
     pub reads_per_reader: u64,
+    /// Requests grouped into each [`WriteBatch`] (0 or 1 = one `apply`
+    /// per request). With a batch size, each latency sample covers one
+    /// whole batch — including its single group-commit fsync.
+    pub batch: u64,
+}
+
+impl ThreadPlan {
+    /// Group each writer's requests into batches of `n`.
+    pub fn with_batch(mut self, n: u64) -> Self {
+        self.batch = n;
+        self
+    }
 }
 
 /// What a closed-loop run measured.
@@ -142,11 +170,13 @@ pub struct ThreadPlan {
 pub struct ClosedLoopReport {
     /// Wall-clock time of the whole run (all threads).
     pub elapsed: Duration,
-    /// Modifications applied across all writers.
+    /// Modifications applied across all writers (individual requests,
+    /// even when grouped into batches).
     pub writes: u64,
     /// Lookups served across all readers.
     pub reads: u64,
-    /// Per-request write latencies (nanoseconds), merged across writers.
+    /// Write latencies (nanoseconds), merged across writers — one sample
+    /// per `apply`, or per batch when [`ThreadPlan::batch`] > 1.
     pub write_latency_ns: LatencyHistogram,
     /// Per-request read latencies (nanoseconds), merged across readers.
     pub read_latency_ns: LatencyHistogram,
@@ -192,22 +222,42 @@ where
     RK: Fn(u64, u64) -> Key + Sync,
 {
     let workloads: Vec<W> = (0..plan.writers).map(&make_workload).collect();
+    let batch = plan.batch.max(1);
     let t0 = Instant::now();
+    let mut writes = 0u64;
     let mut write_hists: Vec<LatencyHistogram> = Vec::new();
     let mut read_hists: Vec<LatencyHistogram> = Vec::new();
     std::thread::scope(|s| -> Result<()> {
         let mut writer_handles = Vec::with_capacity(plan.writers);
         for mut wl in workloads {
             let index = &index;
-            writer_handles.push(s.spawn(move || -> Result<LatencyHistogram> {
+            writer_handles.push(s.spawn(move || -> Result<(LatencyHistogram, u64)> {
                 let mut hist = LatencyHistogram::new();
-                for _ in 0..plan.requests_per_writer {
-                    let req = wl.next_request();
-                    let t = Instant::now();
-                    index.apply(req)?;
-                    hist.record(t.elapsed().as_nanos() as u64);
+                let mut applied = 0u64;
+                if batch <= 1 {
+                    for _ in 0..plan.requests_per_writer {
+                        let req = wl.next_request();
+                        let t = Instant::now();
+                        index.apply(req)?;
+                        hist.record(t.elapsed().as_nanos() as u64);
+                        applied += 1;
+                    }
+                } else {
+                    let mut left = plan.requests_per_writer;
+                    while left > 0 {
+                        let n = left.min(batch);
+                        let mut wb = WriteBatch::with_capacity(n as usize);
+                        for _ in 0..n {
+                            wb.push(wl.next_request());
+                        }
+                        let t = Instant::now();
+                        index.write_batch(wb)?;
+                        hist.record(t.elapsed().as_nanos() as u64);
+                        applied += n;
+                        left -= n;
+                    }
                 }
-                Ok(hist)
+                Ok((hist, applied))
             }));
         }
         let mut reader_handles = Vec::with_capacity(plan.readers);
@@ -226,7 +276,9 @@ where
             }));
         }
         for h in writer_handles {
-            write_hists.push(h.join().expect("writer thread panicked")?);
+            let (hist, applied) = h.join().expect("writer thread panicked")?;
+            writes += applied;
+            write_hists.push(hist);
         }
         for h in reader_handles {
             read_hists.push(h.join().expect("reader thread panicked")?);
@@ -244,7 +296,7 @@ where
     }
     Ok(ClosedLoopReport {
         elapsed,
-        writes: write_latency_ns.count(),
+        writes,
         reads: read_latency_ns.count(),
         write_latency_ns,
         read_latency_ns,
@@ -272,7 +324,13 @@ mod tests {
     const DOMAIN: u64 = 1 << 20;
 
     fn plan() -> ThreadPlan {
-        ThreadPlan { writers: 3, readers: 2, requests_per_writer: 1_500, reads_per_reader: 1_000 }
+        ThreadPlan {
+            writers: 3,
+            readers: 2,
+            requests_per_writer: 1_500,
+            reads_per_reader: 1_000,
+            batch: 1,
+        }
     }
 
     fn drive<I: ConcurrentIndex>(index: &I) -> ClosedLoopReport {
@@ -316,6 +374,29 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.puts, 4_500);
         assert_eq!(s.lookups(), 2_000);
+        t.deep_verify(true).unwrap();
+    }
+
+    #[test]
+    fn batched_writes_apply_every_request() {
+        let t = ShardedLsmTree::with_mem_devices(small_cfg(), TreeOptions::default(), 4, 1 << 16)
+            .unwrap();
+        let r = run_closed_loop(
+            &t,
+            plan().with_batch(64),
+            |w| {
+                OffsetKeys::new(
+                    Uniform::new(100 + w as u64, DOMAIN, 4, InsertRatio::INSERT_ONLY),
+                    w as u64 * DOMAIN,
+                )
+            },
+            |r, i| (r * 7 + i * 13) % DOMAIN,
+        )
+        .unwrap();
+        assert_eq!(r.writes, 4_500);
+        // One latency sample per batch: ceil(1500/64) per writer.
+        assert_eq!(r.write_latency_ns.count(), 3 * 24);
+        assert_eq!(t.stats().puts, 4_500);
         t.deep_verify(true).unwrap();
     }
 

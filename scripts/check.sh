@@ -20,6 +20,12 @@ cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
 echo "== sharded front-end throughput smoke =="
 cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke
 
+echo "== stall-free certification (background scheduler vs inline) =="
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --certify-stall-free
+
+echo "== observer-effect regression, inline and with the scheduler enabled =="
+cargo test -q -p lsm-tree --test trace_spans -- observer_effect
+
 echo "== post-mortem smoke (fault-injected torture cycle -> bundle -> reader) =="
 pm_dir="$(mktemp -d)"
 trap 'rm -rf "$pm_dir"' EXIT

@@ -2,9 +2,14 @@
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the tiny subset of the parking_lot API it actually uses:
-//! `Mutex` and `RwLock` with non-poisoning `lock`/`read`/`write`.
-//! Poisoned std locks are recovered transparently (`into_inner`), which
-//! matches parking_lot's behaviour of not propagating panics.
+//! `Mutex` and `RwLock` with non-poisoning `lock`/`read`/`write`, and a
+//! `Condvar` with non-poisoning waits. Poisoned std locks are recovered
+//! transparently (`into_inner`), which matches parking_lot's behaviour of
+//! not propagating panics.
+//!
+//! One deliberate API deviation: since `MutexGuard` here is the std guard,
+//! `Condvar::wait` takes the guard by value and returns it (std style)
+//! instead of parking_lot's `&mut` signature.
 
 use std::sync;
 
@@ -49,6 +54,34 @@ impl<T: Default> Default for Mutex<T> {
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.0.fmt(f)
+    }
+}
+
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing `guard` while waiting. Std-style
+    /// signature (guard in, guard out); poisoning is swallowed.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
     }
 }
 
