@@ -5,29 +5,41 @@
 //! that violates the durability invariant, printing the seed so the cycle
 //! can be replayed under a debugger.
 //!
+//! `--scheduler=background` switches to the **concurrent** torture: M
+//! seeded writers over N shards interleaved with a simulated scheduler
+//! ([`lsm_tree::SimExecutor`]) and seeded group-commit fsyncs — the whole
+//! interleaving derives from the seed, so a failing cycle replays
+//! byte-for-byte. Recovery is checked with the per-shard durability
+//! history checker ([`lsm_tree::HistoryChecker`]) instead of the
+//! single-writer prefix check.
+//!
 //! With `--bundle-dir` every failing cycle also drops a post-mortem
 //! bundle (`lsm_crash_seed_<seed>.postmortem.json`) capturing the flight
-//! recorder, decision ledger, tree topology, and device wear at the point
-//! of failure; `--always-dump` bundles surviving cycles too (smoke tests
-//! use it to exercise the dump path without needing a real failure).
-//! Inspect a bundle with `lsm_postmortem <bundle.json>`.
+//! recorder, decision ledger, and — in concurrent mode — the scheduler
+//! state (job queue, backlogs, open group-commit rendezvous);
+//! `--always-dump` bundles surviving cycles too (smoke tests use it to
+//! exercise the dump path without needing a real failure). Inspect a
+//! bundle with `lsm_postmortem <bundle.json>`.
 //!
 //! ```text
 //! cargo run --release --bin lsm_crash -- [--seeds=200] [--seed-base=0] \
-//!     [--ops=400] [--verbose] [--bundle-dir=DIR] [--always-dump]
+//!     [--ops=400] [--verbose] [--bundle-dir=DIR] [--always-dump] \
+//!     [--scheduler=background] [--writers=3] [--shards=2]
 //! ```
 
 use std::path::PathBuf;
 
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Table};
-use lsm_tree::{run_crash_cycle, TortureConfig, TortureReport};
+use lsm_tree::{
+    run_concurrent_crash_cycle, run_crash_cycle, ConcurrentTortureConfig, ConcurrentTortureReport,
+    TortureConfig, TortureReport,
+};
 
 fn main() {
     let args = Args::from_env();
     let seeds: u64 = args.get_or("seeds", 200);
     let seed_base: u64 = args.get_or("seed-base", 0);
-    let ops: u64 = args.get_or("ops", 400);
     let verbose = args.get("verbose").is_some();
     let bundle_dir = args.get("bundle-dir").map(PathBuf::from);
     let always_dump = args.flag("always-dump");
@@ -35,7 +47,38 @@ fn main() {
         eprintln!("--always-dump needs --bundle-dir=DIR to say where bundles go");
         std::process::exit(2);
     }
+    match args.get("scheduler").unwrap_or("inline") {
+        "background" => concurrent(&args, seeds, seed_base, verbose, bundle_dir, always_dump),
+        "inline" => single(&args, seeds, seed_base, verbose, bundle_dir, always_dump),
+        other => {
+            eprintln!("unknown --scheduler={other} (expected inline or background)");
+            std::process::exit(2);
+        }
+    }
+}
 
+fn print_failure(e: &lsm_tree::TortureFailure, repro: &str) {
+    eprintln!("FAIL (seed {}): {e}", e.seed);
+    if let Some(bundle) = &e.bundle {
+        eprintln!(
+            "  post-mortem bundle: {} (inspect with: cargo run --release \
+             -p lsm-bench --bin lsm_postmortem -- {})",
+            bundle.display(),
+            bundle.display()
+        );
+    }
+    eprintln!("  reproduce: {repro}");
+}
+
+fn single(
+    args: &Args,
+    seeds: u64,
+    seed_base: u64,
+    verbose: bool,
+    bundle_dir: Option<PathBuf>,
+    always_dump: bool,
+) {
+    let ops: u64 = args.get_or("ops", 400);
     eprintln!("crash torture: {seeds} seeds from {seed_base}, up to {ops} requests each ...");
     let mut reports: Vec<TortureReport> = Vec::with_capacity(seeds as usize);
     let mut failures: Vec<String> = Vec::new();
@@ -60,18 +103,12 @@ fn main() {
                 reports.push(report);
             }
             Err(e) => {
-                eprintln!("FAIL (seed {seed}): {e}");
-                if let Some(bundle) = &e.bundle {
-                    eprintln!(
-                        "  post-mortem bundle: {} (inspect with: cargo run --release \
-                         -p lsm-bench --bin lsm_postmortem -- {})",
-                        bundle.display(),
-                        bundle.display()
-                    );
-                }
-                eprintln!(
-                    "  reproduce: cargo run --release -p lsm-bench --bin lsm_crash -- \
-                     --seeds=1 --seed-base={seed}"
+                print_failure(
+                    &e,
+                    &format!(
+                        "cargo run --release -p lsm-bench --bin lsm_crash -- \
+                         --seeds=1 --seed-base={seed}"
+                    ),
                 );
                 failures.push(format!("seed {seed}: {e}"));
             }
@@ -108,4 +145,87 @@ fn main() {
         std::process::exit(1);
     }
     println!("all {seeds} crash cycles recovered with the durability invariant intact.");
+}
+
+fn concurrent(
+    args: &Args,
+    seeds: u64,
+    seed_base: u64,
+    verbose: bool,
+    bundle_dir: Option<PathBuf>,
+    always_dump: bool,
+) {
+    let defaults = ConcurrentTortureConfig::for_seed(0);
+    let ops: u64 = args.get_or("ops", defaults.ops);
+    let writers: usize = args.get_or("writers", defaults.writers);
+    let shards: usize = args.get_or("shards", defaults.shards);
+    eprintln!(
+        "concurrent crash torture: {seeds} seeds from {seed_base}, {writers} writers \
+         over {shards} shards, up to {ops} requests each ..."
+    );
+    let mut reports: Vec<ConcurrentTortureReport> = Vec::with_capacity(seeds as usize);
+    let mut failures: Vec<String> = Vec::new();
+    for seed in seed_base..seed_base + seeds {
+        let mut cfg = ConcurrentTortureConfig::for_seed(seed);
+        cfg.ops = ops;
+        cfg.writers = writers;
+        cfg.shards = shards;
+        cfg.bundle_dir = bundle_dir.clone();
+        cfg.always_dump = always_dump;
+        match run_concurrent_crash_cycle(&cfg) {
+            Ok(report) => {
+                if verbose {
+                    eprintln!("{report:?}");
+                }
+                reports.push(report);
+            }
+            Err(e) => {
+                print_failure(
+                    &e,
+                    &format!(
+                        "cargo run --release -p lsm-bench --bin lsm_crash -- \
+                         --scheduler=background --writers={writers} --shards={shards} \
+                         --ops={ops} --seeds=1 --seed-base={seed}"
+                    ),
+                );
+                failures.push(format!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    let survived = reports.len() as u64;
+    let group = reports.iter().filter(|r| r.group_commit).count() as u64;
+    let mid_cuts = reports.iter().filter(|r| r.cut_mid_workload).count() as u64;
+    let avg = |sum: u64| if survived > 0 { sum as f64 / survived as f64 } else { 0.0 };
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["cycles run".into(), seeds.to_string()]);
+    table.row(["cycles survived".into(), survived.to_string()]);
+    table.row(["group-commit cycles".into(), group.to_string()]);
+    table.row(["cuts mid-workload".into(), mid_cuts.to_string()]);
+    table
+        .row(["avg requests issued".into(), fmt_f(avg(reports.iter().map(|r| r.issued).sum()), 1)]);
+    table.row(["avg requests acked".into(), fmt_f(avg(reports.iter().map(|r| r.acked).sum()), 1)]);
+    table.row([
+        "avg scheduler steps".into(),
+        fmt_f(avg(reports.iter().map(|r| r.sim_steps).sum()), 1),
+    ]);
+    table.row([
+        "avg group fsyncs".into(),
+        fmt_f(avg(reports.iter().map(|r| r.group_syncs).sum()), 1),
+    ]);
+    table.row([
+        "avg recovered keys".into(),
+        fmt_f(avg(reports.iter().map(|r| r.recovered_keys).sum()), 1),
+    ]);
+    table.print();
+
+    if !failures.is_empty() {
+        eprintln!("{} of {seeds} concurrent cycles violated durability:", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all {seeds} concurrent crash cycles recovered with the durability history intact.");
 }

@@ -206,6 +206,65 @@ fn print_tree(tree: &Json) {
     }
 }
 
+fn print_scheduler(sched: &Json) {
+    println!("\n=== scheduler ===");
+    if let Some(backend) = text(sched, "backend") {
+        println!("backend: {backend}");
+    } else {
+        let joined = |key: &str| {
+            let shards = items(sched, key);
+            if shards.is_empty() {
+                "-".to_string()
+            } else {
+                shards.iter().map(|s| as_u64(s).to_string()).collect::<Vec<_>>().join(", ")
+            }
+        };
+        println!(
+            "queued shards: [{}] | running: [{}] | requeue: [{}]",
+            joined("queued"),
+            joined("running"),
+            joined("requeue"),
+        );
+        println!(
+            "backlogs: [{}] (bound {}) | workers {} | shutdown {}",
+            joined("backlogs"),
+            num(sched, "max_imm_memtables"),
+            num(sched, "workers"),
+            matches!(field(sched, "shutdown"), Some(Json::Bool(true))),
+        );
+        if let Some(Json::Str(err)) = field(sched, "pending_err") {
+            println!("pending background error: {err}");
+        }
+        if let Some(steps) = field(sched, "sim_steps") {
+            if !matches!(steps, Json::Null) {
+                println!("simulated executor: {} maintenance steps taken", as_u64(steps));
+            }
+        }
+    }
+    let rendezvous = items(sched, "rendezvous");
+    if !rendezvous.is_empty() {
+        let mut t = Table::new([
+            "shard",
+            "synced seq",
+            "leader running",
+            "poisoned",
+            "wal appended",
+            "wal synced",
+        ]);
+        for r in rendezvous {
+            t.row([
+                num(r, "shard").to_string(),
+                num(r, "synced_seq").to_string(),
+                matches!(field(r, "leader_running"), Some(Json::Bool(true))).to_string(),
+                matches!(field(r, "poisoned"), Some(Json::Bool(true))).to_string(),
+                num(r, "wal_appended").to_string(),
+                num(r, "wal_synced").to_string(),
+            ]);
+        }
+        t.print();
+    }
+}
+
 fn print_wear(wear: &Json) {
     println!("\n=== device wear ===");
     println!(
@@ -277,6 +336,9 @@ fn main() {
     }
     if let Some(tree) = field(&doc, "tree") {
         print_tree(tree);
+    }
+    if let Some(sched) = field(&doc, "scheduler") {
+        print_scheduler(sched);
     }
     if let Some(wear) = field(&doc, "wear") {
         print_wear(wear);

@@ -34,6 +34,11 @@ pub enum LsmError {
         /// Inclusive `[min, max]` key ranges whose records may be lost.
         ranges: Vec<(Key, Key)>,
     },
+    /// The operation was rejected because the subsystem it needs (the merge
+    /// scheduler, usually) is shutting down. A writer stalled on
+    /// backpressure when the scheduler stops gets this instead of hanging
+    /// forever on a pool that will never drain its backlog.
+    Shutdown(String),
 }
 
 impl fmt::Display for LsmError {
@@ -54,6 +59,7 @@ impl fmt::Display for LsmError {
                 }
                 Ok(())
             }
+            LsmError::Shutdown(m) => write!(f, "shutting down: {m}"),
         }
     }
 }

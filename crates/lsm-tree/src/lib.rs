@@ -41,8 +41,10 @@ pub mod block;
 pub mod bloom;
 pub mod config;
 pub mod error;
+pub mod history;
 pub mod iter;
 pub mod level;
+pub mod lockorder;
 pub mod manifest;
 pub mod memtable;
 pub mod merge;
@@ -52,6 +54,7 @@ pub mod record;
 pub mod scheduler;
 pub mod sharded;
 pub mod shared;
+pub mod sim;
 pub mod stats;
 pub mod stepped;
 pub mod store;
@@ -67,6 +70,7 @@ pub use block::{BlockHandle, DataBlock};
 pub use bloom::BloomFilter;
 pub use config::{BackgroundPolicy, CommitMode, LsmConfig, Scheduler};
 pub use error::{LsmError, Result};
+pub use history::{AckStatus, HistoryChecker, HistoryRecord, HistoryViolation};
 pub use manifest::Manifest;
 pub use memtable::Memtable;
 pub use merge::{MergeEngine, MergeOutcome, MergeSource};
@@ -74,12 +78,16 @@ pub use policy::ledger::{Candidate, DecisionLedger, DecisionRow, LedgerTotals};
 pub use policy::{MergeChoice, MergePolicy, MixedParams, PolicySpec};
 pub use postmortem::PostMortem;
 pub use record::{Key, OpKind, Record, Request, RequestSource};
-pub use scheduler::MergeScheduler;
+pub use scheduler::{set_watchdog_timeout_ms, MergeScheduler, SchedulerBackend, SchedulerSnapshot};
 pub use sharded::ShardedLsmTree;
 pub use shared::SharedLsmTree;
+pub use sim::SimExecutor;
 pub use stats::{LevelStats, MergeKind, TreeStats};
 pub use stepped::SteppedMergeTree;
 pub use store::{RetryPolicy, Store};
-pub use torture::{run_crash_cycle, TortureConfig, TortureFailure, TortureReport};
+pub use torture::{
+    run_concurrent_crash_cycle, run_crash_cycle, ConcurrentTortureConfig, ConcurrentTortureReport,
+    TortureConfig, TortureFailure, TortureReport,
+};
 pub use tree::{LsmTree, TreeOptions, TreeOptionsBuilder};
-pub use wal::{DurableLsmTree, WriteAheadLog};
+pub use wal::{DurableLsmTree, WalFaultPlan, WriteAheadLog};

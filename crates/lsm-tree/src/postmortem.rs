@@ -239,6 +239,26 @@ pub fn validate_bundle(doc: &Json) -> Vec<String> {
             }
         }
     }
+    match get("scheduler") {
+        Some(Json::Obj(sched)) => {
+            let field = |key: &str| sched.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            if field("rendezvous").is_none() {
+                problems.push("scheduler section missing rendezvous".to_string());
+            }
+            // Inline (no background backend) dumps carry only the backend
+            // tag; a real backend snapshot must expose its queue state.
+            let inline = matches!(field("backend"), Some(Json::Str(s)) if s == "inline");
+            if !inline {
+                for key in ["queued", "running", "backlogs", "max_imm_memtables", "shutdown"] {
+                    if field(key).is_none() {
+                        problems.push(format!("scheduler section missing {key}"));
+                    }
+                }
+            }
+        }
+        Some(_) => problems.push("scheduler section is not an object".to_string()),
+        None => {}
+    }
     problems
 }
 

@@ -33,15 +33,130 @@
 //! deadlock-freedom argument.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use observe::{Event, SinkHandle};
+use observe::{Event, Json, SinkHandle};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::BackgroundPolicy;
 use crate::error::{LsmError, Result};
+use crate::lockorder;
+
+/// Watchdog budget for a hung [`MergeScheduler::drain`] or group-commit
+/// rendezvous, in milliseconds. When a wait exceeds it, the waiter panics
+/// with the scheduler's job queue in the message (and, when
+/// `LSM_WATCHDOG_BUNDLE_DIR` is set, in a post-mortem bundle) — a hang
+/// becomes a loud, debuggable failure instead of a stuck process.
+static WATCHDOG_MS: AtomicU64 = AtomicU64::new(60_000);
+
+/// Override the hang watchdog (tests use tiny budgets; `0` disables it).
+pub fn set_watchdog_timeout_ms(ms: u64) {
+    WATCHDOG_MS.store(ms, Ordering::Relaxed);
+}
+
+/// The current hang-watchdog budget, if enabled.
+pub fn watchdog_timeout() -> Option<Duration> {
+    match WATCHDOG_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    }
+}
+
+/// Convert a hung wait into a panic: writes a post-mortem bundle with the
+/// scheduler section when `LSM_WATCHDOG_BUNDLE_DIR` is set, then panics
+/// with the job-queue dump inline so the hang is diagnosable either way.
+pub(crate) fn watchdog_fire(context: &str, scheduler_section: Json) -> ! {
+    let rendered = scheduler_section.render();
+    if let Ok(dir) = std::env::var("LSM_WATCHDOG_BUNDLE_DIR") {
+        let path = std::path::Path::new(&dir).join("watchdog.postmortem.json");
+        let pm = crate::postmortem::PostMortem::new(&format!("watchdog: {context}"))
+            .error(&format!("{context} exceeded the hang watchdog"))
+            .section("scheduler", scheduler_section);
+        if pm.write_to(&path).is_ok() {
+            panic!("watchdog: {context} hung (scheduler state in {}): {rendered}", path.display());
+        }
+    }
+    panic!("watchdog: {context} hung; scheduler state: {rendered}");
+}
+
+/// A point-in-time dump of a scheduler's job queue — what the post-mortem
+/// `scheduler` section and the watchdog panic message are built from.
+/// Produced by [`SchedulerBackend::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    /// Shard ids queued for maintenance, in queue order (dedup'd).
+    pub queued: Vec<usize>,
+    /// Shards a worker is currently stepping (the in-flight jobs).
+    pub running: Vec<usize>,
+    /// Shards whose running worker will re-enqueue them on finish.
+    pub requeue: Vec<usize>,
+    /// Sealed-memtable backlog per shard.
+    pub backlogs: Vec<usize>,
+    /// The admission-control bound writers stall at.
+    pub max_imm_memtables: usize,
+    /// Worker threads (0 for the simulated executor).
+    pub workers: usize,
+    /// Whether shutdown has been requested.
+    pub shutdown: bool,
+    /// The first background maintenance error, if one is pending.
+    pub pending_err: Option<String>,
+    /// Interleaving steps executed so far (simulated executor only).
+    pub sim_steps: Option<u64>,
+}
+
+impl SchedulerSnapshot {
+    /// Render as the post-mortem `scheduler` section body.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("queued", Json::arr(self.queued.iter().map(|&s| Json::from(s)))),
+            ("running", Json::arr(self.running.iter().map(|&s| Json::from(s)))),
+            ("requeue", Json::arr(self.requeue.iter().map(|&s| Json::from(s)))),
+            ("backlogs", Json::arr(self.backlogs.iter().map(|&b| Json::from(b)))),
+            ("max_imm_memtables", Json::from(self.max_imm_memtables)),
+            ("workers", Json::from(self.workers)),
+            ("shutdown", Json::from(self.shutdown)),
+            ("pending_err", self.pending_err.as_deref().map(Json::from).unwrap_or(Json::Null)),
+            ("sim_steps", self.sim_steps.map(Json::from).unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+/// The scheduling interface the concurrent front-ends program against.
+/// Two implementations exist: [`MergeScheduler`] (a real worker pool,
+/// production) and [`crate::sim::SimExecutor`] (a single-threaded,
+/// seed-driven executor the concurrency-torture harness injects so every
+/// interleaving replays exactly from its seed).
+pub trait SchedulerBackend: Send + Sync {
+    /// Register a maintenance target, returning its shard id.
+    fn register(&self, target: Arc<dyn MaintainTarget>) -> usize;
+
+    /// Record `shard`'s backlog and enqueue it (dedup'd) for maintenance.
+    /// Callers must NOT hold the shard's tree lock.
+    fn notify(&self, shard: usize, backlog: usize);
+
+    /// Block (or, in the simulated executor, run maintenance steps) until
+    /// `shard`'s backlog drops below the admission bound. Errors with
+    /// [`LsmError::Shutdown`] instead of hanging when the scheduler shuts
+    /// down while the backlog is still full. Callers must NOT hold the
+    /// shard's tree lock.
+    fn wait_for_room(&self, shard: usize) -> Result<()>;
+
+    /// Run every target to quiescence, surfacing the first background
+    /// maintenance error.
+    fn drain(&self) -> Result<()>;
+
+    /// Take the first background maintenance error, if any.
+    fn take_error(&self) -> Option<LsmError>;
+
+    /// The admission-control bound (sealed memtables per shard).
+    fn max_imm_memtables(&self) -> usize;
+
+    /// Dump the job queue for post-mortems and watchdog panics.
+    fn snapshot(&self) -> SchedulerSnapshot;
+}
 
 /// Something the scheduler can run maintenance on — one shard's tree
 /// behind its own lock. Implementations hold a [`std::sync::Weak`]
@@ -146,6 +261,7 @@ impl MergeScheduler {
         // Probe before taking the state lock (lock-order rule), so
         // `wait_for_room` is honest from the moment of registration.
         let backlog = target.backlog();
+        lockorder::assert_no_tree_lock("MergeScheduler::register");
         let mut s = self.inner.state.lock();
         let id = s.targets.len();
         s.targets.push(target);
@@ -159,6 +275,7 @@ impl MergeScheduler {
     /// Tell the scheduler `shard` has pending work and a sealed-memtable
     /// backlog of `backlog`. Callers must NOT hold the shard's tree lock.
     pub fn notify(&self, shard: usize, backlog: usize) {
+        lockorder::assert_no_tree_lock("MergeScheduler::notify");
         let mut s = self.inner.state.lock();
         s.backlogs[shard].store(backlog, Ordering::Release);
         if !s.queued[shard] {
@@ -169,30 +286,46 @@ impl MergeScheduler {
     }
 
     /// Block until `shard`'s sealed-memtable backlog drops below
-    /// [`BackgroundPolicy::max_imm_memtables`] (or the scheduler shuts
-    /// down). Emits one [`Event::Backpressure`] per stall. Callers must
-    /// NOT hold the shard's tree lock — that lock is exactly what the
-    /// draining worker needs.
-    pub fn wait_for_room(&self, shard: usize) {
+    /// [`BackgroundPolicy::max_imm_memtables`]. Emits one
+    /// [`Event::Backpressure`] per stall. If the scheduler shuts down
+    /// while the backlog is still at the bound, returns
+    /// [`LsmError::Shutdown`] — a stalled writer must error out, never
+    /// hang on a pool that will not drain. Callers must NOT hold the
+    /// shard's tree lock — that lock is exactly what the draining worker
+    /// needs.
+    pub fn wait_for_room(&self, shard: usize) -> Result<()> {
+        lockorder::assert_no_tree_lock("MergeScheduler::wait_for_room");
         let max = self.inner.policy.max_imm_memtables.max(1);
         let mut s = self.inner.state.lock();
         let backlog = s.backlogs[shard].load(Ordering::Acquire);
         if backlog < max {
-            return;
+            return Ok(());
         }
         self.inner.sink.emit_with(|| Event::Backpressure { shard, backlog });
-        while s.backlogs[shard].load(Ordering::Acquire) >= max
-            && !self.inner.shutdown.load(Ordering::Acquire)
-        {
+        while s.backlogs[shard].load(Ordering::Acquire) >= max {
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return Err(LsmError::Shutdown(format!(
+                    "writer stalled at backlog {} on shard {shard} while the \
+                     merge scheduler shut down",
+                    s.backlogs[shard].load(Ordering::Acquire)
+                )));
+            }
             s = self.inner.room_cv.wait(s);
         }
+        Ok(())
     }
 
     /// Wait until every registered target is quiescent (no queued jobs, no
     /// running jobs, nothing pending on any tree), then surface the first
     /// background error if one occurred. Foreground writers should be
     /// paused while draining, or this may lawfully chase a moving target.
+    ///
+    /// A drain that makes no progress for the [`watchdog_timeout`] budget
+    /// panics with the job-queue dump (see [`set_watchdog_timeout_ms`]) —
+    /// the hung-rendezvous guardrail.
     pub fn drain(&self) -> Result<()> {
+        lockorder::assert_no_tree_lock("MergeScheduler::drain");
+        let mut waited = Duration::ZERO;
         loop {
             let targets: Vec<(usize, Arc<dyn MaintainTarget>)> = {
                 let s = self.inner.state.lock();
@@ -216,14 +349,45 @@ impl MergeScheduler {
                     None => Ok(()),
                 };
             }
-            let _s = self.inner.idle_cv.wait(s);
+            match watchdog_timeout() {
+                None => {
+                    let _s = self.inner.idle_cv.wait(s);
+                }
+                Some(budget) => {
+                    let slice = budget.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                    let (s, res) = self.inner.idle_cv.wait_timeout(s, slice);
+                    drop(s);
+                    waited = if res.timed_out() { waited + slice } else { Duration::ZERO };
+                    if waited >= budget {
+                        watchdog_fire("MergeScheduler::drain", self.snapshot().to_json());
+                    }
+                }
+            }
         }
     }
 
     /// Take the first background maintenance error, if any (also surfaced
     /// by [`MergeScheduler::drain`]).
     pub fn take_error(&self) -> Option<LsmError> {
+        lockorder::assert_no_tree_lock("MergeScheduler::take_error");
         self.inner.state.lock().pending_err.take()
+    }
+
+    /// Dump the job queue (see [`SchedulerSnapshot`]).
+    pub fn snapshot(&self) -> SchedulerSnapshot {
+        lockorder::assert_no_tree_lock("MergeScheduler::snapshot");
+        let s = self.inner.state.lock();
+        SchedulerSnapshot {
+            queued: s.queue.iter().copied().collect(),
+            running: (0..s.running.len()).filter(|&i| s.running[i]).collect(),
+            requeue: (0..s.requeue.len()).filter(|&i| s.requeue[i]).collect(),
+            backlogs: s.backlogs.iter().map(|b| b.load(Ordering::Acquire)).collect(),
+            max_imm_memtables: self.inner.policy.max_imm_memtables.max(1),
+            workers: self.inner.policy.workers.max(1),
+            shutdown: self.inner.shutdown.load(Ordering::Acquire),
+            pending_err: s.pending_err.as_ref().map(ToString::to_string),
+            sim_steps: None,
+        }
     }
 
     fn worker_loop(inner: &Arc<SchedInner>) {
@@ -308,6 +472,36 @@ impl MergeScheduler {
 impl Drop for MergeScheduler {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+impl SchedulerBackend for MergeScheduler {
+    fn register(&self, target: Arc<dyn MaintainTarget>) -> usize {
+        MergeScheduler::register(self, target)
+    }
+
+    fn notify(&self, shard: usize, backlog: usize) {
+        MergeScheduler::notify(self, shard, backlog);
+    }
+
+    fn wait_for_room(&self, shard: usize) -> Result<()> {
+        MergeScheduler::wait_for_room(self, shard)
+    }
+
+    fn drain(&self) -> Result<()> {
+        MergeScheduler::drain(self)
+    }
+
+    fn take_error(&self) -> Option<LsmError> {
+        MergeScheduler::take_error(self)
+    }
+
+    fn max_imm_memtables(&self) -> usize {
+        self.inner.policy.max_imm_memtables.max(1)
+    }
+
+    fn snapshot(&self) -> SchedulerSnapshot {
+        MergeScheduler::snapshot(self)
     }
 }
 
@@ -428,7 +622,7 @@ mod tests {
         let waiter = {
             let (sched, released) = (Arc::clone(&sched), Arc::clone(&released));
             std::thread::spawn(move || {
-                sched.wait_for_room(id);
+                sched.wait_for_room(id).unwrap();
                 released.store(true, Ordering::SeqCst);
             })
         };
@@ -439,6 +633,116 @@ mod tests {
         waiter.join().unwrap();
         assert!(released.load(Ordering::SeqCst));
         assert!(t.backlog() < 2);
+    }
+
+    /// Satellite contract: a writer stalled at the backlog bound while the
+    /// scheduler shuts down must error out, never hang. The gated target
+    /// never opens, so the backlog can only drop via... nothing — shutdown
+    /// is the writer's only way out.
+    #[test]
+    fn shutdown_errors_backpressured_writers_instead_of_hanging() {
+        let sched = Arc::new(MergeScheduler::new(
+            BackgroundPolicy { workers: 1, max_imm_memtables: 2 },
+            SinkHandle::none(),
+        ));
+        let t = Arc::new(GatedTarget {
+            open: Mutex::new(false),
+            gate_cv: parking_lot::Condvar::new(),
+            work: AtomicU64::new(3),
+        });
+        let id = sched.register(Arc::clone(&t) as Arc<dyn MaintainTarget>);
+        sched.notify(id, 3); // backlog 3 ≥ bound 2; worker blocks on the gate
+        let waiter = {
+            let sched = Arc::clone(&sched);
+            std::thread::spawn(move || sched.wait_for_room(id))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "writer must be stalled before shutdown");
+        // Open the gate so shutdown's drain can finish, then shut down:
+        // the stalled writer must return promptly with Shutdown.
+        sched.inner.shutdown.store(true, Ordering::Release);
+        {
+            let _s = sched.inner.state.lock();
+            sched.inner.room_cv.notify_all();
+        }
+        let res = waiter.join().unwrap();
+        assert!(
+            matches!(res, Err(LsmError::Shutdown(_))),
+            "stalled writer must surface Shutdown, got {res:?}"
+        );
+        *t.open.lock() = true; // unblock the worker so Drop can join it
+        t.gate_cv.notify_all();
+    }
+
+    #[test]
+    fn snapshot_reports_queue_and_backlogs() {
+        let sched = MergeScheduler::new(
+            BackgroundPolicy { workers: 1, max_imm_memtables: 3 },
+            SinkHandle::none(),
+        );
+        let t = Arc::new(GatedTarget {
+            open: Mutex::new(false),
+            gate_cv: parking_lot::Condvar::new(),
+            work: AtomicU64::new(2),
+        });
+        let id = sched.register(Arc::clone(&t) as Arc<dyn MaintainTarget>);
+        sched.notify(id, 2);
+        // Give the worker a moment to pick the job up (it blocks mid-step).
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let snap = sched.snapshot();
+        assert_eq!(snap.backlogs, vec![2]);
+        assert_eq!(snap.max_imm_memtables, 3);
+        assert_eq!(snap.workers, 1);
+        assert!(!snap.shutdown);
+        assert_eq!(snap.running, vec![id], "the gated job must show as in flight");
+        assert_eq!(snap.sim_steps, None);
+        // The JSON section carries every key the bundle validator checks.
+        let Json::Obj(pairs) = snap.to_json() else { panic!("snapshot not an object") };
+        for key in ["queued", "running", "backlogs", "max_imm_memtables", "shutdown"] {
+            assert!(pairs.iter().any(|(k, _)| k == key), "snapshot JSON missing {key}");
+        }
+        *t.open.lock() = true;
+        t.gate_cv.notify_all();
+        sched.drain().unwrap();
+    }
+
+    /// The drain watchdog turns a hang into a panic that names the
+    /// scheduler state. The gated worker never finishes its job, so drain
+    /// can never complete; with a tiny budget the panic must fire fast.
+    #[test]
+    fn drain_watchdog_panics_on_a_hung_job() {
+        let sched = Arc::new(MergeScheduler::new(
+            BackgroundPolicy { workers: 1, max_imm_memtables: 2 },
+            SinkHandle::none(),
+        ));
+        let t = Arc::new(GatedTarget {
+            open: Mutex::new(false),
+            gate_cv: parking_lot::Condvar::new(),
+            work: AtomicU64::new(1),
+        });
+        let id = sched.register(Arc::clone(&t) as Arc<dyn MaintainTarget>);
+        sched.notify(id, 1);
+        set_watchdog_timeout_ms(100);
+        let caught = {
+            let sched = Arc::clone(&sched);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || sched.drain()))
+        };
+        set_watchdog_timeout_ms(60_000);
+        let msg = match caught {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
+                .unwrap_or_default(),
+            Ok(r) => panic!("drain must not return from a hung job, got {r:?}"),
+        };
+        assert!(msg.contains("watchdog"), "panic names the watchdog: {msg}");
+        assert!(msg.contains("running"), "panic dumps the job queue: {msg}");
+        // Unblock the worker and leak the scheduler: Drop would join the
+        // worker thread, which is only now finishing.
+        *t.open.lock() = true;
+        t.gate_cv.notify_all();
+        sched.drain().unwrap();
     }
 
     #[test]

@@ -27,19 +27,21 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Weak};
+use std::time::Duration;
 
 use bytes::Bytes;
-use observe::{Event, EventSink, SinkHandle};
+use observe::{Event, EventSink, Json, SinkHandle};
 use parking_lot::{Condvar, Mutex, RwLock};
-use sim_ssd::BlockDevice;
+use sim_ssd::{BlockDevice, DeviceError};
 
 use crate::config::{CommitMode, LsmConfig};
 use crate::error::Result;
+use crate::lockorder;
 use crate::record::{Key, Request};
-use crate::scheduler::{MaintainTarget, MergeScheduler};
+use crate::scheduler::{MaintainTarget, MergeScheduler, SchedulerBackend};
 use crate::stats::TreeStats;
 use crate::tree::{LsmTree, TreeOptions};
-use crate::wal::WriteAheadLog;
+use crate::wal::{WalFaultPlan, WriteAheadLog};
 
 /// SplitMix64 finalizer — a fixed, high-quality 64→64 bit mixer. Routing
 /// must be deterministic across runs (WAL replay depends on it), so no
@@ -102,7 +104,11 @@ struct ShardTarget {
 impl MaintainTarget for ShardTarget {
     fn maintenance_step(&self) -> Result<bool> {
         match self.shards.upgrade() {
-            Some(shards) => shards[self.idx].write().tree.maintenance_step(),
+            Some(shards) => {
+                let mut guard = shards[self.idx].write();
+                let _tree_lock = lockorder::tree_lock_held();
+                guard.tree.maintenance_step()
+            }
             None => Ok(false),
         }
     }
@@ -132,6 +138,12 @@ struct GroupState {
     synced_seq: u64,
     /// A leader is currently fsyncing.
     leader_running: bool,
+    /// A leader's fsync failed. The WAL underneath is poisoned (see
+    /// [`WriteAheadLog::sync`]), so every rendezvous participant whose
+    /// offset is not already durable must error — a follower may never be
+    /// acked on the strength of an fsync that failed. Cleared only by
+    /// recovery (a fresh handle), mirroring the WAL's own poison.
+    poisoned: bool,
 }
 
 impl GroupCommit {
@@ -154,7 +166,7 @@ impl GroupCommit {
 pub struct ShardedLsmTree {
     // Declared before `shards` so the last clone drops (and drains) the
     // scheduler while the shard trees are still alive.
-    scheduler: Option<Arc<MergeScheduler>>,
+    scheduler: Option<Arc<dyn SchedulerBackend>>,
     shards: Arc<Vec<RwLock<Shard>>>,
     group: Arc<Vec<GroupCommit>>,
     commit: CommitMode,
@@ -222,7 +234,7 @@ impl ShardedLsmTree {
         Ok(this)
     }
 
-    fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    pub(crate) fn wal_path(dir: &Path, shard: usize) -> PathBuf {
         dir.join(format!("shard-{shard}.wal"))
     }
 
@@ -270,6 +282,25 @@ impl ShardedLsmTree {
         opts: TreeOptions,
         devices: Vec<Arc<dyn BlockDevice>>,
     ) -> Result<Self> {
+        Self::with_backend(cfg, opts, devices, None, None)
+    }
+
+    /// The full-control constructor: explicit devices, an optional WAL
+    /// directory, and an optional externally built [`SchedulerBackend`].
+    /// The concurrency-torture harness uses it to run shards over
+    /// [`sim_ssd::FaultDevice`]s with a [`crate::sim::SimExecutor`] making
+    /// every maintenance decision from a seed; passing `None` for
+    /// `scheduler` falls back to a [`MergeScheduler`] worker pool when the
+    /// tree options ask for one. An injected backend drives the write path
+    /// exactly as a worker pool would (seal-and-return, backpressure at
+    /// the bound) regardless of `opts.scheduler`.
+    pub fn with_backend(
+        cfg: LsmConfig,
+        opts: TreeOptions,
+        devices: Vec<Arc<dyn BlockDevice>>,
+        wal_dir: Option<&Path>,
+        scheduler: Option<Arc<dyn SchedulerBackend>>,
+    ) -> Result<Self> {
         let shards = devices.len();
         assert!(shards >= 1, "need at least one shard");
         let user_sink = opts.sink.clone();
@@ -283,18 +314,26 @@ impl ShardedLsmTree {
                 None => SinkHandle::none(),
             };
             let tree = LsmTree::new(shard_cfg.clone(), shard_opts, device)?;
-            vec.push(RwLock::new(Shard { tree, wal: None }));
+            let wal = match wal_dir {
+                Some(dir) => Some(WriteAheadLog::create(Self::wal_path(dir, i))?),
+                None => None,
+            };
+            vec.push(RwLock::new(Shard { tree, wal }));
         }
         let shards_arc = Arc::new(vec);
-        let scheduler = opts.scheduler.background_policy().map(|policy| {
-            let sched = Arc::new(MergeScheduler::new(policy, user_sink.clone()));
+        let scheduler: Option<Arc<dyn SchedulerBackend>> = scheduler.or_else(|| {
+            opts.scheduler.background_policy().map(|policy| {
+                Arc::new(MergeScheduler::new(policy, user_sink.clone()))
+                    as Arc<dyn SchedulerBackend>
+            })
+        });
+        if let Some(sched) = &scheduler {
             for idx in 0..shards {
                 let id = sched
                     .register(Arc::new(ShardTarget { shards: Arc::downgrade(&shards_arc), idx }));
                 debug_assert_eq!(id, idx, "scheduler ids follow shard order");
             }
-            sched
-        });
+        }
         let group = Arc::new((0..shards).map(|_| GroupCommit::new()).collect::<Vec<_>>());
         Ok(ShardedLsmTree {
             scheduler,
@@ -345,10 +384,11 @@ impl ShardedLsmTree {
         self.apply_routed(idx, req, true)
     }
 
-    /// The routed write path. `group_wait` is false only for
+    /// The routed write path. `group_wait` is false for
     /// [`WriteApi::write_batch`](crate::WriteApi), which defers the group
-    /// fsync to one rendezvous per batch.
-    fn apply_routed(&self, idx: usize, req: Request, group_wait: bool) -> Result<()> {
+    /// fsync to one rendezvous per batch, and for the concurrency-torture
+    /// harness, which acks group writes from its own seeded sync steps.
+    pub(crate) fn apply_routed(&self, idx: usize, req: Request, group_wait: bool) -> Result<()> {
         /// What happened under the shard lock.
         enum Applied {
             Done {
@@ -362,10 +402,10 @@ impl ShardedLsmTree {
         loop {
             let outcome = {
                 let mut guard = self.shards[idx].write();
+                let _tree_lock = lockorder::tree_lock_held();
                 let shard = &mut *guard;
                 let stall = self.scheduler.as_ref().is_some_and(|s| {
-                    shard.tree.mem_at_capacity()
-                        && shard.tree.imm_count() >= s.policy().max_imm_memtables.max(1)
+                    shard.tree.mem_at_capacity() && shard.tree.imm_count() >= s.max_imm_memtables()
                 });
                 if stall {
                     Applied::Stall(shard.tree.imm_count())
@@ -386,9 +426,16 @@ impl ShardedLsmTree {
                         self.sink.emit_with(|| Event::WalAppend { bytes, synced });
                     }
                     let mut sealed_backlog = None;
-                    if self.scheduler.is_some() {
+                    if let Some(s) = &self.scheduler {
                         shard.tree.apply_buffered(r)?;
-                        if shard.tree.mem_at_capacity() {
+                        // Seal only while the immutable queue has room;
+                        // otherwise leave the memtable at capacity so the
+                        // next write stalls at the admission check above —
+                        // sealing past the bound would grow the backlog
+                        // without ever exerting backpressure.
+                        if shard.tree.mem_at_capacity()
+                            && shard.tree.imm_count() < s.max_imm_memtables()
+                        {
                             shard.tree.seal_memtable();
                             sealed_backlog = Some(shard.tree.imm_count());
                         }
@@ -414,7 +461,7 @@ impl ShardedLsmTree {
                     let sched =
                         self.scheduler.as_ref().expect("stall only occurs in background mode");
                     sched.notify(idx, backlog);
-                    sched.wait_for_room(idx);
+                    sched.wait_for_room(idx)?;
                 }
             }
         }
@@ -423,21 +470,54 @@ impl ShardedLsmTree {
     /// Wait until WAL offset `my_seq` of `idx` is fsynced: become the
     /// leader (one fsync covers every append buffered so far) or ride on
     /// the current leader's fsync. Never called with the shard lock held.
+    ///
+    /// Failure contract: when a leader's fsync fails, *every* participant
+    /// whose offset is not already durable errors out — the leader with
+    /// the fsync error itself, followers with [`DeviceError::Poisoned`].
+    /// The WAL poisons itself on the failed fsync (see
+    /// [`WriteAheadLog::sync`]), so a follower retrying leadership would
+    /// only dress the same failure up as success-after-the-fact; instead
+    /// the rendezvous stays poisoned until recovery builds a fresh handle.
     fn group_commit_wait(&self, idx: usize, my_seq: u64) -> Result<()> {
+        lockorder::assert_no_tree_lock("ShardedLsmTree::group_commit_wait");
         let gc = &self.group[idx];
+        let mut waited = Duration::ZERO;
         let mut s = gc.state.lock();
         loop {
             if s.synced_seq >= my_seq {
                 return Ok(());
             }
+            if s.poisoned {
+                return Err(DeviceError::Poisoned.into());
+            }
             if s.leader_running {
-                s = gc.cv.wait(s);
+                // A follower stuck here past the watchdog budget means the
+                // rendezvous hung: panic with the scheduler state rather
+                // than wait forever (see `scheduler::set_watchdog_timeout_ms`).
+                match crate::scheduler::watchdog_timeout() {
+                    None => s = gc.cv.wait(s),
+                    Some(budget) => {
+                        let slice =
+                            budget.min(Duration::from_millis(50)).max(Duration::from_millis(1));
+                        let (guard, res) = gc.cv.wait_timeout(s, slice);
+                        s = guard;
+                        waited = if res.timed_out() { waited + slice } else { Duration::ZERO };
+                        if waited >= budget {
+                            drop(s);
+                            crate::scheduler::watchdog_fire(
+                                "group-commit rendezvous",
+                                self.scheduler_section_json(),
+                            );
+                        }
+                    }
+                }
                 continue;
             }
             s.leader_running = true;
             drop(s);
             let res = {
                 let mut guard = self.shards[idx].write();
+                let _tree_lock = lockorder::tree_lock_held();
                 match guard.wal.as_mut() {
                     Some(wal) => wal.sync().map(|()| wal.synced_len()),
                     // WAL vanished (no-WAL build): nothing to make durable.
@@ -452,10 +532,50 @@ impl ShardedLsmTree {
                     gc.cv.notify_all();
                 }
                 Err(e) => {
-                    // Let a follower take over leadership and retry.
+                    // Poison the rendezvous so every waiting (and future)
+                    // follower errors instead of retrying leadership
+                    // against a WAL that just poisoned itself.
+                    s.poisoned = true;
                     gc.cv.notify_all();
                     return Err(e);
                 }
+            }
+        }
+    }
+
+    /// One seeded group-sync step for the concurrency-torture harness:
+    /// unconditionally act as the group-commit leader for `idx` — fsync
+    /// the WAL, publish the new durable offset, wake any followers — and
+    /// return the offset now known durable. An fsync failure poisons the
+    /// rendezvous exactly like a leader failure in
+    /// [`ShardedLsmTree::group_commit_wait`].
+    pub fn group_sync_step(&self, idx: usize) -> Result<u64> {
+        let gc = &self.group[idx];
+        {
+            let s = gc.state.lock();
+            if s.poisoned {
+                return Err(DeviceError::Poisoned.into());
+            }
+        }
+        let res = {
+            let mut guard = self.shards[idx].write();
+            let _tree_lock = lockorder::tree_lock_held();
+            match guard.wal.as_mut() {
+                Some(wal) => wal.sync().map(|()| wal.synced_len()),
+                None => Ok(u64::MAX),
+            }
+        };
+        let mut s = gc.state.lock();
+        match res {
+            Ok(synced) => {
+                s.synced_seq = s.synced_seq.max(synced);
+                gc.cv.notify_all();
+                Ok(synced)
+            }
+            Err(e) => {
+                s.poisoned = true;
+                gc.cv.notify_all();
+                Err(e)
             }
         }
     }
@@ -530,6 +650,66 @@ impl ShardedLsmTree {
     /// economy metric (N writers sharing a leader's fsync count once).
     pub fn wal_fsyncs(&self) -> u64 {
         self.shards.iter().map(|s| s.read().wal.as_ref().map_or(0, WriteAheadLog::syncs)).sum()
+    }
+
+    /// Appended WAL length per shard, in bytes (0 without a WAL). In
+    /// group-commit mode this is the offset a just-applied request must
+    /// see durable before it may be acked.
+    pub fn wal_lens(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.read().wal.as_ref().map_or(0, WriteAheadLog::len_bytes))
+            .collect()
+    }
+
+    /// Crash-durable WAL length per shard, in bytes (0 without a WAL).
+    pub fn wal_synced_lens(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.read().wal.as_ref().map_or(0, WriteAheadLog::synced_len))
+            .collect()
+    }
+
+    /// Whether `shard`'s WAL is poisoned by a failed fsync (always false
+    /// without a WAL).
+    pub fn wal_poisoned(&self, shard: usize) -> bool {
+        self.shards[shard].read().wal.as_ref().is_some_and(WriteAheadLog::is_poisoned)
+    }
+
+    /// Arm deterministic fsync-fault injection on `shard`'s WAL (no-op
+    /// without a WAL). See [`WalFaultPlan`].
+    pub fn set_wal_fault_plan(&self, shard: usize, plan: WalFaultPlan, seed: u64) {
+        if let Some(wal) = self.shards[shard].write().wal.as_mut() {
+            wal.set_fault_plan(plan, seed);
+        }
+    }
+
+    /// The post-mortem `scheduler` section: the backend's job-queue
+    /// snapshot (queued/running/backlogs/...) plus one `rendezvous` entry
+    /// per shard describing the open group-commit state. Also what the
+    /// group-commit watchdog dumps when a rendezvous hangs.
+    pub fn scheduler_section_json(&self) -> Json {
+        let mut pairs = match self.scheduler.as_ref().map(|s| s.snapshot().to_json()) {
+            Some(Json::Obj(pairs)) => pairs,
+            _ => vec![("backend".to_string(), Json::from("inline"))],
+        };
+        let rendezvous = Json::arr(self.group.iter().enumerate().map(|(i, gc)| {
+            let (appended, synced) = {
+                let shard = self.shards[i].read();
+                shard.wal.as_ref().map_or((0, 0), |w| (w.len_bytes(), w.synced_len()))
+            };
+            let s = gc.state.lock();
+            Json::obj([
+                ("shard", Json::from(i)),
+                ("synced_seq", Json::from(s.synced_seq)),
+                ("leader_running", Json::from(s.leader_running)),
+                ("poisoned", Json::from(s.poisoned)),
+                ("wal_appended", Json::from(appended)),
+                ("wal_synced", Json::from(synced)),
+            ])
+        }));
+        pairs.push(("rendezvous".to_string(), rendezvous));
+        Json::Obj(pairs)
     }
 
     /// Drain everything pending: background flush/merge jobs (surfacing

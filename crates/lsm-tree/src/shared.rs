@@ -16,8 +16,9 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 
 use crate::error::Result;
+use crate::lockorder;
 use crate::record::{Key, Request};
-use crate::scheduler::{MaintainTarget, MergeScheduler};
+use crate::scheduler::{MaintainTarget, MergeScheduler, SchedulerBackend};
 use crate::stats::TreeStats;
 use crate::tree::LsmTree;
 
@@ -31,7 +32,11 @@ struct SharedTarget {
 impl MaintainTarget for SharedTarget {
     fn maintenance_step(&self) -> Result<bool> {
         match self.tree.upgrade() {
-            Some(t) => t.write().maintenance_step(),
+            Some(t) => {
+                let mut guard = t.write();
+                let _tree_lock = lockorder::tree_lock_held();
+                guard.maintenance_step()
+            }
             None => Ok(false),
         }
     }
@@ -59,7 +64,7 @@ impl MaintainTarget for SharedTarget {
 pub struct SharedLsmTree {
     // Declared before `inner` so the last clone drops the scheduler first:
     // shutdown drains every queued job while the tree is still alive.
-    scheduler: Option<Arc<MergeScheduler>>,
+    scheduler: Option<Arc<dyn SchedulerBackend>>,
     shard_id: usize,
     inner: Arc<RwLock<LsmTree>>,
 }
@@ -73,7 +78,7 @@ impl SharedLsmTree {
         let inner = Arc::new(RwLock::new(tree));
         let (scheduler, shard_id) = match spec.background_policy() {
             Some(policy) => {
-                let sched = Arc::new(MergeScheduler::new(policy, sink));
+                let sched: Arc<dyn SchedulerBackend> = Arc::new(MergeScheduler::new(policy, sink));
                 let id = sched.register(Arc::new(SharedTarget { tree: Arc::downgrade(&inner) }));
                 (Some(sched), id)
             }
@@ -98,7 +103,7 @@ impl SharedLsmTree {
         let Some(sched) = &self.scheduler else {
             return self.inner.write().apply(req);
         };
-        let max_imm = sched.policy().max_imm_memtables.max(1);
+        let max_imm = sched.max_imm_memtables();
         let mut req = Some(req);
         loop {
             // Admission control: the check holds the tree lock, the wait
@@ -106,12 +111,18 @@ impl SharedLsmTree {
             // that will unstall it.
             let outcome = {
                 let mut t = self.inner.write();
+                let _tree_lock = lockorder::tree_lock_held();
                 if t.mem_at_capacity() && t.imm_count() >= max_imm {
                     Err(t.imm_count())
                 } else {
                     t.apply_buffered(req.take().expect("request not yet applied"))?;
                     let mut sealed = None;
-                    if t.mem_at_capacity() {
+                    // Seal only while the immutable queue has room;
+                    // otherwise leave the memtable at capacity so the next
+                    // write stalls at the admission check above — sealing
+                    // past the bound would grow the backlog without ever
+                    // exerting backpressure.
+                    if t.mem_at_capacity() && t.imm_count() < max_imm {
                         t.seal_memtable();
                         sealed = Some(t.imm_count());
                     }
@@ -126,7 +137,7 @@ impl SharedLsmTree {
                 Ok(None) => return Ok(()),
                 Err(backlog) => {
                     sched.notify(self.shard_id, backlog);
-                    sched.wait_for_room(self.shard_id);
+                    sched.wait_for_room(self.shard_id)?;
                 }
             }
         }

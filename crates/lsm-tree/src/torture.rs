@@ -479,6 +479,475 @@ pub fn run_crash_cycle(cfg: &TortureConfig) -> Result<TortureReport, TortureFail
     })
 }
 
+// ======================================================================
+// Concurrent torture: M writers + simulated scheduler + faults under
+// concurrency + the durability/history checker.
+// ======================================================================
+
+/// Knobs of one *concurrent* crash-torture cycle over a
+/// [`ShardedLsmTree`](crate::ShardedLsmTree) driven by a
+/// [`SimExecutor`](crate::SimExecutor).
+/// [`ConcurrentTortureConfig::for_seed`] is the standard smoke shape.
+#[derive(Debug, Clone)]
+pub struct ConcurrentTortureConfig {
+    /// Seed for everything: writer workloads, interleaving choices, fault
+    /// plans, the crash point.
+    pub seed: u64,
+    /// Logical writers (each with its own seeded op stream).
+    pub writers: usize,
+    /// Shards of the tree under test.
+    pub shards: usize,
+    /// Writer requests to issue before the power cut is forced.
+    pub ops: u64,
+    /// Keys are drawn uniformly from `0..key_space`.
+    pub key_space: u64,
+    /// Per-read transient device error probability (retries absorb these).
+    pub read_error_rate: f64,
+    /// Per-write transient device error probability.
+    pub write_error_rate: f64,
+    /// Per-fsync WAL failure probability (these poison — see
+    /// [`crate::WalFaultPlan`]).
+    pub wal_sync_error_rate: f64,
+    /// Admission-control bound of the simulated executor.
+    pub max_imm_memtables: usize,
+    /// Requests applied to the recovered tree before the final deep check.
+    pub continue_ops: u64,
+    /// Where to write a post-mortem bundle on failure (or always, with
+    /// `always_dump`).
+    pub bundle_dir: Option<PathBuf>,
+    /// Dump a bundle even on success.
+    pub always_dump: bool,
+    /// Negative-test hook: mark group-commit writes as acknowledged at
+    /// append time, *before* any fsync covers them — the classic
+    /// ack-before-fsync bug. The history checker must reject cycles where
+    /// the crash eats an "acked" tail. Forces group-commit mode.
+    pub inject_ack_bug: bool,
+}
+
+impl ConcurrentTortureConfig {
+    /// The standard concurrent cycle for `seed`: 3 writers over 2 shards,
+    /// 120 requests, 128-key space, 2% WAL-fsync fault rate.
+    pub fn for_seed(seed: u64) -> Self {
+        ConcurrentTortureConfig {
+            seed,
+            writers: 3,
+            shards: 2,
+            ops: 120,
+            key_space: 128,
+            read_error_rate: 0.005,
+            write_error_rate: 0.005,
+            wal_sync_error_rate: 0.02,
+            max_imm_memtables: 2,
+            continue_ops: 40,
+            bundle_dir: None,
+            always_dump: false,
+            inject_ack_bug: false,
+        }
+    }
+}
+
+/// What one concurrent crash cycle did. `PartialEq` so the determinism
+/// suite can assert two same-seed runs agree field-for-field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentTortureReport {
+    /// The seed that produced this cycle.
+    pub seed: u64,
+    /// Writer requests issued before the crash (including a failed one).
+    pub issued: u64,
+    /// Requests acknowledged durable before the crash.
+    pub acked: u64,
+    /// Scheduler interleaving steps the simulated executor ran.
+    pub sim_steps: u64,
+    /// Seeded group-commit fsync steps that ran.
+    pub group_syncs: u64,
+    /// Whether this cycle drew group commit (vs per-request fsync).
+    pub group_commit: bool,
+    /// Whether a fault ended the workload early (vs the forced cut).
+    pub cut_mid_workload: bool,
+    /// Per shard: the history prefix the recovered state matched.
+    pub matched_prefixes: Vec<u64>,
+    /// Live keys recovered across all shards.
+    pub recovered_keys: u64,
+}
+
+/// Run one seeded *concurrent* crash cycle: M seeded writers interleaved
+/// with a [`SimExecutor`](crate::SimExecutor)'s maintenance steps and
+/// seeded group-commit fsyncs, over per-shard
+/// [`FaultDevice`]s and fsync-fault-armed WALs; then a power cut, WAL
+/// tail truncation, recovery, and the per-shard
+/// [`HistoryChecker`](crate::HistoryChecker) prefix-durability check plus
+/// the deep structural verifier.
+///
+/// Everything — the interleaving included — derives from `cfg.seed`, so a
+/// failing cycle replays byte-for-byte. Failures carry the seed and, when
+/// [`ConcurrentTortureConfig::bundle_dir`] is set, a post-mortem bundle
+/// with a `scheduler` section (job queue, backlogs, open group-commit
+/// rendezvous).
+pub fn run_concurrent_crash_cycle(
+    cfg: &ConcurrentTortureConfig,
+) -> Result<ConcurrentTortureReport, TortureFailure> {
+    use crate::config::CommitMode;
+    use crate::history::{AckStatus, HistoryChecker, HistoryRecord};
+    use crate::scheduler::SchedulerBackend;
+    use crate::sharded::ShardedLsmTree;
+    use crate::sim::SimExecutor;
+    use crate::wal::WalFaultPlan;
+
+    assert!(cfg.writers >= 1 && cfg.shards >= 1, "need at least one writer and shard");
+    let wal_dir =
+        std::env::temp_dir().join(format!("lsm-ctorture-{}-{}", std::process::id(), cfg.seed));
+    let cleanup = || {
+        std::fs::remove_dir_all(&wal_dir).ok();
+    };
+    cleanup();
+    std::fs::create_dir_all(&wal_dir).ok();
+
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xC04C_0441_57EE_DEAD);
+    let group_commit = cfg.inject_ack_bug || rng.chance(0.7);
+
+    // The black box, as in the single-writer harness: deterministic
+    // tracer → flight recorder, decision ledger shared by every shard.
+    let recorder = Arc::new(FlightRecorderSink::new(512));
+    let ledger = Arc::new(DecisionLedger::new(256));
+    let sink = SinkHandle::of(
+        Tracer::with_clock(Arc::new(TickClock::new()))
+            .trace_to(Arc::clone(&recorder) as Arc<dyn TraceSink>),
+    );
+
+    let dump = |reason: &str, error: Option<&str>, scheduler: Option<&Json>| -> Option<PathBuf> {
+        let dir = cfg.bundle_dir.as_deref()?;
+        let path = bundle_path(dir, cfg.seed);
+        let mut pm = PostMortem::new(reason)
+            .seed(cfg.seed)
+            .repro(&format!(
+                "cargo run --release -p lsm-bench --bin lsm_crash -- \
+                 --scheduler=background --writers={} --shards={} --seeds=1 --seed-base={}",
+                cfg.writers, cfg.shards, cfg.seed
+            ))
+            .flight(&recorder)
+            .ledger(&ledger);
+        if let Some(msg) = error {
+            pm = pm.error(msg);
+        }
+        if let Some(section) = scheduler {
+            pm = pm.section("scheduler", section.clone());
+        }
+        pm.write_to(&path).ok()?;
+        Some(path)
+    };
+    let fail = |msg: String, bundle: Option<PathBuf>| TortureFailure {
+        seed: cfg.seed,
+        message: msg,
+        bundle,
+    };
+
+    // Per-shard fault devices (seeded per shard) and the simulated
+    // scheduler that will make every maintenance decision.
+    let inners: Vec<Arc<MemDevice>> =
+        (0..cfg.shards).map(|_| Arc::new(MemDevice::with_block_size(1 << 14, 256))).collect();
+    let faults: Vec<Arc<FaultDevice>> = inners
+        .iter()
+        .enumerate()
+        .map(|(i, inner)| {
+            Arc::new(FaultDevice::new(
+                Arc::clone(inner) as Arc<dyn BlockDevice>,
+                cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        })
+        .collect();
+    let sim = Arc::new(SimExecutor::new(cfg.max_imm_memtables, cfg.seed, sink.clone()));
+
+    let opts = TreeOptions::builder()
+        .policy(PolicySpec::ChooseBest)
+        .retry(RetryPolicy { max_attempts: 4, base_backoff_us: 0 })
+        .group_commit(if group_commit { CommitMode::Group } else { CommitMode::PerRequest })
+        .sink(sink)
+        .ledger(Arc::clone(&ledger))
+        .build();
+    let tree = ShardedLsmTree::with_backend(
+        tiny_cfg(),
+        opts,
+        faults.iter().map(|f| Arc::clone(f) as Arc<dyn BlockDevice>).collect(),
+        Some(&wal_dir),
+        Some(Arc::clone(&sim) as Arc<dyn SchedulerBackend>),
+    )
+    .map_err(|e| {
+        let msg = format!("create failed: {e}");
+        let bundle = dump("concurrent torture failure: create", Some(&msg), None);
+        cleanup();
+        fail(msg, bundle)
+    })?;
+
+    // Arm faults only now, so creation itself cannot be cut. One seeded
+    // shard gets a scheduled device power cut (it fires inside a flush or
+    // merge, if maintenance reaches that op count); every shard's WAL gets
+    // the fsync fault rate; and a seeded "soft cut" may end the workload
+    // between two interleaving steps — the host dying with the devices
+    // intact.
+    let cut_shard = rng.gen_range(cfg.shards as u64) as usize;
+    let cut_at = faults[cut_shard].ops_issued() + 1 + rng.gen_range(cfg.ops / 2 + 1);
+    for (i, fault) in faults.iter().enumerate() {
+        let mut plan = FaultPlan::none()
+            .read_error_rate(cfg.read_error_rate)
+            .write_error_rate(cfg.write_error_rate);
+        if i == cut_shard {
+            plan = plan.power_cut_at(cut_at);
+        }
+        fault.set_plan(plan);
+    }
+    for i in 0..cfg.shards {
+        tree.set_wal_fault_plan(
+            i,
+            WalFaultPlan::none().sync_error_rate(cfg.wal_sync_error_rate),
+            cfg.seed ^ (i as u64).rotate_left(17),
+        );
+    }
+    let soft_cut_tick: Option<u64> = rng.chance(0.5).then(|| 1 + rng.gen_range(cfg.ops * 2));
+
+    // ------------------------------------------------------------------
+    // Phase 1: the interleaved workload. Every iteration makes one seeded
+    // choice: a writer op, a scheduler maintenance step, or a group-commit
+    // fsync step. The first fault (or the soft cut) ends the workload.
+    // ------------------------------------------------------------------
+    let mut writer_rngs: Vec<SplitMix64> = (0..cfg.writers)
+        .map(|w| SplitMix64::new(cfg.seed ^ (w as u64 + 1).wrapping_mul(0xB0B0_0000_CAFE_F00D)))
+        .collect();
+    let mut histories: Vec<HistoryChecker> =
+        (0..cfg.shards).map(|_| HistoryChecker::new()).collect();
+    // Per shard: (history index, WAL offset) of group writes awaiting an
+    // fsync that covers them.
+    let mut pending_group: Vec<Vec<(usize, u64)>> = vec![Vec::new(); cfg.shards];
+    let mut issued = 0u64;
+    let mut group_syncs = 0u64;
+    let mut cut_mid_workload = false;
+    let mut tick = 0u64;
+
+    while issued < cfg.ops {
+        tick += 1;
+        if soft_cut_tick == Some(tick) {
+            cut_mid_workload = true;
+            break;
+        }
+        let choice = rng.gen_range(cfg.writers as u64 + 3);
+        if choice < cfg.writers as u64 {
+            // One writer op.
+            let w = choice as usize;
+            let (key, value) = draw_op(&mut writer_rngs[w], cfg.key_space);
+            let idx = tree.shard_of(key);
+            let req = to_request(&(key, value.clone()));
+            issued += 1;
+            match tree.apply_routed(idx, req, false) {
+                Ok(()) => {
+                    let status = if !group_commit || cfg.inject_ack_bug {
+                        // PerRequest fsyncs inline before returning; the
+                        // injected bug acks group writes here, unsynced.
+                        AckStatus::Acked
+                    } else {
+                        AckStatus::Pending
+                    };
+                    let rec =
+                        histories[idx].append(HistoryRecord { writer: w, key, value, status });
+                    if group_commit && !cfg.inject_ack_bug {
+                        let seq = tree.wal_lens()[idx];
+                        pending_group[idx].push((rec, seq));
+                    }
+                }
+                Err(_) => {
+                    // The append may still have reached the log (e.g. an
+                    // fsync that failed after the bytes hit the file), so
+                    // it stays in the history as a Failed record.
+                    histories[idx].append(HistoryRecord {
+                        writer: w,
+                        key,
+                        value,
+                        status: AckStatus::Failed,
+                    });
+                    cut_mid_workload = true;
+                    break;
+                }
+            }
+        } else if choice < cfg.writers as u64 + 2 || !group_commit {
+            // One scheduler maintenance step.
+            if sim.step().is_err() {
+                cut_mid_workload = true;
+                break;
+            }
+        } else {
+            // One group-commit fsync step on a seeded shard: everything
+            // appended so far becomes durable (and acked), or the fsync
+            // fails and poisons the shard's WAL and rendezvous.
+            let s = rng.gen_range(cfg.shards as u64) as usize;
+            match tree.group_sync_step(s) {
+                Ok(synced) => {
+                    group_syncs += 1;
+                    pending_group[s].retain(|&(rec, seq)| {
+                        if seq <= synced {
+                            histories[s].set_status(rec, AckStatus::Acked);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                Err(_) => {
+                    cut_mid_workload = true;
+                    break;
+                }
+            }
+        }
+    }
+    if !cut_mid_workload {
+        for fault in &faults {
+            fault.power_cut();
+        }
+    }
+    let sim_steps = sim.steps_taken();
+    let acked =
+        histories.iter().flat_map(|h| h.records()).filter(|r| r.status == AckStatus::Acked).count()
+            as u64;
+
+    // ------------------------------------------------------------------
+    // Phase 2: the host dies. Snapshot the scheduler section first (the
+    // bundle's forensic view of the job queue and open rendezvous), then
+    // leak the tree and truncate each WAL to its synced length plus a
+    // seeded slice of the flushed-but-unsynced tail.
+    // ------------------------------------------------------------------
+    let sched_section = cfg.bundle_dir.is_some().then(|| tree.scheduler_section_json());
+    let wal_synced = tree.wal_synced_lens();
+    std::mem::forget(tree);
+    for (i, &synced) in wal_synced.iter().enumerate() {
+        let path = ShardedLsmTree::wal_path(&wal_dir, i);
+        let on_disk = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let tail = on_disk.saturating_sub(synced);
+        let keep = synced + if tail > 0 { rng.gen_range(tail + 1) } else { 0 };
+        if keep < on_disk {
+            let truncate =
+                std::fs::OpenOptions::new().write(true).open(&path).and_then(|f| f.set_len(keep));
+            if let Err(e) = truncate {
+                let msg = format!("wal truncate failed for shard {i}: {e}");
+                let bundle = dump(
+                    "concurrent torture failure: wal truncate",
+                    Some(&msg),
+                    sched_section.as_ref(),
+                );
+                cleanup();
+                return Err(fail(msg, bundle));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: recover (WAL-only: fresh shards, full replay of each
+    // intact prefix) and check per-shard prefix durability against the
+    // recorded histories.
+    // ------------------------------------------------------------------
+    let r_opts = TreeOptions::builder()
+        .policy(PolicySpec::ChooseBest)
+        .retry(RetryPolicy { max_attempts: 4, base_backoff_us: 0 })
+        .build();
+    let recovered =
+        ShardedLsmTree::recover_with_wal(tiny_cfg(), r_opts, cfg.shards, 1 << 14, &wal_dir)
+            .map_err(|e| {
+                let msg = format!("recovery failed: {e}");
+                let bundle = dump(
+                    "concurrent torture failure: recovery",
+                    Some(&msg),
+                    sched_section.as_ref(),
+                );
+                cleanup();
+                fail(msg, bundle)
+            })?;
+
+    let mut matched_prefixes = Vec::with_capacity(cfg.shards);
+    let mut recovered_keys = 0u64;
+    for (i, history) in histories.iter().enumerate() {
+        let contents: HashMap<u64, Vec<u8>> = recovered
+            .with_shard_read(i, |t| {
+                t.scan(0, u64::MAX)
+                    .map(|r| r.map(|(k, v)| (k, v.to_vec())))
+                    .collect::<crate::error::Result<_>>()
+            })
+            .map_err(|e| {
+                let msg = format!("scan of recovered shard {i} failed: {e}");
+                let bundle = dump(
+                    "concurrent torture failure: recovered scan",
+                    Some(&msg),
+                    sched_section.as_ref(),
+                );
+                cleanup();
+                fail(msg, bundle)
+            })?;
+        recovered_keys += contents.len() as u64;
+        match history.check(&contents) {
+            Ok(prefix) => matched_prefixes.push(prefix as u64),
+            Err(violation) => {
+                let msg = format!(
+                    "durability history violation on shard {i}: {violation} \
+                     ({} recovered keys, {} acked of {} issued)",
+                    contents.len(),
+                    acked,
+                    issued
+                );
+                let bundle = dump(
+                    "concurrent torture failure: durability history",
+                    Some(&msg),
+                    sched_section.as_ref(),
+                );
+                cleanup();
+                return Err(fail(msg, bundle));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: life goes on — the recovered tree takes new writes, then
+    // passes the deep structural check on every shard.
+    // ------------------------------------------------------------------
+    for i in 0..cfg.continue_ops {
+        let op = draw_op(&mut rng, cfg.key_space);
+        recovered.apply(to_request(&op)).map_err(|e| {
+            let msg = format!("continuation op {i} failed: {e}");
+            let bundle = dump(
+                "concurrent torture failure: continuation",
+                Some(&msg),
+                sched_section.as_ref(),
+            );
+            cleanup();
+            fail(msg, bundle)
+        })?;
+    }
+    if let Err(e) = recovered.flush() {
+        let msg = format!("post-recovery flush failed: {e}");
+        let bundle = dump("concurrent torture failure: flush", Some(&msg), sched_section.as_ref());
+        cleanup();
+        return Err(fail(msg, bundle));
+    }
+    if let Err(e) = recovered.deep_verify(true) {
+        let msg = format!("deep check after recovery failed: {e}");
+        let bundle =
+            dump("concurrent torture failure: deep check", Some(&msg), sched_section.as_ref());
+        cleanup();
+        return Err(fail(msg, bundle));
+    }
+
+    if cfg.always_dump {
+        dump("explicit dump", None, sched_section.as_ref());
+    }
+    drop(recovered);
+    cleanup();
+    Ok(ConcurrentTortureReport {
+        seed: cfg.seed,
+        issued,
+        acked,
+        sim_steps,
+        group_syncs,
+        group_commit,
+        cut_mid_workload,
+        matched_prefixes,
+        recovered_keys,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,11 +24,45 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use sim_ssd::{BlockDevice, DeviceError};
+use sim_ssd::{BlockDevice, DeviceError, FaultKind, SplitMix64};
 
 use crate::error::Result;
 use crate::record::{Key, Request};
 use crate::tree::{LsmTree, TreeOptions};
+
+/// Seeded fault injection for [`WriteAheadLog::sync`], mirroring
+/// [`sim_ssd::FaultPlan`] for the one durability primitive the WAL owns:
+/// the fsync. An injected failure fires *before* the real `sync_data`, so
+/// the appended bytes stay in an unknown durable state — exactly the
+/// situation that makes retrying an fsync unsound — and the log is
+/// poisoned until re-opened, like [`sim_ssd::FileDevice`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalFaultPlan {
+    /// Per-sync failure probability.
+    pub sync_error_rate: f64,
+    /// Deterministically fail the nth sync attempt (0-based, counted over
+    /// attempts that actually reach the fsync, not no-ops).
+    pub fail_sync_at: Option<u64>,
+}
+
+impl WalFaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        WalFaultPlan::default()
+    }
+
+    /// Fail each sync attempt with probability `p`.
+    pub fn sync_error_rate(mut self, p: f64) -> Self {
+        self.sync_error_rate = p;
+        self
+    }
+
+    /// Fail exactly the `nth` sync attempt (0-based).
+    pub fn fail_sync_at(mut self, nth: u64) -> Self {
+        self.fail_sync_at = Some(nth);
+        self
+    }
+}
 
 fn fnv1a32(data: &[u8]) -> u32 {
     let mut hash: u32 = 0x811c_9dc5;
@@ -55,6 +89,15 @@ pub struct WriteAheadLog {
     /// the denominator of the group-commit economy: N writers sharing one
     /// fsync show up here as 1, not N.
     syncs: u64,
+    /// Sync attempts that reached the fsync path (successful or injected),
+    /// the ordinal [`WalFaultPlan::fail_sync_at`] counts against.
+    sync_attempts: u64,
+    /// A sync failed; every later append/sync fails until re-open. Retrying
+    /// a failed fsync is unsound (the kernel may have dropped the dirty
+    /// pages), so the log refuses to pretend otherwise.
+    poisoned: bool,
+    /// Injected-fault plan plus its seeded RNG, when installed.
+    fault: Option<(WalFaultPlan, SplitMix64)>,
 }
 
 impl WriteAheadLog {
@@ -73,7 +116,28 @@ impl WriteAheadLog {
             len: 0,
             synced_len: 0,
             syncs: 0,
+            sync_attempts: 0,
+            poisoned: false,
+            fault: None,
         })
+    }
+
+    /// Install a seeded fsync fault plan (crash-torture harnesses). The
+    /// plan survives truncation but not re-open.
+    pub fn set_fault_plan(&mut self, plan: WalFaultPlan, seed: u64) {
+        self.fault = Some((plan, SplitMix64::new(seed ^ 0x57A1_F5C4_0DD5_EED5)));
+    }
+
+    /// Whether a failed sync has poisoned the log (re-open to clear).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(DeviceError::Poisoned.into());
+        }
+        Ok(())
     }
 
     /// Read every intact frame of the log at `path` (stopping at the
@@ -157,6 +221,7 @@ impl WriteAheadLog {
     /// it crash-durable). Returns the number of bytes appended, framing
     /// included.
     pub fn append(&mut self, req: &Request) -> Result<usize> {
+        self.check_poisoned()?;
         let payload = Self::encode_request(req);
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())
@@ -171,11 +236,31 @@ impl WriteAheadLog {
     /// Flush and fsync. A no-op (no fsync issued or counted) when
     /// everything appended is already durable.
     pub fn sync(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         if self.synced_len == self.len {
             return Ok(());
         }
+        // Flush userspace buffers first: an injected fsync failure models
+        // the kernel losing dirty pages, not the process losing its own
+        // buffer, so the bytes must be on the file (torn-tail material).
         self.writer.flush().map_err(DeviceError::Io)?;
-        self.writer.get_ref().sync_data().map_err(DeviceError::Io)?;
+        let attempt = self.sync_attempts;
+        self.sync_attempts += 1;
+        let injected = match &mut self.fault {
+            Some((plan, rng)) => {
+                plan.fail_sync_at == Some(attempt)
+                    || (plan.sync_error_rate > 0.0 && rng.chance(plan.sync_error_rate))
+            }
+            None => false,
+        };
+        if injected {
+            self.poisoned = true;
+            return Err(DeviceError::Injected { kind: FaultKind::Sync, op: attempt }.into());
+        }
+        if let Err(e) = self.writer.get_ref().sync_data() {
+            self.poisoned = true;
+            return Err(DeviceError::Io(e).into());
+        }
         self.synced_len = self.len;
         self.syncs += 1;
         Ok(())
@@ -183,6 +268,7 @@ impl WriteAheadLog {
 
     /// Discard everything (after a checkpoint made it redundant).
     pub fn truncate(&mut self) -> Result<()> {
+        self.check_poisoned()?;
         self.writer.flush().map_err(DeviceError::Io)?;
         self.writer.get_ref().set_len(0).map_err(DeviceError::Io)?;
         let file = OpenOptions::new().write(true).open(&self.path).map_err(DeviceError::Io)?;

@@ -17,6 +17,12 @@ cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=64
 # Full soak (thousands of seeds), not part of the gate:
 #   cargo test --release --test crash_torture -- --ignored
 
+echo "== concurrent crash-torture smoke (100 seeded writer/scheduler interleavings) =="
+cargo run --release -q -p lsm-bench --bin lsm_crash -- --scheduler=background \
+    --writers=3 --shards=2 --seeds=100
+# Longer soak (more seeds, longer histories), not part of the gate:
+#   cargo test --release -p lsm-tree --test concurrent_torture -- --ignored
+
 echo "== sharded front-end throughput smoke =="
 cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke
 

@@ -70,6 +70,23 @@ impl Condvar {
         self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Block until notified or `timeout` elapses (std-style signature;
+    /// poisoning is swallowed). Watchdog-style callers use the result to
+    /// tell progress from a hang.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((g, r)) => (g, WaitTimeoutResult(r.timed_out())),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, WaitTimeoutResult(r.timed_out()))
+            }
+        }
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
@@ -82,6 +99,18 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because the timeout
+/// elapsed rather than a notification.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
