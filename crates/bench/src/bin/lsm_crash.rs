@@ -24,8 +24,14 @@
 //! ```text
 //! cargo run --release --bin lsm_crash -- [--seeds=200] [--seed-base=0] \
 //!     [--ops=400] [--verbose] [--bundle-dir=DIR] [--always-dump] \
+//!     [--backend=mem|file] \
 //!     [--scheduler=background] [--writers=3] [--shards=2]
 //! ```
+//!
+//! `--backend=file` (inline scheduler only) runs every cycle over a
+//! fault-wrapped [`sim_ssd::FileDevice`] in the temp dir instead of memory
+//! frames: the power cut discards the fault overlay's unsynced writes and
+//! recovery reads the real file image back.
 
 use std::path::PathBuf;
 
@@ -33,7 +39,7 @@ use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Table};
 use lsm_tree::{
     run_concurrent_crash_cycle, run_crash_cycle, ConcurrentTortureConfig, ConcurrentTortureReport,
-    TortureConfig, TortureReport,
+    TortureBackend, TortureConfig, TortureReport,
 };
 
 fn main() {
@@ -79,12 +85,25 @@ fn single(
     always_dump: bool,
 ) {
     let ops: u64 = args.get_or("ops", 400);
-    eprintln!("crash torture: {seeds} seeds from {seed_base}, up to {ops} requests each ...");
+    let backend = match args.get_or::<String>("backend", "mem".into()).as_str() {
+        "mem" => TortureBackend::Mem,
+        "file" => TortureBackend::File,
+        other => {
+            eprintln!("unknown --backend={other} (expected mem|file)");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "crash torture: {seeds} seeds from {seed_base}, up to {ops} requests each \
+         ({} backend) ...",
+        if backend == TortureBackend::File { "file" } else { "mem" }
+    );
     let mut reports: Vec<TortureReport> = Vec::with_capacity(seeds as usize);
     let mut failures: Vec<String> = Vec::new();
     for seed in seed_base..seed_base + seeds {
         let mut cfg = TortureConfig::for_seed(seed);
         cfg.ops = ops;
+        cfg.backend = backend;
         cfg.bundle_dir = bundle_dir.clone();
         cfg.always_dump = always_dump;
         match run_crash_cycle(&cfg) {
@@ -103,11 +122,15 @@ fn single(
                 reports.push(report);
             }
             Err(e) => {
+                let backend_arg = match backend {
+                    TortureBackend::File => " --backend=file",
+                    TortureBackend::Mem => "",
+                };
                 print_failure(
                     &e,
                     &format!(
                         "cargo run --release -p lsm-bench --bin lsm_crash -- \
-                         --seeds=1 --seed-base={seed}"
+                         --seeds=1 --seed-base={seed}{backend_arg}"
                     ),
                 );
                 failures.push(format!("seed {seed}: {e}"));

@@ -7,8 +7,16 @@
 //! cargo run --release --bin lsm_doctor -- [--policy=choosebest|full|rr|testmixed] \
 //!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path] \
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv] \
-//!     [--series-every=1000] [--tick-clock] [--ledger]
+//!     [--series-every=1000] [--tick-clock] [--ledger] \
+//!     [--check-fileio=BENCH_fileio.json]
 //! ```
+//!
+//! `--check-fileio=PATH` skips the doctor workload and instead validates a
+//! `BENCH_fileio.json` report written by the `lsm_fileio` bench: schema
+//! (both cells present with every counter), conservation (both cells moved
+//! identical blocks), and the batching claim itself (the batched cell must
+//! have issued strictly fewer syscalls). Exits non-zero on any violation,
+//! so CI can gate on a committed report staying honest.
 //!
 //! `--ledger` attaches a [`DecisionLedger`] to the tree: every merge
 //! decision is recorded with its full candidate set and reconciled against
@@ -16,6 +24,7 @@
 //! the per-level predicted-vs-actual table with the policy's cumulative
 //! regret against the best candidate in hindsight.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lsm_bench::report::{fmt_f, merged_json};
@@ -25,8 +34,119 @@ use lsm_tree::{DecisionLedger, LsmTree, PolicySpec, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, MemDevice};
 use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
 
+/// Field of an object, if it is one.
+fn field<'a>(v: &'a Json, key: &str) -> Option<&'a Json> {
+    match v {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Numeric value of any JSON number variant.
+fn num(v: &Json) -> Option<f64> {
+    match v {
+        Json::U64(n) => Some(*n as f64),
+        Json::I64(n) => Some(*n as f64),
+        Json::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Validate a `BENCH_fileio.json` report; returns every violation found.
+fn check_fileio(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    match field(doc, "experiment") {
+        Some(Json::Str(s)) if s == "lsm_fileio" => {}
+        other => errs.push(format!("experiment must be \"lsm_fileio\", got {other:?}")),
+    }
+    for key in ["records", "block_size", "payload_size", "pread_reduction", "pwrite_reduction"] {
+        if field(doc, key).and_then(num).is_none() {
+            errs.push(format!("missing or non-numeric field {key:?}"));
+        }
+    }
+    if !matches!(field(doc, "direct"), Some(Json::Bool(_))) {
+        errs.push("missing boolean field \"direct\"".into());
+    }
+    let cells = match field(doc, "cells") {
+        Some(Json::Arr(cells)) if cells.len() == 2 => cells,
+        _ => {
+            errs.push("\"cells\" must be an array of exactly 2 cells".into());
+            return errs;
+        }
+    };
+    let mut by_mode = BTreeMap::new();
+    for cell in cells {
+        let mode = match field(cell, "mode") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => {
+                errs.push("cell missing string field \"mode\"".into());
+                continue;
+            }
+        };
+        let mut counters = BTreeMap::new();
+        for key in [
+            "elapsed_ms",
+            "put_kops",
+            "blocks_read",
+            "blocks_written",
+            "preads",
+            "pwrites",
+            "blocks_per_pread",
+            "blocks_per_pwrite",
+        ] {
+            match field(cell, key).and_then(num) {
+                Some(v) => {
+                    counters.insert(key, v);
+                }
+                None => errs.push(format!("cell {mode:?}: missing or non-numeric {key:?}")),
+            }
+        }
+        by_mode.insert(mode, counters);
+    }
+    let (Some(unb), Some(bat)) = (by_mode.get("unbatched"), by_mode.get("batched")) else {
+        errs.push("cells must cover modes \"unbatched\" and \"batched\"".into());
+        return errs;
+    };
+    for key in ["blocks_read", "blocks_written"] {
+        if unb.get(key) != bat.get(key) {
+            errs.push(format!(
+                "conservation: {key} differs between cells ({:?} vs {:?})",
+                unb.get(key),
+                bat.get(key)
+            ));
+        }
+    }
+    for key in ["preads", "pwrites"] {
+        if let (Some(u), Some(b)) = (unb.get(key), bat.get(key)) {
+            if b >= u {
+                errs.push(format!("batched cell must issue fewer {key} ({b} vs {u})"));
+            }
+        }
+    }
+    errs
+}
+
 fn main() {
     let args = Args::from_env();
+    if let Some(path) = args.get("check-fileio") {
+        let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        let errs = check_fileio(&doc);
+        if errs.is_empty() {
+            println!("{path}: valid lsm_fileio report (batched cell issues fewer syscalls).");
+            std::process::exit(0);
+        }
+        for e in &errs {
+            eprintln!("{path}: {e}");
+        }
+        std::process::exit(1);
+    }
     let size_mb: u64 = args.get_or("size-mb", 20);
     let seed: u64 = args.get_or("seed", 1);
     let policy_str = args.get("policy").unwrap_or("choosebest").to_string();

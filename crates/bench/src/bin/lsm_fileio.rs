@@ -1,0 +1,247 @@
+//! File-backend batching: syscalls per block moved, batched vs one-at-a-time.
+//!
+//! The batched [`FileDevice`] coalesces runs of adjacent block ids into
+//! single vectored pread/pwrite calls (`read_many` / `write_many`), and the
+//! merge and flush paths hand it whole runs at a time. This bench measures
+//! what that buys on a real file: the same insert-only workload runs twice
+//! on identical file devices —
+//!
+//! * **unbatched** — the device is wrapped in a forwarding shim that hides
+//!   the batched entry points, so every multi-block operation falls back to
+//!   the trait's default block-at-a-time loop (exactly the pre-batching
+//!   code path);
+//! * **batched** — the bare device, coalescing enabled.
+//!
+//! Both cells perform identical *logical* I/O (same blocks read and
+//! written, asserted), so the difference in `FileSyscalls` is purely the
+//! coalescing win. Results land in `BENCH_fileio.json` at the working
+//! directory root (`lsm_doctor --check-fileio=PATH` validates the schema).
+//!
+//! ```text
+//! cargo run --release --bin lsm_fileio -- [--smoke] [--records=200000]
+//!     [--payload=100] [--block-size=4096] [--seed=1] [--direct]
+//!     [--out=BENCH_fileio.json]
+//! ```
+//!
+//! `--direct` opens the devices with O_DIRECT when the filesystem supports
+//! it (probed first; falls back to buffered with a warning otherwise).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use lsm_bench::report::fmt_f;
+use lsm_bench::{Args, Table};
+use lsm_tree::observe::Json;
+use lsm_tree::{LsmConfig, LsmTree, PolicySpec, TreeOptions};
+use sim_ssd::{
+    BlockDevice, BlockId, FileDevice, FileDeviceOptions, FileSyscalls, IoSnapshot, Result,
+};
+use workloads::{run_requests, InsertRatio, Uniform};
+
+/// Forwarding shim that deliberately does NOT override `read_many` /
+/// `write_many`: multi-block operations inherit the trait's default
+/// one-syscall-per-block loop, reproducing the pre-batching behaviour on
+/// the very same device implementation.
+struct UnbatchedDevice(Arc<FileDevice>);
+
+impl BlockDevice for UnbatchedDevice {
+    fn block_size(&self) -> usize {
+        self.0.block_size()
+    }
+    fn capacity(&self) -> u64 {
+        self.0.capacity()
+    }
+    fn read(&self, id: BlockId) -> Result<Bytes> {
+        self.0.read(id)
+    }
+    fn write(&self, id: BlockId, frame: &[u8]) -> Result<()> {
+        self.0.write(id, frame)
+    }
+    fn trim(&self, id: BlockId) -> Result<()> {
+        self.0.trim(id)
+    }
+    fn sync(&self) -> Result<()> {
+        self.0.sync()
+    }
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.0.io_snapshot()
+    }
+    fn set_sink(&self, sink: observe::SinkHandle) {
+        self.0.set_sink(sink)
+    }
+}
+
+struct CellResult {
+    mode: &'static str,
+    elapsed_ms: f64,
+    put_kops: f64,
+    io: IoSnapshot,
+    syscalls: FileSyscalls,
+}
+
+impl CellResult {
+    fn blocks_per_pread(&self) -> f64 {
+        self.io.reads as f64 / self.syscalls.preads.max(1) as f64
+    }
+    fn blocks_per_pwrite(&self) -> f64 {
+        self.io.writes as f64 / self.syscalls.pwrites.max(1) as f64
+    }
+}
+
+fn run_cell(
+    mode: &'static str,
+    cfg: &LsmConfig,
+    records: u64,
+    seed: u64,
+    device_blocks: u64,
+    direct: bool,
+) -> CellResult {
+    let path =
+        std::env::temp_dir().join(format!("lsm_fileio_{}_{mode}_{seed}.dev", std::process::id()));
+    let opts = FileDeviceOptions { block_size: cfg.block_size, direct };
+    let file = Arc::new(
+        FileDevice::create_with(&path, device_blocks, opts)
+            .unwrap_or_else(|e| panic!("create bench device file: {e}")),
+    );
+    let device: Arc<dyn BlockDevice> = match mode {
+        "unbatched" => Arc::new(UnbatchedDevice(Arc::clone(&file))),
+        _ => Arc::clone(&file) as Arc<dyn BlockDevice>,
+    };
+    let mut tree = LsmTree::new(
+        cfg.clone(),
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
+        device,
+    )
+    .expect("valid bench configuration");
+    let mut wl = Uniform::new(seed, 1 << 26, cfg.payload_size, InsertRatio::INSERT_ONLY);
+    let start = Instant::now();
+    run_requests(&mut tree, &mut wl, records).expect("workload failed");
+    let elapsed = start.elapsed();
+    // Snapshot the counters before the deep check: verification reads every
+    // block back one at a time and would dilute the batching ratios.
+    let io = file.io_snapshot();
+    let syscalls = file.syscalls();
+    if let Err(e) = lsm_tree::verify::check_tree(&tree, true) {
+        eprintln!("DEEP VERIFY FAILED ({mode}): {e}");
+        std::process::exit(1);
+    }
+    drop(tree);
+    let _ = std::fs::remove_file(&path);
+    CellResult {
+        mode,
+        elapsed_ms: elapsed.as_secs_f64() * 1_000.0,
+        put_kops: records as f64 / elapsed.as_secs_f64() / 1_000.0,
+        io,
+        syscalls,
+    }
+}
+
+fn cell_json(c: &CellResult) -> Json {
+    Json::obj([
+        ("mode", Json::from(c.mode)),
+        ("elapsed_ms", Json::from(c.elapsed_ms)),
+        ("put_kops", Json::from(c.put_kops)),
+        ("blocks_read", Json::from(c.io.reads)),
+        ("blocks_written", Json::from(c.io.writes)),
+        ("preads", Json::from(c.syscalls.preads)),
+        ("pwrites", Json::from(c.syscalls.pwrites)),
+        ("blocks_per_pread", Json::from(c.blocks_per_pread())),
+        ("blocks_per_pwrite", Json::from(c.blocks_per_pwrite())),
+    ])
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let records: u64 = args.get_or("records", if smoke { 20_000 } else { 200_000 });
+    let seed: u64 = args.get_or("seed", 1);
+    let out = args.get("out").unwrap_or("BENCH_fileio.json").to_string();
+
+    let cfg = LsmConfig {
+        block_size: args.get_or("block-size", 4096),
+        payload_size: args.get_or("payload", 100),
+        k0_blocks: args.get_or("k0-blocks", if smoke { 16 } else { 64 }),
+        gamma: args.get_or("gamma", 4),
+        cache_blocks: 256,
+        bloom_bits_per_key: 0,
+        ..LsmConfig::default()
+    };
+    let device_blocks: u64 = 1 << 17;
+
+    // O_DIRECT needs filesystem support (tmpfs and overlayfs lack it);
+    // probe first so a bare `--direct` degrades gracefully in CI.
+    let mut direct = args.flag("direct");
+    if direct && !sim_ssd::probe_direct(&std::env::temp_dir()) {
+        eprintln!("warning: O_DIRECT unsupported under {:?}; buffered", std::env::temp_dir());
+        direct = false;
+    }
+
+    println!(
+        "\n== File-backend batching: {records} inserts, {}-byte blocks, direct={direct} ==",
+        cfg.block_size
+    );
+    let unbatched = run_cell("unbatched", &cfg, records, seed, device_blocks, direct);
+    let batched = run_cell("batched", &cfg, records, seed, device_blocks, direct);
+
+    // Same config, same seed, inline scheduler: both cells perform the
+    // identical logical block sequence. Anything else means the batched
+    // entry points changed observable behaviour — exactly the bug the
+    // equivalence tests exist to rule out.
+    assert_eq!(
+        (unbatched.io.reads, unbatched.io.writes),
+        (batched.io.reads, batched.io.writes),
+        "batched and unbatched cells must move identical blocks"
+    );
+
+    let mut table = Table::new([
+        "mode",
+        "put kops/s",
+        "blocks read",
+        "blocks written",
+        "preads",
+        "pwrites",
+        "blk/pread",
+        "blk/pwrite",
+    ]);
+    for c in [&unbatched, &batched] {
+        table.row([
+            c.mode.to_string(),
+            fmt_f(c.put_kops, 1),
+            c.io.reads.to_string(),
+            c.io.writes.to_string(),
+            c.syscalls.preads.to_string(),
+            c.syscalls.pwrites.to_string(),
+            fmt_f(c.blocks_per_pread(), 2),
+            fmt_f(c.blocks_per_pwrite(), 2),
+        ]);
+    }
+    table.print();
+
+    let pread_reduction = unbatched.syscalls.preads as f64 / batched.syscalls.preads.max(1) as f64;
+    let pwrite_reduction =
+        unbatched.syscalls.pwrites as f64 / batched.syscalls.pwrites.max(1) as f64;
+    println!(
+        "\nsyscall reduction: {pread_reduction:.2}x fewer preads, \
+         {pwrite_reduction:.2}x fewer pwrites"
+    );
+    let wins = batched.syscalls.preads < unbatched.syscalls.preads
+        && batched.syscalls.pwrites < unbatched.syscalls.pwrites;
+    if !wins {
+        eprintln!("BATCHING REGRESSION: batched mode issued at least as many syscalls");
+        std::process::exit(1);
+    }
+
+    let doc = Json::obj([
+        ("experiment", Json::from("lsm_fileio")),
+        ("records", Json::from(records)),
+        ("block_size", Json::from(cfg.block_size)),
+        ("payload_size", Json::from(cfg.payload_size)),
+        ("direct", Json::from(direct)),
+        ("cells", Json::arr([cell_json(&unbatched), cell_json(&batched)])),
+        ("pread_reduction", Json::from(pread_reduction)),
+        ("pwrite_reduction", Json::from(pwrite_reduction)),
+    ]);
+    std::fs::write(&out, doc.render_pretty()).expect("write json report");
+    println!("wrote {out}");
+}

@@ -31,9 +31,14 @@
 //!     [--writers=4] [--readers=2] [--requests-per-writer=N] [--seed=1]
 //!     [--scheduler=inline|background] [--batch=N]
 //!     [--certify-stall-free] [--certify-shards=2] [--stall-bound-us=N]
-//!     [--raw-device] [--read-us=25] [--write-us=200]
+//!     [--raw-device] [--read-us=25] [--write-us=200] [--backend=mem|file]
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv]
 //! ```
+//!
+//! `--backend=file` backs every shard with a [`sim_ssd::FileDevice`] in the
+//! system temp dir instead of memory frames, driving the batched pread /
+//! pwrite path end to end (and implying `--raw-device`, since the real file
+//! I/O replaces the cost model).
 //!
 //! `--certify-stall-free` replaces the shard matrix with a stall
 //! certification: the same sustained merge load runs twice on identical
@@ -60,11 +65,22 @@ use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, ObsPipeline, Table};
 use lsm_tree::observe::{Json, SinkHandle};
 use lsm_tree::{LsmConfig, PolicySpec, Scheduler, ShardedLsmTree, TreeOptions};
-use sim_ssd::{BlockDevice, CostModel, LatencyDevice, MemDevice};
+use sim_ssd::{BlockDevice, CostModel, FileDevice, LatencyDevice, MemDevice};
 use workloads::{run_closed_loop, InsertRatio, OffsetKeys, PrebuiltRequests, ThreadPlan, Uniform};
 
 /// Per-writer key domain: writers get disjoint ranges `[w·D, (w+1)·D)`.
 const WRITER_DOMAIN: u64 = 1 << 26;
+
+/// Which medium each shard's device lives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// In-memory frames (default) — isolates index costs from the host FS.
+    Mem,
+    /// One backing file per shard under the system temp dir, exercising the
+    /// batched [`FileDevice`] path end to end. Implies `--raw-device`: the
+    /// file I/O *is* the device cost, so no latency model is layered on top.
+    File,
+}
 
 struct Cell {
     shards: usize,
@@ -88,15 +104,32 @@ fn run_cell(
     device_blocks: u64,
     model: Option<CostModel>,
     scheduler: Scheduler,
+    backend: Backend,
     sink: SinkHandle,
 ) -> Cell {
+    // File-backed shards get unique paths (pid ⊕ seed ⊕ shard) so repeated
+    // cells and concurrent invocations never collide; the files are sparse
+    // until written and removed when the cell finishes.
+    let mut shard_files: Vec<std::path::PathBuf> = Vec::new();
     let devices: Vec<Arc<dyn BlockDevice>> = (0..shards)
-        .map(|_| {
-            let mem: Arc<dyn BlockDevice> =
-                Arc::new(MemDevice::with_block_size(device_blocks, cfg.block_size));
+        .map(|s| {
+            let base: Arc<dyn BlockDevice> = match backend {
+                Backend::Mem => Arc::new(MemDevice::with_block_size(device_blocks, cfg.block_size)),
+                Backend::File => {
+                    let path = std::env::temp_dir().join(format!(
+                        "lsm_throughput_{}_{seed}_{shards}_{s}.dev",
+                        std::process::id()
+                    ));
+                    let dev =
+                        FileDevice::create_with_block_size(&path, device_blocks, cfg.block_size)
+                            .unwrap_or_else(|e| panic!("create shard device file: {e}"));
+                    shard_files.push(path);
+                    Arc::new(dev)
+                }
+            };
             match model {
-                Some(m) => Arc::new(LatencyDevice::new(mem, m)) as Arc<dyn BlockDevice>,
-                None => mem,
+                Some(m) => Arc::new(LatencyDevice::new(base, m)) as Arc<dyn BlockDevice>,
+                None => base,
             }
         })
         .collect();
@@ -147,7 +180,7 @@ fn run_cell(
     }
     let us = |q: f64, h: &workloads::LatencyHistogram| h.quantile(q) as f64 / 1_000.0;
     let stats = tree.stats();
-    Cell {
+    let cell = Cell {
         shards,
         write_kops: report.write_ops_per_sec() / 1_000.0,
         read_kops: report.read_ops_per_sec() / 1_000.0,
@@ -158,7 +191,12 @@ fn run_cell(
         read_p99_us: us(0.99, &report.read_latency_ns),
         height: tree.height(),
         blocks_written: stats.total_blocks_written(),
+    };
+    drop(tree);
+    for path in shard_files {
+        let _ = std::fs::remove_file(path);
     }
+    cell
 }
 
 /// The `--certify-stall-free` mode: identical sustained merge load, inline
@@ -177,7 +215,17 @@ fn certify_stall_free(
         plan.writers, plan.requests_per_writer
     );
     let cell = |sched: Scheduler| {
-        run_cell(cfg, shards, plan, seed, device_blocks, model, sched, SinkHandle::none())
+        run_cell(
+            cfg,
+            shards,
+            plan,
+            seed,
+            device_blocks,
+            model,
+            sched,
+            Backend::Mem,
+            SinkHandle::none(),
+        )
     };
     let inline = cell(Scheduler::Inline);
     let background = cell(Scheduler::background());
@@ -269,6 +317,19 @@ fn main() {
     let batch: u64 = args.get_or("batch", 1);
     let plan = ThreadPlan { writers, readers, requests_per_writer, reads_per_reader, batch };
 
+    // --backend=file runs every shard on a real backing file; the file I/O
+    // replaces the latency model (stacking a sleep on top of real syscalls
+    // would double-charge the device).
+    let backend = match args.get_or::<String>("backend", "mem".into()).as_str() {
+        "mem" => Backend::Mem,
+        "file" => Backend::File,
+        other => {
+            eprintln!("unknown --backend={other} (expected mem|file)");
+            std::process::exit(2);
+        }
+    };
+    let model = if backend == Backend::File { None } else { model };
+
     let scheduler = match args.get_or::<String>("scheduler", "inline".into()).as_str() {
         "inline" => Scheduler::Inline,
         "background" => Scheduler::background(),
@@ -334,6 +395,7 @@ fn main() {
                     device_blocks,
                     model,
                     scheduler,
+                    backend,
                     SinkHandle::none(),
                 )
             })
@@ -392,8 +454,17 @@ fn main() {
     if obs.active() {
         let traced_shards = shard_counts.iter().copied().max().unwrap_or(1);
         eprintln!("  traced cell: shards={traced_shards}, exporters attached");
-        let cell =
-            run_cell(&cfg, traced_shards, plan, seed, device_blocks, model, scheduler, obs.sink());
+        let cell = run_cell(
+            &cfg,
+            traced_shards,
+            plan,
+            seed,
+            device_blocks,
+            model,
+            scheduler,
+            backend,
+            obs.sink(),
+        );
         for path in obs.finish().expect("write observability outputs") {
             println!("wrote {}", path.display());
         }
@@ -422,6 +493,7 @@ fn main() {
 
     let doc = Json::obj([
         ("experiment", Json::from("lsm_throughput")),
+        ("backend", Json::from(if backend == Backend::File { "file" } else { "mem" })),
         ("writers", Json::from(writers)),
         ("readers", Json::from(readers)),
         ("requests_per_writer", Json::from(requests_per_writer)),

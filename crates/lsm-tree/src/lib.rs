@@ -87,7 +87,7 @@ pub use stepped::SteppedMergeTree;
 pub use store::{RetryPolicy, Store};
 pub use torture::{
     run_concurrent_crash_cycle, run_crash_cycle, ConcurrentTortureConfig, ConcurrentTortureReport,
-    TortureConfig, TortureFailure, TortureReport,
+    TortureBackend, TortureConfig, TortureFailure, TortureReport,
 };
 pub use tree::{LsmTree, TreeOptions, TreeOptionsBuilder};
 pub use wal::{DurableLsmTree, WalFaultPlan, WriteAheadLog};

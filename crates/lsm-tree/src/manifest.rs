@@ -311,6 +311,10 @@ impl LsmTree {
             f.sync_all().map_err(sim_ssd::DeviceError::Io)?;
         }
         std::fs::rename(&tmp, path).map_err(sim_ssd::DeviceError::Io)?;
+        // A rename is only durable once the directory entry itself is on
+        // disk; without this fsync a power cut can roll the directory back
+        // to the old (or no) manifest even though the data file was synced.
+        sim_ssd::fsync_parent_dir(path).map_err(sim_ssd::DeviceError::Io)?;
         // The rename committed: the new manifest's blocks become the
         // protected set and frees deferred on behalf of the old one happen.
         self.store().finish_checkpoint(manifest.used_block_ids())?;
@@ -462,6 +466,23 @@ mod tests {
         let dev = std::sync::Arc::new(sim_ssd::MemDevice::with_block_size(1 << 14, 256));
         let got = LsmTree::restore(&path, TreeOptions::default(), dev);
         assert!(matches!(got, Err(LsmError::Codec(_))), "corrupt manifest accepted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_fsyncs_the_manifest_directory() {
+        let tree = build_tree();
+        let path =
+            std::env::temp_dir().join(format!("lsm-man-dirsync-{}.manifest", std::process::id()));
+        let before = sim_ssd::dir_syncs();
+        tree.checkpoint(&path).unwrap();
+        // Regression: the rename used to commit without syncing the
+        // directory, so a power cut could roll the directory entry back
+        // even though the manifest file's contents were fsynced.
+        assert!(
+            sim_ssd::dir_syncs() > before,
+            "checkpoint must fsync the manifest's parent directory after the rename"
+        );
         std::fs::remove_file(&path).ok();
     }
 

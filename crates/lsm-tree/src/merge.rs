@@ -20,13 +20,55 @@
 //!    write per seam); a level whose overall waste exceeds ε is compacted
 //!    in one pass.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::block::{BlockHandle, DataBlock};
 use crate::error::{LsmError, Result};
 use crate::level::Level;
 use crate::record::{consolidate, Key, Record};
-use crate::store::Store;
+use crate::store::{Store, WriteBatch};
+
+/// Longest run of definitely-read blocks fetched by one batched store
+/// call. Bounds memory and cache turnover per fetch; a run longer than
+/// this simply costs another batched call.
+const PREFETCH_MAX: usize = 32;
+
+/// Blocks per batched read during compaction (compaction reads every
+/// block unconditionally, so batching is always safe there).
+const COMPACT_BATCH: usize = 64;
+
+/// Staged output blocks per coalesced device write.
+const WRITE_CHUNK: usize = 16;
+
+/// Fence-only lower bound on which of `handles` a merge must open.
+///
+/// A block is *definitely* read when the other input stream holds a known
+/// key inside the block's fence range: by the time the block reaches the
+/// head of its stream, that key is the other stream's next record, so the
+/// adoption test `h.max < other_next` fails and the block's records are
+/// streamed. `other_keys` must be sorted: it is the other side's record
+/// keys when known exactly (a memtable run), or its fence endpoints —
+/// which are real keys — when the other side is blocks. The bound is
+/// conservative: a `false` only means "maybe adopted", and those blocks
+/// keep the lazy one-at-a-time path so preservation still costs no I/O.
+fn mark_definite_reads(
+    handles: &[BlockHandle],
+    other_keys: &[Key],
+    always: bool,
+    is_bottom: bool,
+) -> Vec<bool> {
+    handles
+        .iter()
+        .map(|h| {
+            if always || (is_bottom && h.tombstones > 0) {
+                return true;
+            }
+            let i = other_keys.partition_point(|&k| k < h.min);
+            other_keys.get(i).is_some_and(|&k| k <= h.max)
+        })
+        .collect()
+}
 
 /// What a merge pushes down into the target level.
 #[derive(Debug)]
@@ -105,6 +147,13 @@ struct Stream<'a> {
     cpos: usize,
     is_blocks: bool,
     logical_reads: u64,
+    /// Per-handle definite-read flags (see [`mark_definite_reads`]); a
+    /// `true` run starting at the stream head may be fetched in one
+    /// batched store call without ever touching a preservable block.
+    definite: Vec<bool>,
+    /// Blocks already fetched by a batched read, queued ahead of `hpos`.
+    /// Front entry always belongs to `handles[hpos]`.
+    pending: VecDeque<Result<Arc<DataBlock>>>,
     /// Blocks that were opened (their storage is released after the merge).
     opened: Vec<BlockHandle>,
     /// Blocks that failed their integrity check while being opened: their
@@ -126,6 +175,8 @@ impl<'a> Stream<'a> {
                 cpos: 0,
                 is_blocks: false,
                 logical_reads: 0,
+                definite: Vec::new(),
+                pending: VecDeque::new(),
                 opened: Vec::new(),
                 lost: Vec::new(),
             },
@@ -133,16 +184,23 @@ impl<'a> Stream<'a> {
                 store,
                 recs: Vec::new(),
                 rpos: 0,
+                definite: vec![false; handles.len()],
                 handles,
                 hpos: 0,
                 current: None,
                 cpos: 0,
                 is_blocks: true,
                 logical_reads: 0,
+                pending: VecDeque::new(),
                 opened: Vec::new(),
                 lost: Vec::new(),
             },
         }
+    }
+
+    fn set_definite(&mut self, flags: Vec<bool>) {
+        debug_assert_eq!(flags.len(), self.handles.len());
+        self.definite = flags;
     }
 
     fn peek_key(&self) -> Option<Key> {
@@ -157,8 +215,12 @@ impl<'a> Stream<'a> {
     }
 
     /// The upcoming unopened block, if the stream is exactly at its start.
+    /// A block already fetched by a batched read is no longer "unopened":
+    /// offering it for adoption would desynchronise the pending queue (and
+    /// a definitely-read block can never pass the adoption test anyway, so
+    /// the guard costs nothing when the definite-read bound is correct).
     fn block_at_start(&self) -> Option<&BlockHandle> {
-        if self.is_blocks && self.current.is_none() {
+        if self.is_blocks && self.current.is_none() && self.pending.is_empty() {
             self.handles.get(self.hpos)
         } else {
             None
@@ -168,7 +230,7 @@ impl<'a> Stream<'a> {
     /// Consume the upcoming block wholesale (preservation). Caller must
     /// have verified `block_at_start()` is `Some`.
     fn take_block(&mut self) -> BlockHandle {
-        debug_assert!(self.current.is_none());
+        debug_assert!(self.current.is_none() && self.pending.is_empty());
         let h = self.handles[self.hpos].clone();
         self.hpos += 1;
         h
@@ -184,8 +246,22 @@ impl<'a> Stream<'a> {
             return Ok(Some(r));
         }
         if self.current.is_none() {
+            if self.pending.is_empty() {
+                // Fetch the head block plus the run of definitely-read
+                // blocks behind it in one batched store call. Blocks whose
+                // flag is false might still be adopted, so the run stops
+                // there — preservation must keep costing zero reads.
+                let mut end = self.hpos + 1;
+                while end < self.handles.len()
+                    && end - self.hpos < PREFETCH_MAX
+                    && self.definite[end]
+                {
+                    end += 1;
+                }
+                self.pending.extend(self.store.read_blocks(&self.handles[self.hpos..end]));
+            }
             let h = self.handles[self.hpos].clone();
-            match self.store.read_block(&h) {
+            match self.pending.pop_front().expect("queue was just filled") {
                 Ok(block) => {
                     self.logical_reads += 1;
                     self.opened.push(h);
@@ -270,8 +346,21 @@ impl<'a> MergeEngine<'a> {
         target.merges_since_compaction += 1;
         target.slack_budget += self.eps * src_records as f64;
 
+        let is_bottom = below.is_empty();
+
+        // Known key points of each side, for the definite-read bound: a
+        // record source exposes every key; a block source exposes its
+        // fence endpoints (which are real keys). Both are already sorted.
+        let x_keys: Vec<Key> = match &src {
+            MergeSource::Records(recs) => recs.iter().map(|r| r.key).collect(),
+            MergeSource::Blocks(hs) => hs.iter().flat_map(|h| [h.min, h.max]).collect(),
+        };
+        let y_keys: Vec<Key> = y_handles.iter().flat_map(|h| [h.min, h.max]).collect();
+
         let mut xs = Stream::from_source(self.store, src);
         let mut ys = Stream::from_source(self.store, MergeSource::Blocks(y_handles));
+        xs.set_definite(mark_definite_reads(&xs.handles, &y_keys, !self.preserve, is_bottom));
+        ys.set_definite(mark_definite_reads(&ys.handles, &x_keys, !self.preserve, is_bottom));
 
         let mut out: Vec<BlockHandle> = Vec::new();
         let mut buffer: Vec<Record> = Vec::new();
@@ -282,7 +371,10 @@ impl<'a> MergeEngine<'a> {
             insert_pos.checked_sub(1).map(|i| target.handles()[i].count);
 
         let may_exist_below = |key: Key| below.iter().any(|l| l.key_in_range_of_some_block(key));
-        let is_bottom = below.is_empty();
+
+        // Output blocks are staged and landed in coalesced device writes;
+        // adjacent ids become single syscalls on a file backend.
+        let mut batch = self.store.write_batch();
 
         // Index into `ys.opened` up to which empty slots have been
         // subtracted from `w`. The paper updates w by "subtracting those in
@@ -309,7 +401,7 @@ impl<'a> MergeEngine<'a> {
                         // A lost Y block simply contributes no older record.
                         let lower = ys.next_record()?;
                         if let Some(r) = consolidate(upper, lower, may_exist_below(x)) {
-                            self.push_record(&mut buffer, &mut out, r, &mut outcome)?;
+                            self.push_record(&mut buffer, &mut out, r, &mut outcome, &mut batch)?;
                         }
                         continue;
                     } else if x < y {
@@ -341,7 +433,7 @@ impl<'a> MergeEngine<'a> {
                         if !buffer.is_empty() {
                             let flushed = std::mem::take(&mut buffer);
                             w += (self.b - flushed.len()) as i64;
-                            self.write_out(flushed, &mut out, &mut outcome)?;
+                            self.write_out(flushed, &mut out, &mut outcome, &mut batch)?;
                         }
                         let h = if from_x { xs.take_block() } else { ys.take_block() };
                         if from_x {
@@ -363,7 +455,7 @@ impl<'a> MergeEngine<'a> {
                 continue; // The head block was lost; re-evaluate the heads.
             };
             if let Some(keep) = consolidate(r, None, may_exist_below(key)) {
-                self.push_record(&mut buffer, &mut out, keep, &mut outcome)?;
+                self.push_record(&mut buffer, &mut out, keep, &mut outcome, &mut batch)?;
             }
         }
         while ys_subtracted < ys.opened.len() {
@@ -384,6 +476,10 @@ impl<'a> MergeEngine<'a> {
                     },
                 };
             if !prev_ok && !out.is_empty() {
+                // The previous output block may still be staged; it is
+                // about to be read back and freed, both of which need its
+                // frame on the device.
+                batch.flush()?;
                 let prev = out.pop().expect("checked non-empty");
                 match self.store.read_block(&prev) {
                     Ok(prev_block) => {
@@ -397,7 +493,7 @@ impl<'a> MergeEngine<'a> {
                         // write_out re-counts prev's records; compensate so
                         // out_records stays the number of surviving records.
                         outcome.out_records -= fused.len() as u64 - fused_from_buffer;
-                        self.write_out(fused, &mut out, &mut outcome)?;
+                        self.write_out(fused, &mut out, &mut outcome, &mut batch)?;
                     }
                     Err(LsmError::Degraded { .. }) => {
                         // A freshly adopted block turned out corrupt: drop
@@ -408,16 +504,21 @@ impl<'a> MergeEngine<'a> {
                         self.store.note_read_repair(prev.id.raw());
                         let flushed = std::mem::take(&mut buffer);
                         w += (self.b - flushed.len()) as i64;
-                        self.write_out(flushed, &mut out, &mut outcome)?;
+                        self.write_out(flushed, &mut out, &mut outcome, &mut batch)?;
                     }
                     Err(e) => return Err(e),
                 }
             } else {
                 let flushed = std::mem::take(&mut buffer);
                 w += (self.b - flushed.len()) as i64;
-                self.write_out(flushed, &mut out, &mut outcome)?;
+                self.write_out(flushed, &mut out, &mut outcome, &mut batch)?;
             }
         }
+
+        // Land every remaining staged output block before the handles are
+        // published into the level (and before input blocks are freed —
+        // freeing must never race ahead of the writes that replace them).
+        batch.flush()?;
 
         // Subtract the empty slots of every Y block whose records were
         // consumed (they left the target).
@@ -530,12 +631,13 @@ impl<'a> MergeEngine<'a> {
         out: &mut Vec<BlockHandle>,
         r: Record,
         outcome: &mut MergeOutcome,
+        batch: &mut WriteBatch<'_>,
     ) -> Result<()> {
         buffer.push(r);
         if buffer.len() == self.b {
             let flushed = std::mem::take(buffer);
             // A full block adds zero empty slots; no change to w.
-            self.write_out(flushed, out, outcome)?;
+            self.write_out(flushed, out, outcome, batch)?;
         }
         Ok(())
     }
@@ -545,11 +647,17 @@ impl<'a> MergeEngine<'a> {
         records: Vec<Record>,
         out: &mut Vec<BlockHandle>,
         outcome: &mut MergeOutcome,
+        batch: &mut WriteBatch<'_>,
     ) -> Result<()> {
         outcome.out_records += records.len() as u64;
-        let h = self.store.write_block(records)?;
+        let h = batch.stage(records)?;
         outcome.writes += 1;
         out.push(h);
+        // Bound staged memory; ids are allocated in order, so a chunk of
+        // consecutive stages still coalesces into few syscalls.
+        if batch.pending() >= WRITE_CHUNK {
+            batch.flush()?;
+        }
         Ok(())
     }
 
@@ -615,30 +723,40 @@ impl<'a> MergeEngine<'a> {
         let mut buffer: Vec<Record> = Vec::with_capacity(self.b);
         let mut new_handles: Vec<BlockHandle> = Vec::with_capacity(old.len());
         let mut lost: Vec<&BlockHandle> = Vec::new();
-        for h in &old {
-            let block = match self.store.read_block(h) {
-                Ok(block) => block,
-                Err(LsmError::Degraded { .. }) => {
-                    // The block's records are lost; compaction drops it
-                    // from the level (read repair) and keeps going.
-                    lost.push(h);
-                    continue;
-                }
-                Err(e) => return Err(e),
-            };
-            outcome.reads += 1;
-            for r in &block.records {
-                buffer.push(r.clone());
-                if buffer.len() == self.b {
-                    new_handles.push(self.store.write_block(std::mem::take(&mut buffer))?);
-                    outcome.writes += 1;
+        let mut batch = self.store.write_batch();
+        // Every block is read unconditionally, so reads batch freely;
+        // chunking bounds how much of the level is resident at once.
+        for chunk in old.chunks(COMPACT_BATCH) {
+            for (h, result) in chunk.iter().zip(self.store.read_blocks(chunk)) {
+                let block = match result {
+                    Ok(block) => block,
+                    Err(LsmError::Degraded { .. }) => {
+                        // The block's records are lost; compaction drops it
+                        // from the level (read repair) and keeps going.
+                        lost.push(h);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                outcome.reads += 1;
+                for r in &block.records {
+                    buffer.push(r.clone());
+                    if buffer.len() == self.b {
+                        new_handles.push(batch.stage(std::mem::take(&mut buffer))?);
+                        outcome.writes += 1;
+                        if batch.pending() >= WRITE_CHUNK {
+                            batch.flush()?;
+                        }
+                    }
                 }
             }
         }
         if !buffer.is_empty() {
-            new_handles.push(self.store.write_block(buffer)?);
+            new_handles.push(batch.stage(buffer)?);
             outcome.writes += 1;
         }
+        // Land the rewritten blocks before the old ones are released.
+        batch.flush()?;
         for h in &old {
             if lost.iter().any(|l| l.id == h.id) {
                 self.store.note_read_repair(h.id.raw());
@@ -794,6 +912,11 @@ mod tests {
         assert_eq!(out.preserved, 1, "whole X block falls in the gap");
         assert_eq!(out.writes, 0);
         assert_eq!(io_after.writes - io_before.writes, 0, "no device writes at all");
+        assert_eq!(
+            io_after.reads - io_before.reads,
+            0,
+            "preservation decided from fences alone: prefetch must not read the block"
+        );
         assert_eq!(target.num_blocks(), 3);
         assert_eq!(target.records(), 42);
         assert!(target.validate(B, EPS).is_ok());

@@ -222,6 +222,125 @@ impl Store {
         Ok(block)
     }
 
+    /// Continue a retry ladder whose first attempt (made through a batched
+    /// device call) already failed with `first`. Mirrors [`with_retries`]
+    /// exactly — same attempt budget, same events, same backoff — with the
+    /// initial attempt accounted to the batch.
+    ///
+    /// [`with_retries`]: Store::with_retries
+    fn finish_read_retries(
+        &self,
+        id: BlockId,
+        first: sim_ssd::DeviceError,
+    ) -> sim_ssd::Result<bytes::Bytes> {
+        let mut attempt = 0u32;
+        let mut err = first;
+        loop {
+            if !err.is_transient() || attempt + 1 >= self.retry.max_attempts {
+                return Err(err);
+            }
+            attempt += 1;
+            self.sink.emit_with(|| Event::RetryAttempt { attempt });
+            if self.retry.base_backoff_us > 0 {
+                let us = self.retry.base_backoff_us << (attempt - 1).min(16);
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            match self.device.read(id) {
+                Ok(frame) => return Ok(frame),
+                Err(e) => err = e,
+            }
+        }
+    }
+
+    /// Write-side twin of [`finish_read_retries`](Store::finish_read_retries).
+    fn finish_write_retries(
+        &self,
+        id: BlockId,
+        frame: &[u8],
+        first: sim_ssd::DeviceError,
+    ) -> sim_ssd::Result<()> {
+        let mut attempt = 0u32;
+        let mut err = first;
+        loop {
+            if !err.is_transient() || attempt + 1 >= self.retry.max_attempts {
+                return Err(err);
+            }
+            attempt += 1;
+            self.sink.emit_with(|| Event::RetryAttempt { attempt });
+            if self.retry.base_backoff_us > 0 {
+                let us = self.retry.base_backoff_us << (attempt - 1).min(16);
+                std::thread::sleep(std::time::Duration::from_micros(us));
+            }
+            match self.device.write(id, frame) {
+                Ok(()) => return Ok(()),
+                Err(e) => err = e,
+            }
+        }
+    }
+
+    /// Batched [`read_block`]: fetch several blocks with (at most) one
+    /// coalesced device call for all cache misses, returning one result
+    /// per handle, in order.
+    ///
+    /// Per-block semantics are identical to calling `read_block` in a
+    /// loop — cache hits and insertions, transient-error retries,
+    /// corruption quarantine, `Degraded` errors — only the number of
+    /// device calls (and on `FileDevice`, syscalls) shrinks.
+    ///
+    /// [`read_block`]: Store::read_block
+    pub fn read_blocks(&self, handles: &[BlockHandle]) -> Vec<Result<Arc<DataBlock>>> {
+        let mut out: Vec<Option<Result<Arc<DataBlock>>>> = Vec::with_capacity(handles.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock();
+            for (i, h) in handles.iter().enumerate() {
+                match cache.get(&h.id) {
+                    Some(hit) => out.push(Some(Ok(hit))),
+                    None => {
+                        out.push(None);
+                        miss_idx.push(i);
+                    }
+                }
+            }
+        }
+        if !miss_idx.is_empty() {
+            // Reads within a batch are mutually unordered, so issue the
+            // misses to the device sorted by id: handles arrive in key
+            // order, but physical adjacency (what `read_many` coalesces)
+            // follows allocation order, which key order scrambles.
+            miss_idx.sort_by_key(|&i| handles[i].id.raw());
+            let ids: Vec<BlockId> = miss_idx.iter().map(|&i| handles[i].id).collect();
+            let frames = self.device.read_many(&ids);
+            for (&i, first) in miss_idx.iter().zip(frames) {
+                let handle = &handles[i];
+                let frame = match first {
+                    Ok(frame) => Ok(frame),
+                    Err(e) => self.finish_read_retries(handle.id, e),
+                };
+                out[i] = Some(match frame {
+                    Ok(frame) => match DataBlock::decode(&frame) {
+                        Ok(b) => {
+                            let block = Arc::new(b);
+                            self.cache.lock().insert(handle.id, Arc::clone(&block));
+                            Ok(block)
+                        }
+                        Err(LsmError::Codec(_)) => Err(self.quarantine(handle)),
+                        Err(e) => Err(e),
+                    },
+                    Err(sim_ssd::DeviceError::Corrupt(_)) => Err(self.quarantine(handle)),
+                    Err(e) => Err(e.into()),
+                });
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Start a write batch: stage several `write_block`s and land them
+    /// with one coalesced device call. See [`WriteBatch`].
+    pub fn write_batch(&self) -> WriteBatch<'_> {
+        WriteBatch { store: self, staged: Vec::new() }
+    }
+
     /// Record `handle` as lost and build the `Degraded` error for it.
     fn quarantine(&self, handle: &BlockHandle) -> LsmError {
         let fresh =
@@ -323,6 +442,103 @@ impl Store {
     /// Blocks still available on the device.
     pub fn free_blocks(&self) -> u64 {
         self.alloc.free_blocks()
+    }
+}
+
+/// Batches [`Store::write_block`] calls into coalesced device writes.
+///
+/// `stage` does everything `write_block` does *except* touch the device:
+/// allocate the id, encode the frame, build the fence handle and bloom,
+/// seed the cache. `flush` then lands every staged frame with one
+/// [`BlockDevice::write_many`] call (adjacent ids coalesce into single
+/// syscalls on a file backend) and re-runs the per-block retry ladder for
+/// any transient failure, against the same id, exactly like `write_block`.
+///
+/// **Discipline:** a staged block's frame does not exist on the device
+/// until `flush`. Callers must flush before (a) freeing a staged block,
+/// (b) reading one back when it may have been evicted from the cache, or
+/// (c) publishing the handles into the tree. A batch dropped with staged
+/// blocks (an error-path abort) releases their ids and cache entries —
+/// the frames never reached the device, so the handles must die with it.
+pub struct WriteBatch<'a> {
+    store: &'a Store,
+    staged: Vec<(BlockId, bytes::Bytes)>,
+}
+
+impl WriteBatch<'_> {
+    /// Stage one block, returning its fence handle immediately. The id is
+    /// allocated and the cache seeded now; the device write lands at
+    /// [`flush`](WriteBatch::flush).
+    pub fn stage(&mut self, records: Vec<Record>) -> Result<BlockHandle> {
+        debug_assert!(!records.is_empty(), "refusing to stage an empty data block");
+        let block = DataBlock::new(records);
+        let frame = block.encode(self.store.device.block_size())?;
+        let id = self.store.alloc.alloc()?;
+        let bloom = if self.store.bloom_bits_per_key > 0 {
+            let keys: Vec<u64> = block.records.iter().map(|r| r.key).collect();
+            Some(Arc::new(BloomFilter::build(&keys, self.store.bloom_bits_per_key)))
+        } else {
+            None
+        };
+        let handle = BlockHandle::describe(id, &block, bloom);
+        self.store.cache.lock().insert(id, Arc::new(block));
+        self.staged.push((id, frame));
+        Ok(handle)
+    }
+
+    /// Number of staged-but-unflushed blocks.
+    pub fn pending(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Land every staged frame on the device with one batched call,
+    /// retrying transient per-block failures on the same id. On a
+    /// permanent failure the failed block's id is released and its cache
+    /// entry dropped (as `write_block` would), and the first error is
+    /// returned after every block has been attempted.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let mut staged = std::mem::take(&mut self.staged);
+        // Writes within a batch are mutually unordered (no durability
+        // point between them), so hand them to the device sorted by id:
+        // the allocator's LIFO free list returns runs of recycled ids in
+        // descending order, and sorting turns those back into the
+        // ascending extents `write_many` can coalesce.
+        staged.sort_by_key(|(id, _)| id.raw());
+        let results = self.store.device.write_many(&staged);
+        let mut first_err: Option<LsmError> = None;
+        for ((id, frame), result) in staged.into_iter().zip(results) {
+            let result = match result {
+                Ok(()) => Ok(()),
+                Err(first) => self.store.finish_write_retries(id, &frame, first),
+            };
+            if let Err(e) = result {
+                self.store.cache.lock().remove(&id);
+                self.store.alloc.free(id);
+                if first_err.is_none() {
+                    first_err = Some(e.into());
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WriteBatch<'_> {
+    fn drop(&mut self) {
+        // An abandoned batch means the caller aborted on an error between
+        // stage and flush. The staged frames never reached the device;
+        // releasing the ids here keeps the allocator exactly where a
+        // failed `write_block` would have left it.
+        for (id, _) in self.staged.drain(..) {
+            self.store.cache.lock().remove(&id);
+            self.store.alloc.free(id);
+        }
     }
 }
 
@@ -491,6 +707,92 @@ mod tests {
         s.finish_checkpoint([]).unwrap();
         assert_eq!(s.io_snapshot().trims, trims_before + 1);
         assert_eq!(s.live_blocks(), 0);
+    }
+
+    #[test]
+    fn read_blocks_mixes_hits_misses_and_degraded() {
+        let (dev, s) = faulty_store(FaultPlan::none(), RetryPolicy::none());
+        let a = s.write_block(recs(&[1, 2])).unwrap();
+        dev.set_plan(FaultPlan::none().bit_flip_rate(1.0));
+        let bad = s.write_block(recs(&[10, 20])).unwrap();
+        dev.set_plan(FaultPlan::none());
+        let b = s.write_block(recs(&[30])).unwrap();
+        // Evict a and bad (cache of 4), keep b cached.
+        for k in 0..4u64 {
+            s.write_block(recs(&[100 + k])).unwrap();
+        }
+        let c = s.write_block(recs(&[40])).unwrap(); // cached for sure
+        let reads_before = s.io_snapshot().reads;
+        let results = s.read_blocks(&[a.clone(), bad.clone(), c.clone()]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().records[0].key, 1);
+        match &results[1] {
+            Err(LsmError::Degraded { ranges }) => assert_eq!(ranges, &vec![(10, 20)]),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(results[2].as_ref().unwrap().records[0].key, 40);
+        // c was a cache hit; a and bad went to the device, but the corrupt
+        // read errors out before the device counts it — only a's counts.
+        assert_eq!(s.io_snapshot().reads - reads_before, 1);
+        assert_eq!(s.quarantined_ids(), vec![bad.id.raw()]);
+        // a is now cached: re-reading costs nothing.
+        let reads_mid = s.io_snapshot().reads;
+        assert!(s.read_block(&a).is_ok());
+        assert_eq!(s.io_snapshot().reads, reads_mid);
+        drop(b);
+    }
+
+    #[test]
+    fn write_batch_defers_device_writes_until_flush() {
+        let s = store();
+        let mut batch = s.write_batch();
+        let h1 = batch.stage(recs(&[1, 2])).unwrap();
+        let h2 = batch.stage(recs(&[5])).unwrap();
+        assert_eq!(batch.pending(), 2);
+        assert_eq!((h1.min, h1.max, h1.count), (1, 2, 2));
+        assert_eq!(h2.count, 1);
+        assert_eq!(s.io_snapshot().writes, 0, "nothing on the device yet");
+        assert_eq!(s.live_blocks(), 2, "ids are allocated at stage time");
+        batch.flush().unwrap();
+        assert_eq!(batch.pending(), 0);
+        assert_eq!(s.io_snapshot().writes, 2);
+        // Staged blocks are readable after flush even with a cold cache.
+        let s2_frame_check = s.read_block(&h1).unwrap();
+        assert_eq!(s2_frame_check.records[0].key, 1);
+    }
+
+    #[test]
+    fn write_batch_retries_transient_flush_failures() {
+        let sink = Arc::new(observe::VecSink::new());
+        let (_dev, s) = faulty_store(
+            FaultPlan::none().fail_write_at(1),
+            RetryPolicy { max_attempts: 4, base_backoff_us: 0 },
+        );
+        s.set_sink(SinkHandle::new(sink.clone()));
+        let mut batch = s.write_batch();
+        let h = batch.stage(recs(&[7])).unwrap();
+        batch.flush().unwrap();
+        assert_eq!(s.live_blocks(), 1);
+        assert!(s.read_block(&h).is_ok());
+        let events = sink.drain();
+        assert!(
+            events.iter().any(|e| matches!(e, Event::RetryAttempt { attempt: 1 })),
+            "batched retry must be observable like write_block's"
+        );
+    }
+
+    #[test]
+    fn abandoned_write_batch_releases_staged_ids() {
+        let s = store();
+        {
+            let mut batch = s.write_batch();
+            batch.stage(recs(&[1])).unwrap();
+            batch.stage(recs(&[2])).unwrap();
+            assert_eq!(s.live_blocks(), 2);
+            // Dropped without flush: an error-path abort.
+        }
+        assert_eq!(s.live_blocks(), 0, "staged ids must not leak");
+        assert_eq!(s.io_snapshot().writes, 0);
     }
 
     #[test]

@@ -109,6 +109,10 @@ impl WriteAheadLog {
             .truncate(true)
             .open(path.as_ref())
             .map_err(DeviceError::Io)?;
+        // Make the directory entry durable too: a crash right after
+        // creation must not leave a WAL whose file vanishes with the
+        // unsynced directory, or recovery would silently skip replay.
+        sim_ssd::fsync_parent_dir(path.as_ref()).map_err(DeviceError::Io)?;
         Ok(WriteAheadLog {
             writer: BufWriter::new(file),
             path: path.as_ref().to_path_buf(),
@@ -244,6 +248,15 @@ impl WriteAheadLog {
         // the kernel losing dirty pages, not the process losing its own
         // buffer, so the bytes must be on the file (torn-tail material).
         self.writer.flush().map_err(DeviceError::Io)?;
+        self.fsync_now()?;
+        self.synced_len = self.len;
+        Ok(())
+    }
+
+    /// The injection-aware fsync shared by [`sync`](WriteAheadLog::sync)
+    /// and [`truncate`](WriteAheadLog::truncate): counts the attempt,
+    /// consults the fault plan, and poisons the log on any failure.
+    fn fsync_now(&mut self) -> Result<()> {
         let attempt = self.sync_attempts;
         self.sync_attempts += 1;
         let injected = match &mut self.fault {
@@ -261,7 +274,6 @@ impl WriteAheadLog {
             self.poisoned = true;
             return Err(DeviceError::Io(e).into());
         }
-        self.synced_len = self.len;
         self.syncs += 1;
         Ok(())
     }
@@ -271,6 +283,13 @@ impl WriteAheadLog {
         self.check_poisoned()?;
         self.writer.flush().map_err(DeviceError::Io)?;
         self.writer.get_ref().set_len(0).map_err(DeviceError::Io)?;
+        // The zero length is file metadata: without an fsync the kernel
+        // may persist the *old* length across a power cut, resurrecting
+        // pre-checkpoint frames that recovery would then replay on top of
+        // the fresh manifest. The fsync goes through the same injection
+        // and poison logic as `sync` — a failed truncate leaves the log
+        // unusable until re-open, never half-truncated-but-trusted.
+        self.fsync_now()?;
         let file = OpenOptions::new().write(true).open(&self.path).map_err(DeviceError::Io)?;
         self.writer = BufWriter::new(file);
         self.appended = 0;
@@ -567,6 +586,48 @@ mod tests {
         drop(wal);
         let (_, replayed) = WriteAheadLog::open_and_replay(&path).unwrap();
         assert_eq!(replayed, vec![put(2, 2)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_fsyncs_the_parent_directory() {
+        let path = wal_path("dirsync");
+        let before = sim_ssd::dir_syncs();
+        let _wal = WriteAheadLog::create(&path).unwrap();
+        assert!(
+            sim_ssd::dir_syncs() > before,
+            "creating a WAL must fsync its directory or the file itself may not survive a crash"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_fsyncs_the_empty_log() {
+        let path = wal_path("truncsync");
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        wal.append(&put(1, 1)).unwrap();
+        wal.sync().unwrap();
+        let syncs_before = wal.syncs();
+        wal.truncate().unwrap();
+        // Regression: truncation used to set_len(0) without fsync, so a
+        // power cut could resurrect the old length — and replay stale
+        // frames over a checkpoint that had already absorbed them.
+        assert_eq!(wal.syncs(), syncs_before + 1, "truncate must fsync the new length");
+        assert_eq!(wal.synced_len(), 0);
+        assert_eq!(wal.len_bytes(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_fault_fails_truncate_and_poisons() {
+        let path = wal_path("truncfault");
+        let mut wal = WriteAheadLog::create(&path).unwrap();
+        wal.append(&put(1, 1)).unwrap();
+        wal.sync().unwrap(); // attempt 0 succeeds
+        wal.set_fault_plan(WalFaultPlan::none().fail_sync_at(1), 9);
+        assert!(wal.truncate().is_err(), "truncate's fsync is fault-injectable");
+        assert!(wal.is_poisoned(), "a failed truncate must poison the log");
+        assert!(wal.append(&put(2, 2)).is_err());
         std::fs::remove_file(&path).ok();
     }
 

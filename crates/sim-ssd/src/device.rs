@@ -57,6 +57,31 @@ pub trait BlockDevice: Send + Sync {
     /// Flush any volatile state to stable storage.
     fn sync(&self) -> Result<()>;
 
+    /// Read several blocks in one call, one result per requested id, in
+    /// order.
+    ///
+    /// The default implementation is a plain loop over [`read`] and every
+    /// override must stay **observably identical** to that loop: same
+    /// per-block results, same per-block events, same I/O-counter deltas.
+    /// What an override may change is how many *syscalls* (or inner
+    /// batched calls) the batch costs — [`crate::FileDevice`] coalesces
+    /// runs of adjacent ids into a single large pread per run. Decorators
+    /// that make per-op decisions (fault injection) keep the default so
+    /// their per-op semantics are untouched.
+    ///
+    /// [`read`]: BlockDevice::read
+    fn read_many(&self, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        ids.iter().map(|&id| self.read(id)).collect()
+    }
+
+    /// Write several full frames in one call, one result per entry, in
+    /// order. Same contract as [`read_many`](BlockDevice::read_many): the
+    /// default loops over [`write`](BlockDevice::write), and overrides must
+    /// be observably identical to that loop per block.
+    fn write_many(&self, batch: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        batch.iter().map(|(id, frame)| self.write(*id, frame)).collect()
+    }
+
     /// Snapshot of the device's I/O counters.
     fn io_snapshot(&self) -> IoSnapshot;
 

@@ -69,6 +69,16 @@ pub enum DeviceError {
     Io(std::io::Error),
     /// A frame failed its integrity check.
     Corrupt(u64),
+    /// The backing file's length is inconsistent with the requested block
+    /// size (torn resize, or the device was created with a different block
+    /// size). Opening with the wrong geometry would silently drop the
+    /// trailing partial block, so it is refused instead.
+    Geometry {
+        /// Length of the backing file in bytes.
+        file_len: u64,
+        /// The block size the open was attempted with.
+        block_size: usize,
+    },
 }
 
 impl DeviceError {
@@ -92,7 +102,8 @@ impl DeviceError {
             | DeviceError::BadFrameSize { .. }
             | DeviceError::NoSpace
             | DeviceError::Poisoned
-            | DeviceError::Corrupt(_) => false,
+            | DeviceError::Corrupt(_)
+            | DeviceError::Geometry { .. } => false,
         }
     }
 }
@@ -116,6 +127,13 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::Io(e) => write!(f, "i/o error: {e}"),
             DeviceError::Corrupt(b) => write!(f, "integrity check failed for block {b}"),
+            DeviceError::Geometry { file_len, block_size } => {
+                write!(
+                    f,
+                    "file length {file_len} is not a multiple of block size {block_size} \
+                     (torn resize or wrong block size)"
+                )
+            }
         }
     }
 }

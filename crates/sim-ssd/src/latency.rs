@@ -68,6 +68,19 @@ impl BlockDevice for LatencyDevice {
         self.inner.write(id, frame)
     }
 
+    fn read_many(&self, ids: &[BlockId]) -> Vec<Result<Bytes>> {
+        // Charge the same total latency the single-op loop would, in one
+        // sleep, then forward the whole batch so the inner device can
+        // still coalesce it.
+        Self::stall(self.model.read_us * ids.len() as f64);
+        self.inner.read_many(ids)
+    }
+
+    fn write_many(&self, batch: &[(BlockId, Bytes)]) -> Vec<Result<()>> {
+        Self::stall(self.model.write_us * batch.len() as f64);
+        self.inner.write_many(batch)
+    }
+
     fn trim(&self, id: BlockId) -> Result<()> {
         Self::stall(self.model.trim_us);
         self.inner.trim(id)

@@ -49,7 +49,9 @@ pub use cost::CostModel;
 pub use device::{BlockDevice, BlockId, DEFAULT_BLOCK_SIZE};
 pub use error::{DeviceError, FaultKind, Result};
 pub use fault::{FaultDevice, FaultPlan, SplitMix64};
-pub use file::FileDevice;
+pub use file::{
+    dir_syncs, fsync_parent_dir, probe_direct, FileDevice, FileDeviceOptions, FileSyscalls,
+};
 pub use latency::LatencyDevice;
 pub use mem::{MemDevice, WearCell, WearSnapshot, WearSummary};
 pub use stats::{IoSnapshot, IoStats};

@@ -53,4 +53,24 @@ cargo run --release -q -p lsm-bench --bin trace_check -- \
     --trace="$obs_dir/trace.json" --prom="$obs_dir/metrics.prom" \
     --series="$obs_dir/series.csv"
 
+echo "== file-backend smoke (sharded throughput on real backing files) =="
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --backend=file \
+    --shards=1,2 --repeat=1
+
+echo "== file-backend crash torture (16 power cuts over a real backing file) =="
+cargo run --release -q -p lsm-bench --bin lsm_crash -- --seeds=16 --seed-base=5000 \
+    --backend=file
+
+echo "== file-backend batching smoke (syscall coalescing + schema check) =="
+fileio_dir="$(mktemp -d)"
+trap 'rm -rf "$pm_dir" "$obs_dir" "$fileio_dir"' EXIT
+# Fresh smoke report in a temp dir (the committed BENCH_fileio.json at the
+# repo root is a full-size run; CI must not clobber it), then both the
+# temp report and the committed one go through the doctor's validator.
+cargo run --release -q -p lsm-bench --bin lsm_fileio -- --smoke \
+    --out="$fileio_dir/BENCH_fileio.json"
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
+    --check-fileio="$fileio_dir/BENCH_fileio.json"
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- --check-fileio=BENCH_fileio.json
+
 echo "All checks passed."
