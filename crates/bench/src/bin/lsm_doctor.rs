@@ -7,8 +7,9 @@
 //! cargo run --release --bin lsm_doctor -- [--policy=choosebest|full|rr|testmixed] \
 //!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path] \
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv] \
-//!     [--series-every=1000] [--tick-clock] [--ledger] \
-//!     [--check-fileio=BENCH_fileio.json]
+//!     [--series-every=1000] [--tick-clock] [--ledger] [--health] \
+//!     [--check-fileio=BENCH_fileio.json] [--check-health=h.json] \
+//!     [--compare=old.json,new.json] [--compare-threshold=0.2]
 //! ```
 //!
 //! `--check-fileio=PATH` skips the doctor workload and instead validates a
@@ -17,6 +18,26 @@
 //! identical blocks), and the batching claim itself (the batched cell must
 //! have issued strictly fewer syscalls). Exits non-zero on any violation,
 //! so CI can gate on a committed report staying honest.
+//!
+//! `--check-health=PATH` validates an `lsm-health/v1` report (as written by
+//! `--health-out` anywhere) against [`observe::validate_health`] and exits
+//! non-zero on any problem.
+//!
+//! `--compare=OLD,NEW` is the bench-regression comparator: both files are
+//! parsed, every numeric field is flattened to a dotted key
+//! (`cells.0.put_kops`), and keys present in both reports are compared
+//! with a direction-aware threshold (default 20 %, `--compare-threshold`):
+//! throughput-like keys regress when NEW falls below OLD, latency/IO-like
+//! keys regress when NEW rises above OLD, and identity keys (geometry,
+//! record counts) are reported as drift without failing. Any regression
+//! exits non-zero, so CI can hold a committed report against a fresh run.
+//!
+//! `--health` attaches the windowed health engine beside the doctor's
+//! registry, prints the rolling-window table after the workload, embeds
+//! the `lsm-health/v1` report in `results/lsm_doctor.json`, and
+//! cross-checks the engine's cumulative counters against the metrics
+//! registry *exactly* — both consume the same event stream through
+//! independent paths, so any disagreement is a bug and exits non-zero.
 //!
 //! `--ledger` attaches a [`DecisionLedger`] to the tree: every merge
 //! decision is recorded with its full candidate set and reconciled against
@@ -126,8 +147,199 @@ fn check_fileio(doc: &Json) -> Vec<String> {
     errs
 }
 
+/// Flatten every numeric field of `doc` into dotted keys
+/// (`cells.0.put_kops`), the shared coordinate system of `--compare`.
+fn flatten_numbers(doc: &Json, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    match doc {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                let key = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten_numbers(v, &key, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_numbers(v, &format!("{prefix}.{i}"), out);
+            }
+        }
+        other => {
+            if let Some(n) = num(other) {
+                out.insert(prefix.to_string(), n);
+            }
+        }
+    }
+}
+
+/// How a metric's delta should be judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Bigger is better (throughput, reductions, hit rates): regression
+    /// when NEW drops below OLD.
+    HigherBetter,
+    /// Smaller is better (latency, syscalls, amplification): regression
+    /// when NEW rises above OLD.
+    LowerBetter,
+    /// Identity/configuration keys: drift is reported, never a failure —
+    /// but it means the two reports may not be comparable.
+    Identity,
+}
+
+/// Classify a dotted key by its last segment and well-known substrings.
+fn direction_of(key: &str) -> Direction {
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    let identity = [
+        "records",
+        "block_size",
+        "payload_size",
+        "shards",
+        "writers",
+        "readers",
+        "requests_per_writer",
+        "reads_per_reader",
+        "seed",
+        "height",
+        "gamma",
+        "k0_blocks",
+    ];
+    if identity.contains(&leaf) {
+        return Direction::Identity;
+    }
+    let higher = ["kops", "ops_per_sec", "reduction", "hit_rate", "speedup", "blocks_per"];
+    if higher.iter().any(|s| leaf.contains(s)) {
+        return Direction::HigherBetter;
+    }
+    // Everything else that benches emit measures cost: latencies (`_us`,
+    // `p99`, ...), syscall and block counters, elapsed time, amplification.
+    Direction::LowerBetter
+}
+
+/// One comparator verdict line.
+struct Delta {
+    key: String,
+    old: f64,
+    new: f64,
+    regressed: bool,
+}
+
+/// Compare two flattened reports; only keys present in both participate.
+fn compare_reports(
+    old: &BTreeMap<String, f64>,
+    new: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for (key, &o) in old {
+        let Some(&n) = new.get(key) else { continue };
+        let rel = if o == 0.0 {
+            if n == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (n - o) / o.abs()
+        };
+        let regressed = match direction_of(key) {
+            Direction::HigherBetter => rel < -threshold,
+            Direction::LowerBetter => rel > threshold,
+            Direction::Identity => false,
+        };
+        if regressed || rel.abs() > threshold {
+            out.push(Delta { key: key.clone(), old: o, new: n, regressed });
+        }
+    }
+    out
+}
+
+/// The `--compare=OLD,NEW` mode: never returns.
+fn run_compare(spec: &str, threshold: f64) -> ! {
+    let Some((old_path, new_path)) = spec.split_once(',') else {
+        eprintln!("--compare expects two comma-separated paths: --compare=old.json,new.json");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> BTreeMap<String, f64> {
+        let raw = std::fs::read_to_string(path.trim()).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        let mut flat = BTreeMap::new();
+        flatten_numbers(&doc, "", &mut flat);
+        flat
+    };
+    let old = load(old_path);
+    let new = load(new_path);
+    let shared = old.keys().filter(|k| new.contains_key(*k)).count();
+    if shared == 0 {
+        eprintln!("--compare: the reports share no numeric keys — nothing to judge");
+        std::process::exit(1);
+    }
+    let deltas = compare_reports(&old, &new, threshold);
+    println!(
+        "compared {} shared numeric keys at ±{:.0}% threshold ({} over threshold)",
+        shared,
+        threshold * 100.0,
+        deltas.len()
+    );
+    let mut regressions = 0;
+    if !deltas.is_empty() {
+        let mut table = Table::new(["key", "old", "new", "delta%", "verdict"]);
+        for d in &deltas {
+            let rel = if d.old == 0.0 { f64::INFINITY } else { 100.0 * (d.new - d.old) / d.old };
+            let verdict = if d.regressed {
+                regressions += 1;
+                "REGRESSED"
+            } else if direction_of(&d.key) == Direction::Identity {
+                "config drift"
+            } else {
+                "improved/ok"
+            };
+            table.row([
+                d.key.clone(),
+                fmt_f(d.old, 3),
+                fmt_f(d.new, 3),
+                fmt_f(rel, 1),
+                verdict.to_string(),
+            ]);
+        }
+        table.print();
+    }
+    if regressions > 0 {
+        println!("COMPARISON: {regressions} regression(s) beyond the threshold.");
+        std::process::exit(1);
+    }
+    println!("COMPARISON: no regressions.");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::from_env();
+    if let Some(spec) = args.get("compare") {
+        let threshold: f64 = args.get_or("compare-threshold", 0.2);
+        run_compare(spec, threshold);
+    }
+    if let Some(path) = args.get("check-health") {
+        let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        let problems = lsm_tree::observe::validate_health(&doc);
+        if problems.is_empty() {
+            println!("{path}: valid lsm-health/v1 report.");
+            std::process::exit(0);
+        }
+        for p in &problems {
+            eprintln!("{path}: {p}");
+        }
+        std::process::exit(1);
+    }
     if let Some(path) = args.get("check-fileio") {
         let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
@@ -357,6 +569,107 @@ fn main() {
         }
         t.print();
     }
+    // Windowed health: the rolling view of the run's tail, plus an exact
+    // reconciliation — the health engine and the metrics registry consumed
+    // the same event stream through independent paths, so their cumulative
+    // counters must agree to the unit.
+    if let Some(health) = obs.health() {
+        let report = health.report();
+        let cfg_sec = field(&report, "config");
+        let window_ops = cfg_sec.and_then(|c| field(c, "window_ops")).and_then(num).unwrap_or(0.0);
+        let windows = cfg_sec.and_then(|c| field(c, "windows")).and_then(num).unwrap_or(0.0);
+        println!(
+            "\n=== windowed health (rolling {} windows × {} device ops, {} completed) ===",
+            windows,
+            window_ops,
+            health.windows_completed()
+        );
+        let mut t = Table::new([
+            "series",
+            "put p99.9 ns",
+            "fsync p99 ns",
+            "write amp",
+            "cache hit%",
+            "stalls",
+        ]);
+        let row_of = |label: String, sec: &Json, fsync_p99: f64| {
+            let get = |k: &str| field(sec, k).and_then(num).unwrap_or(0.0);
+            let lat = |k: &str, q: &str| {
+                field(sec, k).and_then(|l| field(l, q)).and_then(num).unwrap_or(0.0)
+            };
+            [
+                label,
+                fmt_f(lat("put_latency", "p999"), 0),
+                fmt_f(fsync_p99, 0),
+                fmt_f(get("write_amp"), 2),
+                fmt_f(100.0 * get("cache_hit_rate"), 1),
+                fmt_f(get("backpressure"), 0),
+            ]
+        };
+        if let Some(rolling) = field(&report, "rolling") {
+            let fsync = field(rolling, "fsync_latency")
+                .and_then(|l| field(l, "p99"))
+                .and_then(num)
+                .unwrap_or(0.0);
+            t.row(row_of("global".into(), rolling, fsync));
+        }
+        if let Some(Json::Arr(shards)) = field(&report, "shards") {
+            for sec in shards {
+                let idx = field(sec, "shard").and_then(num).unwrap_or(-1.0);
+                t.row(row_of(format!("shard {idx}"), sec, 0.0));
+            }
+        }
+        t.print();
+        if let Some(Json::Arr(detectors)) = field(&report, "detectors") {
+            let states: Vec<String> = detectors
+                .iter()
+                .map(|d| {
+                    let name = match field(d, "detector") {
+                        Some(Json::Str(s)) => s.clone(),
+                        _ => "?".into(),
+                    };
+                    let state = match field(d, "state") {
+                        Some(Json::Str(s)) => s.clone(),
+                        _ => "?".into(),
+                    };
+                    format!("{name}={state}")
+                })
+                .collect();
+            println!("detectors: {}", states.join(", "));
+        }
+        let cumulative = field(&report, "cumulative").expect("health report has cumulative");
+        let checks = [
+            ("device.writes", "device_writes"),
+            ("cache.hits", "cache_hits"),
+            ("cache.misses", "cache_misses"),
+            ("wal.appends", "wal_appends"),
+            ("scheduler.backpressure_stalls", "backpressure_stalls"),
+        ];
+        let mut mismatch = false;
+        for (counter, key) in checks {
+            let registry = metrics.counter(counter) as f64;
+            let engine = field(cumulative, key).and_then(num).unwrap_or(f64::NAN);
+            if engine != registry {
+                println!(
+                    "HEALTH MISMATCH: engine counted {engine} {key}, registry {counter} = {registry}"
+                );
+                mismatch = true;
+            }
+        }
+        if mismatch {
+            std::process::exit(1);
+        }
+        println!(
+            "registry agrees: {} device writes, {} cache hits, {} stalls (exact match).",
+            metrics.counter("device.writes"),
+            metrics.counter("cache.hits"),
+            metrics.counter("scheduler.backpressure_stalls"),
+        );
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("health".into(), report));
+        }
+    }
+
     // Exporters close before the deep check so verification traffic stays
     // out of the trace and the time series.
     for path in obs.finish().expect("write observability outputs") {

@@ -20,11 +20,17 @@
 //! ```text
 //! cargo run --release --bin lsm_fileio -- [--smoke] [--records=200000]
 //!     [--payload=100] [--block-size=4096] [--seed=1] [--direct]
-//!     [--out=BENCH_fileio.json]
+//!     [--out=BENCH_fileio.json] [--prom-out=PATH]
 //! ```
 //!
 //! `--direct` opens the devices with O_DIRECT when the filesystem supports
 //! it (probed first; falls back to buffered with a warning otherwise).
+//!
+//! `--prom-out=PATH` writes a Prometheus exposition of the syscall level:
+//! `lsm_file_preads` / `lsm_file_pwrites` gauges labelled per mode,
+//! `lsm_file_dir_syncs` for directory fsyncs, and the flight-recorder
+//! occupancy gauges (`lsm_flight_total` / `lsm_flight_dropped`) from a
+//! recorder attached to the batched cell's event stream.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -96,6 +102,7 @@ fn run_cell(
     seed: u64,
     device_blocks: u64,
     direct: bool,
+    sink: observe::SinkHandle,
 ) -> CellResult {
     let path =
         std::env::temp_dir().join(format!("lsm_fileio_{}_{mode}_{seed}.dev", std::process::id()));
@@ -110,7 +117,7 @@ fn run_cell(
     };
     let mut tree = LsmTree::new(
         cfg.clone(),
-        TreeOptions::builder().policy(PolicySpec::ChooseBest).build(),
+        TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(sink).build(),
         device,
     )
     .expect("valid bench configuration");
@@ -181,8 +188,27 @@ fn main() {
         "\n== File-backend batching: {records} inserts, {}-byte blocks, direct={direct} ==",
         cfg.block_size
     );
-    let unbatched = run_cell("unbatched", &cfg, records, seed, device_blocks, direct);
-    let batched = run_cell("batched", &cfg, records, seed, device_blocks, direct);
+    // With `--prom-out` the batched cell carries a flight recorder, so the
+    // exposition can report its drop counter alongside the syscall gauges
+    // (the recorder's ring is deliberately small — drops are expected and
+    // the point is that the count is visible, not zero).
+    let prom_out = args.get("prom-out").map(str::to_string);
+    let flight = prom_out.as_ref().map(|_| Arc::new(observe::FlightRecorderSink::new(512)));
+    let batched_sink = match &flight {
+        Some(f) => observe::SinkHandle::new(Arc::clone(f) as Arc<dyn observe::EventSink>),
+        None => observe::SinkHandle::none(),
+    };
+
+    let unbatched = run_cell(
+        "unbatched",
+        &cfg,
+        records,
+        seed,
+        device_blocks,
+        direct,
+        observe::SinkHandle::none(),
+    );
+    let batched = run_cell("batched", &cfg, records, seed, device_blocks, direct, batched_sink);
 
     // Same config, same seed, inline scheduler: both cells perform the
     // identical logical block sequence. Anything else means the batched
@@ -244,4 +270,21 @@ fn main() {
     ]);
     std::fs::write(&out, doc.render_pretty()).expect("write json report");
     println!("wrote {out}");
+
+    if let Some(path) = prom_out {
+        let metrics = observe::Metrics::new();
+        unbatched.syscalls.export_metrics(&metrics, &[("mode", "unbatched")]);
+        batched.syscalls.export_metrics(&metrics, &[("mode", "batched")]);
+        metrics.set_gauge("file.dir_syncs", sim_ssd::dir_syncs() as f64);
+        if let Some(f) = &flight {
+            f.export_metrics(&metrics);
+        }
+        let text = metrics.render_prometheus(&[("bench", "lsm_fileio")]);
+        if let Err(e) = observe::metrics::validate_prometheus(&text) {
+            eprintln!("PROMETHEUS EXPOSITION INVALID: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&path, text).expect("write prometheus exposition");
+        println!("wrote {path}");
+    }
 }

@@ -2,7 +2,7 @@
 //! torture harness (`lsm_crash --bundle-dir=...` or a failing cycle):
 //! validate it against the `lsm-postmortem/v1` schema and pretty-print
 //! every forensic section — flight recorder tail, open spans, decision
-//! ledger, tree topology, wear heatmap, and device I/O.
+//! ledger, tree topology, wear heatmap, windowed health, and device I/O.
 //!
 //! ```text
 //! cargo run --release --bin lsm_postmortem -- <bundle.json> [--events=12]
@@ -265,6 +265,57 @@ fn print_scheduler(sched: &Json) {
     }
 }
 
+fn print_health(health: &Json) {
+    println!("\n=== windowed health ===");
+    let cfg = field(health, "config").cloned().unwrap_or(Json::Null);
+    println!(
+        "schema {} | {} windows of {} device ops completed ({} device ops total)",
+        text(health, "schema").unwrap_or("?"),
+        num(health, "windows_completed"),
+        num(&cfg, "window_ops"),
+        num(health, "device_ops"),
+    );
+    let detectors = items(health, "detectors");
+    if !detectors.is_empty() {
+        let states: Vec<String> = detectors
+            .iter()
+            .map(|d| {
+                format!(
+                    "{}={} ({} trips)",
+                    text(d, "detector").unwrap_or("?"),
+                    text(d, "state").unwrap_or("?"),
+                    num(d, "trips"),
+                )
+            })
+            .collect();
+        println!("detectors: {}", states.join(", "));
+    }
+    if let Some(slo) = field(health, "slo") {
+        println!(
+            "slo: {} good / {} bad puts, alerting {}",
+            num(slo, "good"),
+            num(slo, "bad"),
+            matches!(field(slo, "alerting"), Some(Json::Bool(true))),
+        );
+    }
+    let transitions = items(health, "transitions");
+    if transitions.is_empty() {
+        println!("no detector transitions recorded");
+    } else {
+        println!("{} detector transition(s):", transitions.len());
+        let mut t = Table::new(["window", "detector", "from", "to"]);
+        for tr in transitions {
+            t.row([
+                num(tr, "window").to_string(),
+                text(tr, "detector").unwrap_or("?").to_string(),
+                text(tr, "from").unwrap_or("?").to_string(),
+                text(tr, "to").unwrap_or("?").to_string(),
+            ]);
+        }
+        t.print();
+    }
+}
+
 fn print_wear(wear: &Json) {
     println!("\n=== device wear ===");
     println!(
@@ -342,6 +393,9 @@ fn main() {
     }
     if let Some(wear) = field(&doc, "wear") {
         print_wear(wear);
+    }
+    if let Some(health) = field(&doc, "health") {
+        print_health(health);
     }
     if let Some(io) = field(&doc, "device_io") {
         println!(

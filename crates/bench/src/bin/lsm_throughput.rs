@@ -33,6 +33,7 @@
 //!     [--certify-stall-free] [--certify-shards=2] [--stall-bound-us=N]
 //!     [--raw-device] [--read-us=25] [--write-us=200] [--backend=mem|file]
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv]
+//!     [--health-out=h.json] [--health-window-ops=N] [--health-windows=K]
 //! ```
 //!
 //! `--backend=file` backs every shard with a [`sim_ssd::FileDevice`] in the
@@ -54,19 +55,25 @@
 //!
 //! Observability: exporters perturb what a cell measures, so the timed
 //! cells always run un-instrumented. When any of `--trace-out` /
-//! `--prom-out` / `--series-out` is given, one extra *traced* cell runs
-//! after the timing matrix at the largest shard count with the full
-//! pipeline attached — its spans, metrics, and time series describe the
-//! same workload the matrix timed.
+//! `--prom-out` / `--series-out` / `--health-out` is given, one extra
+//! *traced* cell runs after the timing matrix at the largest shard count
+//! with the full pipeline attached — its spans, metrics, time series, and
+//! windowed health report describe the same workload the matrix timed.
+//! The traced cell streams each request's latency into the health engine
+//! as it completes, so the report's rolling windows reflect the run's
+//! phases rather than one end-of-run merge.
 
 use std::sync::Arc;
 
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Csv, ObsPipeline, Table};
-use lsm_tree::observe::{Json, SinkHandle};
+use lsm_tree::observe::{HealthSink, Json, SinkHandle};
 use lsm_tree::{LsmConfig, PolicySpec, Scheduler, ShardedLsmTree, TreeOptions};
 use sim_ssd::{BlockDevice, CostModel, FileDevice, LatencyDevice, MemDevice};
-use workloads::{run_closed_loop, InsertRatio, OffsetKeys, PrebuiltRequests, ThreadPlan, Uniform};
+use workloads::{
+    run_closed_loop_observed, InsertRatio, OffsetKeys, PrebuiltRequests, RequestKind, ThreadPlan,
+    Uniform,
+};
 
 /// Per-writer key domain: writers get disjoint ranges `[w·D, (w+1)·D)`.
 const WRITER_DOMAIN: u64 = 1 << 26;
@@ -106,6 +113,7 @@ fn run_cell(
     scheduler: Scheduler,
     backend: Backend,
     sink: SinkHandle,
+    health: Option<&Arc<HealthSink>>,
 ) -> Cell {
     // File-backed shards get unique paths (pid ⊕ seed ⊕ shard) so repeated
     // cells and concurrent invocations never collide; the files are sparse
@@ -143,7 +151,7 @@ fn run_cell(
         devices,
     )
     .expect("valid bench configuration");
-    let report = run_closed_loop(
+    let report = run_closed_loop_observed(
         &tree,
         plan,
         // Requests are taped before the timed loop starts (run_closed_loop
@@ -168,6 +176,17 @@ fn run_cell(
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             (x >> 16) % (plan.writers.max(1) as u64 * WRITER_DOMAIN)
+        },
+        // The health engine consumes each put's latency live. Puts are the
+        // only request the engine cannot see on its own: gets arrive as
+        // `Lookup` span durations through the attached sink, and feeding
+        // them here too would double-count. Shard attribution for put
+        // latencies is left to the event stream (the router hashes keys,
+        // so the caller here cannot know it).
+        move |kind, ns| {
+            if let (Some(h), RequestKind::Put) = (health, kind) {
+                h.record_put(None, ns);
+            }
         },
     )
     .expect("closed loop failed");
@@ -225,6 +244,7 @@ fn certify_stall_free(
             sched,
             Backend::Mem,
             SinkHandle::none(),
+            None,
         )
     };
     let inline = cell(Scheduler::Inline);
@@ -397,6 +417,7 @@ fn main() {
                     scheduler,
                     backend,
                     SinkHandle::none(),
+                    None,
                 )
             })
             .collect();
@@ -464,6 +485,7 @@ fn main() {
             scheduler,
             backend,
             obs.sink(),
+            obs.health(),
         );
         for path in obs.finish().expect("write observability outputs") {
             println!("wrote {}", path.display());

@@ -12,6 +12,12 @@
 //! - `--tick-clock` — deterministic tick timestamps (each clock reading is
 //!   the next integer) instead of wall-clock microseconds, for
 //!   byte-reproducible traces.
+//! - `--health-out=PATH` — windowed health report (`lsm-health/v1` JSON)
+//!   from a [`HealthSink`] attached to the same stream; validated before
+//!   it is written. `--health` attaches the sink without writing a file
+//!   (for binaries that render the report themselves).
+//! - `--health-window-ops=N` / `--health-windows=K` — device ops per
+//!   health window and rolling ring depth (defaults 2000 / 8).
 //!
 //! [`ObsPipeline::from_args`] assembles the matching sink stack — a
 //! [`Tracer`] in front when anything needs spans, a plain fan-out
@@ -21,8 +27,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use observe::{
-    ChromeTraceSink, EventSink, FanoutSink, Metrics, SinkHandle, TextExpositionSink, TickClock,
-    TimeseriesSink, Tracer,
+    ChromeTraceSink, EventSink, FanoutSink, HealthConfig, HealthSink, Metrics, SinkHandle,
+    TextExpositionSink, TickClock, TimeseriesSink, Tracer,
 };
 
 use crate::Args;
@@ -34,9 +40,11 @@ pub struct ObsPipeline {
     chrome: Option<Arc<ChromeTraceSink>>,
     text: Option<Arc<TextExpositionSink>>,
     series: Option<Arc<TimeseriesSink>>,
+    health: Option<Arc<HealthSink>>,
     trace_path: Option<PathBuf>,
     prom_path: Option<PathBuf>,
     series_path: Option<PathBuf>,
+    health_path: Option<PathBuf>,
 }
 
 impl ObsPipeline {
@@ -53,6 +61,24 @@ impl ObsPipeline {
         let prom_path = args.get("prom-out").map(PathBuf::from);
         let series_path = args.get("series-out").map(PathBuf::from);
         let series_every: u64 = args.get_or("series-every", 1_000);
+        let health_path = args.get("health-out").map(PathBuf::from);
+
+        let health = if health_path.is_some() || args.flag("health") {
+            let defaults = HealthConfig::default();
+            let clock: Arc<dyn observe::Clock> = if args.flag("tick-clock") {
+                Arc::new(TickClock::new())
+            } else {
+                Arc::clone(&defaults.clock)
+            };
+            Some(Arc::new(HealthSink::new(HealthConfig {
+                window_ops: args.get_or("health-window-ops", defaults.window_ops),
+                windows: args.get_or("health-windows", defaults.windows as u64) as usize,
+                clock,
+                ..defaults
+            })))
+        } else {
+            None
+        };
 
         let text =
             prom_path.as_ref().map(|p| Arc::new(TextExpositionSink::new(p.clone(), global_labels)));
@@ -85,6 +111,12 @@ impl ObsPipeline {
             if let Some(c) = &chrome {
                 tracer = tracer.trace_to(Arc::clone(c) as _);
             }
+            if let Some(h) = &health {
+                // Behind the tracer the health engine sees span begins and
+                // ends — WAL-append and lookup durations, plus per-shard
+                // attribution from the span ops.
+                tracer = tracer.trace_to(Arc::clone(h) as _);
+            }
             if let Some(t) = &text {
                 tracer = tracer.time_spans_into(t.metrics());
             }
@@ -93,6 +125,11 @@ impl ObsPipeline {
             }
             SinkHandle::of(tracer)
         } else {
+            // No tracer: the health sink times spans itself through its
+            // configured clock (its EventSink span hooks).
+            if let Some(h) = &health {
+                consumers.push(Arc::clone(h) as Arc<dyn EventSink>);
+            }
             match consumers.len() {
                 0 => SinkHandle::none(),
                 1 => SinkHandle::new(consumers.pop().expect("len checked")),
@@ -100,7 +137,17 @@ impl ObsPipeline {
             }
         };
 
-        Ok(ObsPipeline { handle, chrome, text, series, trace_path, prom_path, series_path })
+        Ok(ObsPipeline {
+            handle,
+            chrome,
+            text,
+            series,
+            health,
+            trace_path,
+            prom_path,
+            series_path,
+            health_path,
+        })
     }
 
     /// Whether any exporter was requested.
@@ -124,10 +171,36 @@ impl ObsPipeline {
         self.series.as_deref()
     }
 
+    /// The windowed health engine, when `--health-out` or `--health` was
+    /// given. Drivers feed put latencies into it directly
+    /// ([`HealthSink::record_put`]) — the one request-level observation
+    /// the event stream does not carry (gets arrive as `Lookup` span
+    /// durations through the sink itself).
+    pub fn health(&self) -> Option<&Arc<HealthSink>> {
+        self.health.as_ref()
+    }
+
     /// Flush every exporter to disk and return the files written.
     pub fn finish(&self) -> std::io::Result<Vec<PathBuf>> {
         self.handle.flush();
         let mut written = Vec::new();
+        // Health gauges go into the registry before the Prometheus text
+        // is rendered, so every windowed series appears in the exposition.
+        if let (Some(health), Some(text)) = (&self.health, &self.text) {
+            health.export_gauges(&text.metrics());
+        }
+        if let (Some(health), Some(path)) = (&self.health, &self.health_path) {
+            let doc = health.report();
+            let problems = observe::validate_health(&doc);
+            if !problems.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("health report failed validation: {}", problems.join("; ")),
+                ));
+            }
+            std::fs::write(path, doc.render() + "\n")?;
+            written.push(path.clone());
+        }
         if let (Some(chrome), Some(path)) = (&self.chrome, &self.trace_path) {
             chrome.finish();
             written.push(path.clone());
@@ -154,6 +227,7 @@ impl std::fmt::Debug for ObsPipeline {
             .field("trace", &self.trace_path)
             .field("prom", &self.prom_path)
             .field("series", &self.series_path)
+            .field("health", &self.health_path)
             .finish()
     }
 }
@@ -201,6 +275,37 @@ mod tests {
         assert!(prom_doc.contains("policy=\"test\""));
         let series_doc = std::fs::read_to_string(&series).unwrap();
         assert!(series_doc.starts_with("op,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_out_writes_a_validated_report_and_gauges() {
+        let dir = std::env::temp_dir().join("lsm_bench_obs_health_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let health_path = dir.join("h.json");
+        let prom = dir.join("m.prom");
+        let args = Args::parse_from(vec![
+            format!("--health-out={}", health_path.display()),
+            format!("--prom-out={}", prom.display()),
+            "--health-window-ops=4".into(),
+            "--health-windows=2".into(),
+            "--tick-clock".into(),
+        ]);
+        let p = ObsPipeline::from_args(&args, 32, &[]).unwrap();
+        let health = Arc::clone(p.health().expect("health sink attached"));
+        let sink = p.sink();
+        for block in 0..20u64 {
+            sink.emit(observe::Event::DeviceWrite { block });
+            health.record_put(None, 100);
+        }
+        assert!(health.windows_completed() >= 4, "windows must rotate at the configured pace");
+        let written = p.finish().unwrap();
+        assert!(written.contains(&health_path));
+        let doc = observe::Json::parse(&std::fs::read_to_string(&health_path).unwrap())
+            .expect("health report parses");
+        assert!(observe::validate_health(&doc).is_empty());
+        let prom_doc = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_doc.contains("lsm_health_windows_completed"), "health gauges exported");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

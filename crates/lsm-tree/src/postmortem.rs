@@ -87,6 +87,12 @@ impl PostMortem {
         self.push("ledger", json)
     }
 
+    /// The windowed health engine's `lsm-health/v1` report (rolling
+    /// stats, detector states, transitions, SLO burn).
+    pub fn health(self, health: &observe::HealthSink) -> Self {
+        self.push("health", health.report())
+    }
+
     /// Device-level I/O counters.
     pub fn device_io(self, io: IoSnapshot) -> Self {
         self.push(
@@ -239,6 +245,17 @@ pub fn validate_bundle(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // An embedded health section must itself be a valid lsm-health/v1
+    // report (absent is fine — not every producer runs the engine).
+    match get("health") {
+        Some(health @ Json::Obj(_)) => {
+            for problem in observe::health::validate_health(health) {
+                problems.push(format!("health section: {problem}"));
+            }
+        }
+        Some(_) => problems.push("health section is not an object".to_string()),
+        None => {}
+    }
     match get("scheduler") {
         Some(Json::Obj(sched)) => {
             let field = |key: &str| sched.iter().find(|(k, _)| k == key).map(|(_, v)| v);
@@ -316,6 +333,22 @@ mod tests {
             vec!["schema", "reason", "seed", "repro", "error", "flight", "ledger", "tree"],
             "sections in insertion order"
         );
+    }
+
+    #[test]
+    fn health_section_is_validated_when_present() {
+        let health = observe::HealthSink::with_defaults();
+        health.record_put(Some(0), 1_000);
+        health.emit(&Event::DeviceSync);
+        let recorder = FlightRecorderSink::new(8);
+        let pm = PostMortem::new("health test").flight(&recorder).health(&health);
+        let doc = Json::parse(&pm.to_json().render()).expect("bundle parses");
+        assert!(validate_bundle(&doc).is_empty(), "{:?}", validate_bundle(&doc));
+
+        // A malformed embedded report is reported with its section prefix.
+        let tampered = pm.to_json().render().replace("lsm-health/v1", "lsm-health/v0");
+        let doc = Json::parse(&tampered).unwrap();
+        assert!(validate_bundle(&doc).iter().any(|p| p.starts_with("health section:")));
     }
 
     #[test]

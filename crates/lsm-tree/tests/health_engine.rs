@@ -1,0 +1,212 @@
+//! Deterministic end-to-end exercise of the windowed health engine
+//! (ISSUE 9): a seeded [`SimExecutor`]-backed sharded tree is driven into
+//! backpressure while scripted put latencies breach the write-stall bound,
+//! and the [`HealthSink`] consuming the tree's ordinary event stream must
+//! trip both detectors within one window of the induced stall — then clear
+//! them once the stall ends, proving the hysteresis path. The whole run is
+//! single-threaded and seeded, so the rendered `lsm-health/v1` report is
+//! asserted byte-identical across replays.
+
+use std::sync::Arc;
+
+use lsm_tree::observe::{
+    validate_health, Event, EventSink, HealthConfig, HealthDetector, HealthSink, HealthState, Json,
+    SinkHandle, TickClock, TransitionRecord,
+};
+use lsm_tree::{LsmConfig, PolicySpec, SchedulerBackend, ShardedLsmTree, SimExecutor, TreeOptions};
+
+fn tiny_cfg() -> LsmConfig {
+    LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 4,
+        gamma: 4,
+        cache_blocks: 16,
+        merge_rate: 0.25,
+        ..LsmConfig::default()
+    }
+}
+
+/// Tight windows so the scenario completes in a handful of device ops:
+/// 32 device ops per window, 4-window rolling ring, alert after one
+/// breaching window, clear after two healthy ones. The drift and hit-rate
+/// detectors are parked out of range — this scenario scripts a stall, and
+/// an unrelated detector firing would make the transition log
+/// seed-dependent in ways the test does not control.
+fn scenario_config() -> HealthConfig {
+    HealthConfig {
+        window_ops: 32,
+        windows: 4,
+        put_p99_limit: 1_000,
+        fsync_p99_limit: u64::MAX,
+        backpressure_limit: 4,
+        write_amp_drift: 1e12,
+        hit_rate_floor: 0.0,
+        min_window_lookups: u64::MAX,
+        min_window_samples: 4,
+        trip_after: 1,
+        clear_after: 2,
+        slo_target: 0.9,
+        slo_objective: 1_000,
+        slo_burn_limit: 1.0,
+        clock: Arc::new(TickClock::new()),
+    }
+}
+
+struct ScenarioResult {
+    report: String,
+    /// Report rendered right after the stall phase, while the breaching
+    /// epochs are still inside the rolling ring.
+    mid_report: String,
+    transitions: Vec<TransitionRecord>,
+    windows_before_stall: u64,
+    windows_after_stall: u64,
+    final_write_stall: HealthState,
+    final_backpressure: HealthState,
+}
+
+/// One seeded run: a stall phase (puts against a `max_imm = 1` simulated
+/// executor, each put scripted at 5 µs — five times the write-stall
+/// bound), then a quiet phase that keeps the window clock ticking with
+/// syncs while healthy 10 ns puts drain the ring.
+fn run_scenario(seed: u64) -> ScenarioResult {
+    let health = Arc::new(HealthSink::new(scenario_config()));
+    let handle = SinkHandle::new(Arc::clone(&health) as Arc<dyn EventSink>);
+    let sim = Arc::new(SimExecutor::new(1, seed, handle.clone()));
+    let opts = TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(handle.clone()).build();
+    let devices =
+        (0..2).map(|_| Arc::new(sim_ssd::MemDevice::with_block_size(1 << 14, 256)) as _).collect();
+    let tree = ShardedLsmTree::with_backend(
+        tiny_cfg(),
+        opts,
+        devices,
+        None,
+        Some(Arc::clone(&sim) as Arc<dyn SchedulerBackend>),
+    )
+    .expect("create");
+
+    let windows_before_stall = health.windows_completed();
+    // Stall phase: enough puts to seal memtables past the bound over and
+    // over; every stalled seal emits Event::Backpressure from the
+    // executor's wait-for-room loop, and the flush/merge work it runs
+    // inline emits the device ops that advance the window clock.
+    for k in 0..600u64 {
+        tree.put(k, vec![(k % 251) as u8; 4]).expect("put");
+        health.record_put(Some(tree.shard_of(k)), 5_000);
+    }
+    let windows_after_stall = health.windows_completed();
+    let mid_report = health.report().render();
+
+    // Quiet phase: no more stalls. Healthy puts keep the latency ring
+    // populated below the bound while syncs tick the window clock until
+    // the breaching epochs age out of the rolling ring and the
+    // clear-after hysteresis runs its course.
+    while health.windows_completed() < windows_after_stall + 12 {
+        health.record_put(None, 10);
+        handle.emit(Event::DeviceSync);
+    }
+    drop(tree);
+    sim.drain().expect("drain");
+
+    ScenarioResult {
+        report: health.report().render(),
+        mid_report,
+        transitions: health.transitions(),
+        windows_before_stall,
+        windows_after_stall,
+        final_write_stall: health.state(HealthDetector::WriteStall),
+        final_backpressure: health.state(HealthDetector::BackpressureStorm),
+    }
+}
+
+/// The first alert and clear for one detector, if any.
+fn trip_and_clear(
+    transitions: &[TransitionRecord],
+    detector: HealthDetector,
+) -> (Option<TransitionRecord>, Option<TransitionRecord>) {
+    let mut trip = None;
+    let mut clear = None;
+    for t in transitions.iter().filter(|t| t.detector == detector) {
+        match t.to {
+            HealthState::Alerting if trip.is_none() => trip = Some(*t),
+            HealthState::Healthy if trip.is_some() && clear.is_none() => clear = Some(*t),
+            _ => {}
+        }
+    }
+    (trip, clear)
+}
+
+#[test]
+fn induced_stall_trips_and_clears_both_detectors() {
+    let r = run_scenario(42);
+    assert!(
+        r.windows_after_stall > r.windows_before_stall,
+        "the stall phase must rotate at least one window"
+    );
+
+    for detector in [HealthDetector::BackpressureStorm, HealthDetector::WriteStall] {
+        let (trip, clear) = trip_and_clear(&r.transitions, detector);
+        let trip = trip.unwrap_or_else(|| panic!("{} never tripped", detector.name()));
+        assert_eq!(trip.from, HealthState::Healthy);
+        // "Within one window of the induced stall": the alert fires at a
+        // boundary evaluated while the stall phase is still running (or
+        // at the very next boundary after it ends).
+        assert!(
+            trip.window >= r.windows_before_stall && trip.window <= r.windows_after_stall + 1,
+            "{} tripped at window {}, stall spanned windows {}..{}",
+            detector.name(),
+            trip.window,
+            r.windows_before_stall,
+            r.windows_after_stall
+        );
+        let clear = clear.unwrap_or_else(|| panic!("{} never cleared", detector.name()));
+        assert!(clear.window > trip.window);
+        assert!(
+            clear.window <= r.windows_after_stall + 12,
+            "{} cleared only at window {}",
+            detector.name(),
+            clear.window
+        );
+    }
+    assert_eq!(r.final_write_stall, HealthState::Healthy);
+    assert_eq!(r.final_backpressure, HealthState::Healthy);
+}
+
+#[test]
+fn report_is_byte_identical_across_replays_and_validates() {
+    let a = run_scenario(7);
+    let b = run_scenario(7);
+    assert_eq!(a.report, b.report, "same seed must render the same health report bytes");
+
+    let doc = Json::parse(&a.report).expect("health report parses");
+    let problems = validate_health(&doc);
+    assert!(problems.is_empty(), "health report invalid: {problems:?}");
+    assert_eq!(doc.render(), a.report, "render(parse(render)) must be the identity");
+
+    // A different seed reshuffles the executor's maintenance
+    // interleaving; the engine still produces a valid report.
+    let c = run_scenario(8);
+    let doc_c = Json::parse(&c.report).expect("second seed parses");
+    assert!(validate_health(&doc_c).is_empty());
+}
+
+#[test]
+fn report_attributes_backpressure_to_the_stalled_shards() {
+    let r = run_scenario(42);
+    // The mid-run snapshot still has the stall inside its rolling ring.
+    let doc = Json::parse(&r.mid_report).expect("parses");
+    let Json::Obj(pairs) = &doc else { panic!("not an object") };
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let Some(Json::Arr(shards)) = get("shards") else { panic!("missing shards section") };
+    assert_eq!(shards.len(), 2, "both shards must appear");
+    let mut total = 0u64;
+    for shard in shards {
+        let Json::Obj(fields) = shard else { panic!("shard entry not an object") };
+        let bp = fields.iter().find(|(k, _)| k == "backpressure").map(|(_, v)| match v {
+            Json::U64(n) => *n,
+            other => panic!("shard backpressure is not a count: {other:?}"),
+        });
+        total += bp.expect("shard backpressure present");
+    }
+    assert!(total > 0, "stalls must be attributed to shards, not only the global series");
+}

@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use lsm_tree::observe::trace::TraceEventKind;
 use lsm_tree::observe::{
-    ChromeTraceSink, Event, FlightEntry, FlightRecorderSink, NullSink, SinkHandle, SpanKind,
-    TextExpositionSink, TickClock, TimeseriesSink, Tracer, VecTraceSink,
+    ChromeTraceSink, Event, FlightEntry, FlightRecorderSink, HealthSink, NullSink, SinkHandle,
+    SpanKind, TextExpositionSink, TickClock, TimeseriesSink, Tracer, VecTraceSink,
 };
 use lsm_tree::{LsmConfig, LsmTree, PolicySpec, ShardedLsmTree, TreeOptions};
 use sim_ssd::{BlockDevice, MemDevice};
@@ -80,11 +80,13 @@ fn exporters_have_no_observer_effect() {
     let null = run(SinkHandle::of(NullSink));
     let prom_path = std::env::temp_dir().join("trace_spans_observer_effect.prom");
     let recorder = Arc::new(FlightRecorderSink::new(256));
+    let health = Arc::new(HealthSink::with_defaults());
     let full = run(SinkHandle::of(
         Tracer::with_clock(Arc::new(TickClock::new()))
             .trace_to(Arc::new(VecTraceSink::new()))
             .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
             .trace_to(Arc::clone(&recorder) as _)
+            .trace_to(Arc::clone(&health) as _)
             .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
             .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
     ));
@@ -99,6 +101,11 @@ fn exporters_have_no_observer_effect() {
     assert_eq!(recorder.len(), recorder.capacity(), "ring never filled");
     assert_eq!(recorder.dropped(), recorder.total() - recorder.capacity() as u64);
     assert!(recorder.open_spans().is_empty(), "spans leaked past the run");
+    // So did the health engine: windows rotated, and the report validates.
+    assert!(health.windows_completed() > 0, "health windows never rotated");
+    let report = health.report().render();
+    let doc = lsm_tree::observe::Json::parse(&report).unwrap();
+    assert!(lsm_tree::observe::validate_health(&doc).is_empty(), "{report}");
     std::fs::remove_file(&prom_path).ok();
 }
 
@@ -145,12 +152,14 @@ fn exporters_have_no_observer_effect_with_scheduler() {
     let bare = run(SinkHandle::none());
     let null = run(SinkHandle::of(NullSink));
     let recorder = Arc::new(FlightRecorderSink::new(256));
+    let health = Arc::new(HealthSink::with_defaults());
     let prom_path = std::env::temp_dir().join("trace_spans_observer_effect_sched.prom");
     let full = run(SinkHandle::of(
         Tracer::with_clock(Arc::new(TickClock::new()))
             .trace_to(Arc::new(VecTraceSink::new()))
             .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
             .trace_to(Arc::clone(&recorder) as _)
+            .trace_to(Arc::clone(&health) as _)
             .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
             .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
     ));
@@ -159,6 +168,7 @@ fn exporters_have_no_observer_effect_with_scheduler() {
     assert_eq!(bare, full, "exporter pipeline changed the scheduled run");
     assert!(recorder.total() > 0, "the pipeline saw no events");
     assert!(recorder.open_spans().is_empty(), "spans leaked past the drained run");
+    assert!(health.windows_completed() > 0, "health windows never rotated");
     std::fs::remove_file(&prom_path).ok();
 }
 

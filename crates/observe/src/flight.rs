@@ -147,6 +147,18 @@ impl FlightRecorderSink {
         state.total - state.ring.len() as u64
     }
 
+    /// Export the recorder's occupancy as gauges into `metrics`
+    /// (`flight.capacity`, `flight.total`, `flight.dropped`), so ring
+    /// pressure is visible in the Prometheus exposition instead of only
+    /// via direct struct access.
+    pub fn export_metrics(&self, metrics: &crate::metrics::Metrics) {
+        let state = self.lock();
+        let dropped = state.total - state.ring.len() as u64;
+        metrics.set_gauge("flight.capacity", self.capacity as f64);
+        metrics.set_gauge("flight.total", state.total as f64);
+        metrics.set_gauge("flight.dropped", dropped as f64);
+    }
+
     /// Copy of the retained events, oldest first.
     pub fn snapshot(&self) -> Vec<FlightEntry> {
         self.lock().ring.iter().copied().collect()

@@ -28,17 +28,24 @@
 #![forbid(unsafe_code)]
 
 pub mod flight;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+pub mod windowed;
 
 pub use flight::{FlightEntry, FlightRecorderSink, OpenSpan};
+pub use health::{
+    validate_health, HealthConfig, HealthDetector, HealthSink, HealthState, SloTracker,
+    TransitionRecord,
+};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics, TextExpositionSink};
 pub use trace::{
     ChromeTraceSink, Clock, SpanGuard, SpanId, SpanKind, SpanOp, TickClock, TimeseriesSink,
     TraceEvent, TraceEventKind, TraceSink, Tracer, VecTraceSink, WallClock,
 };
+pub use windowed::{RateWindow, WindowedHistogram};
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -253,6 +260,21 @@ pub enum Event {
         /// Immutable memtables pending at stall time.
         backlog: usize,
     },
+    /// A health detector changed state at a window boundary. Emitted by
+    /// [`HealthSink`] into its transition stream (never back into the
+    /// stream it consumes), so alerting pipelines can subscribe to state
+    /// changes without polling the report.
+    HealthTransition {
+        /// Which detector transitioned.
+        detector: HealthDetector,
+        /// State before the window boundary.
+        from: HealthState,
+        /// State after the window boundary.
+        to: HealthState,
+        /// Zero-based index of the window at whose close the transition
+        /// fired.
+        window: u64,
+    },
 }
 
 /// The kind of fault a fault-injection device fired, as reported by
@@ -325,6 +347,7 @@ impl Event {
             Event::FlushEnqueued { .. } => "flush_enqueued",
             Event::JobStart { .. } => "job_start",
             Event::Backpressure { .. } => "backpressure",
+            Event::HealthTransition { .. } => "health_transition",
         }
     }
 
@@ -429,6 +452,12 @@ impl Event {
             Event::Backpressure { shard, backlog } => {
                 put("shard", Json::from(shard));
                 put("backlog", Json::from(backlog));
+            }
+            Event::HealthTransition { detector, from, to, window } => {
+                put("detector", Json::from(detector.name()));
+                put("from", Json::from(from.name()));
+                put("to", Json::from(to.name()));
+                put("window", Json::from(window));
             }
         }
         Json::Obj(pairs)
@@ -703,6 +732,8 @@ pub struct CountingSnapshot {
     pub job_starts: u64,
     /// Writers stalled by admission control.
     pub backpressure_stalls: u64,
+    /// Health detector state transitions.
+    pub health_transitions: u64,
 }
 
 /// Counts events per category with relaxed atomics — no locking, safe to
@@ -739,6 +770,7 @@ pub struct CountingSink {
     flushes_enqueued: AtomicU64,
     job_starts: AtomicU64,
     backpressure_stalls: AtomicU64,
+    health_transitions: AtomicU64,
 }
 
 impl CountingSink {
@@ -781,6 +813,7 @@ impl CountingSink {
             flushes_enqueued: get(&self.flushes_enqueued),
             job_starts: get(&self.job_starts),
             backpressure_stalls: get(&self.backpressure_stalls),
+            health_transitions: get(&self.health_transitions),
         }
     }
 }
@@ -824,6 +857,7 @@ impl EventSink for CountingSink {
             Event::FlushEnqueued { .. } => bump(&self.flushes_enqueued),
             Event::JobStart { .. } => bump(&self.job_starts),
             Event::Backpressure { .. } => bump(&self.backpressure_stalls),
+            Event::HealthTransition { .. } => bump(&self.health_transitions),
         }
     }
 }
@@ -989,6 +1023,13 @@ impl EventSink for MetricsSink {
             Event::Backpressure { backlog, .. } => {
                 m.incr("scheduler.backpressure_stalls");
                 m.observe("scheduler.stall_backlog", backlog as u64);
+            }
+            Event::HealthTransition { detector, to, .. } => {
+                m.incr("health.transitions");
+                m.add_with("health.detector_transitions", &[("detector", detector.name())], 1);
+                if to.is_alerting() {
+                    m.incr("health.alerts");
+                }
             }
         }
     }

@@ -41,6 +41,17 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     bound.min(u128::from(u64::MAX)) as u64
 }
 
+/// Smallest value that lands in bucket `idx` (the previous bucket's upper
+/// bound, exclusive there, inclusive here — except bucket 0, which holds
+/// exactly the value 0).
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_upper_bound(idx - 1)
+    }
+}
+
 /// A log-bucketed histogram of `u64` samples: 16 linear sub-buckets per
 /// power of two, so quantiles are accurate to ~4 % of the true value
 /// (values below 16 are exact; the true min and max are tracked exactly).
@@ -127,6 +138,43 @@ impl Histogram {
         self.max
     }
 
+    /// Value at quantile `q ∈ [0, 1]` with linear interpolation *inside*
+    /// the landing bucket, so the result moves continuously with `q`
+    /// instead of jumping between bucket bounds. Buckets below 16 hold a
+    /// single exact value, so small samples resolve exactly; the result is
+    /// clamped to the true `[min, max]` of the recorded samples.
+    ///
+    /// [`Histogram::quantile`] (the bucket upper bound) remains the
+    /// conservative estimate; `percentile` is the better point estimate
+    /// for reporting rolling p50/p99/p99.9.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                if idx < SUB as usize {
+                    // Exact single-value bucket: nothing to interpolate.
+                    return idx as f64;
+                }
+                let lo = bucket_lower_bound(idx) as f64;
+                let hi = bucket_upper_bound(idx) as f64;
+                // Position of the requested rank within this bucket's n
+                // samples, spread evenly over the bucket's width.
+                let within = (rank - seen) as f64 / n as f64;
+                let value = lo + (hi - lo) * within;
+                return value.clamp(self.min() as f64, self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
+
     /// Median (the 0.5 quantile).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -189,6 +237,7 @@ impl Histogram {
 #[derive(Default)]
 struct Registry {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -288,6 +337,7 @@ impl std::fmt::Debug for Metrics {
         let reg = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         f.debug_struct("Metrics")
             .field("counters", &reg.counters.len())
+            .field("gauges", &reg.gauges.len())
             .field("histograms", &reg.histograms.len())
             .finish()
     }
@@ -319,6 +369,34 @@ impl Metrics {
     /// Increment the labeled counter `name{labels}` by `delta`.
     pub fn add_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
         self.add(&labeled(name, labels), delta);
+    }
+
+    /// Set the gauge `name` to `value` (last write wins). Gauges carry
+    /// instantaneous readings — rolling-window statistics, queue depths,
+    /// drop counts — where a monotonic counter would be a lie. Non-finite
+    /// values are ignored so the Prometheus rendering stays parseable.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.with_registry(|reg| {
+            reg.gauges.insert(name.to_string(), value);
+        });
+    }
+
+    /// Set the labeled gauge `name{labels}` to `value`.
+    pub fn set_gauge_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.set_gauge(&labeled(name, labels), value);
+    }
+
+    /// Current value of the gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.with_registry(|reg| reg.gauges.get(name).copied())
+    }
+
+    /// Copy of all gauges.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        self.with_registry(|reg| reg.gauges.clone())
     }
 
     /// Record `value` into the histogram `name`.
@@ -354,9 +432,15 @@ impl Metrics {
         self.with_registry(|reg| {
             let counters =
                 Json::Obj(reg.counters.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect());
+            let gauges =
+                Json::Obj(reg.gauges.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect());
             let histograms =
                 Json::Obj(reg.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect());
-            Json::obj([("counters", counters), ("histograms", histograms)])
+            if reg.gauges.is_empty() {
+                Json::obj([("counters", counters), ("histograms", histograms)])
+            } else {
+                Json::obj([("counters", counters), ("gauges", gauges), ("histograms", histograms)])
+            }
         })
     }
 
@@ -377,6 +461,14 @@ impl Metrics {
                 let name = prom_name(base);
                 if typed.insert(name.clone()) {
                     out.push_str(&format!("# TYPE {name} counter\n"));
+                }
+                out.push_str(&format!("{name}{} {value}\n", merged_labels(own, &global)));
+            }
+            for (key, value) in &reg.gauges {
+                let (base, own) = split_key(key);
+                let name = prom_name(base);
+                if typed.insert(name.clone()) {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
                 }
                 out.push_str(&format!("{name}{} {value}\n", merged_labels(own, &global)));
             }
@@ -657,6 +749,72 @@ mod tests {
         assert_eq!(h.p999(), u64::MAX);
         assert_eq!(h.quantile(0.0), 1, "rank 1 still resolves to the smallest sample");
         assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Interpolation tightens the estimate: strictly closer to the true
+        // quantile than the bucket upper bound that `quantile` reports.
+        for (q, expect) in [(0.5, 5_000f64), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let coarse = h.quantile(q) as f64;
+            let fine = h.percentile(q);
+            assert!(
+                (fine - expect).abs() <= (coarse - expect).abs() + 1e-9,
+                "q={q}: percentile {fine} further from {expect} than quantile {coarse}"
+            );
+            assert!((fine - expect).abs() / expect < 0.05, "q={q}: {fine} vs {expect}");
+        }
+        // Monotone in q and clamped to the true extremes.
+        let mut prev = -1.0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.percentile(q);
+            assert!(v >= prev, "percentile not monotone at q={q}");
+            prev = v;
+        }
+        assert!(h.percentile(0.0) >= 1.0);
+        assert!(h.percentile(1.0) <= 10_000.0);
+    }
+
+    #[test]
+    fn percentile_is_exact_below_sixteen_and_on_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0.0);
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(0.5), 3.0, "exact buckets interpolate to themselves");
+        assert_eq!(h.percentile(1.0), 15.0);
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.5), 1_000_000.0, "single sample clamps to itself");
+    }
+
+    #[test]
+    fn gauges_set_read_and_render() {
+        let m = Metrics::new();
+        m.set_gauge("health.window.write_amp", 2.75);
+        m.set_gauge("health.window.write_amp", 3.25); // last write wins
+        m.set_gauge_with("health.window.hit_rate", &[("shard", "0")], 0.5);
+        m.set_gauge("bad", f64::NAN); // ignored: would break the exposition
+        assert_eq!(m.gauge("health.window.write_amp"), Some(3.25));
+        assert_eq!(m.gauge("health.window.hit_rate{shard=\"0\"}"), Some(0.5));
+        assert_eq!(m.gauge("bad"), None);
+        assert_eq!(m.gauges().len(), 2);
+
+        let text = m.render_prometheus(&[("bench", "t")]);
+        assert!(text.contains("# TYPE lsm_health_window_write_amp gauge"), "{text}");
+        assert!(text.contains("lsm_health_window_write_amp{bench=\"t\"} 3.25"), "{text}");
+        assert!(text.contains("lsm_health_window_hit_rate{bench=\"t\",shard=\"0\"} 0.5"), "{text}");
+        validate_prometheus(&text).expect("gauge rendering validates");
+
+        let doc = m.to_json().render();
+        assert!(doc.contains(r#""gauges""#), "{doc}");
     }
 
     #[test]

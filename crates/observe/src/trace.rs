@@ -51,6 +51,12 @@ impl SpanId {
     pub fn as_u64(&self) -> u64 {
         self.0
     }
+
+    /// Build an id from a raw value. Crate-internal: only span-issuing
+    /// sinks (the tracer, the standalone health sink) mint ids.
+    pub(crate) fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
 }
 
 impl std::fmt::Display for SpanId {

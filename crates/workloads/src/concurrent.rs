@@ -202,6 +202,16 @@ impl ClosedLoopReport {
     }
 }
 
+/// What one observed request was: a modification (`apply` or one whole
+/// batch) or a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// A writer-side request (put/delete, or one batch).
+    Put,
+    /// A reader-side lookup.
+    Get,
+}
+
 /// Run `plan.writers` writer threads and `plan.readers` reader threads to
 /// completion over `index`.
 ///
@@ -221,6 +231,28 @@ where
     MW: Fn(usize) -> W,
     RK: Fn(u64, u64) -> Key + Sync,
 {
+    run_closed_loop_observed(index, plan, make_workload, read_key, |_, _| {})
+}
+
+/// [`run_closed_loop`] with a per-request observer: `observe(kind, ns)`
+/// is called from the worker threads after each timed request, so a
+/// windowed consumer (e.g. `observe::HealthSink`) sees the latency stream
+/// as it happens instead of one merged histogram at the end. The observer
+/// runs inside the timed loop — keep it cheap.
+pub fn run_closed_loop_observed<I, W, MW, RK, O>(
+    index: &I,
+    plan: ThreadPlan,
+    make_workload: MW,
+    read_key: RK,
+    observe: O,
+) -> Result<ClosedLoopReport>
+where
+    I: ConcurrentIndex,
+    W: Workload + Send,
+    MW: Fn(usize) -> W,
+    RK: Fn(u64, u64) -> Key + Sync,
+    O: Fn(RequestKind, u64) + Sync,
+{
     let workloads: Vec<W> = (0..plan.writers).map(&make_workload).collect();
     let batch = plan.batch.max(1);
     let t0 = Instant::now();
@@ -231,6 +263,7 @@ where
         let mut writer_handles = Vec::with_capacity(plan.writers);
         for mut wl in workloads {
             let index = &index;
+            let observe = &observe;
             writer_handles.push(s.spawn(move || -> Result<(LatencyHistogram, u64)> {
                 let mut hist = LatencyHistogram::new();
                 let mut applied = 0u64;
@@ -239,7 +272,9 @@ where
                         let req = wl.next_request();
                         let t = Instant::now();
                         index.apply(req)?;
-                        hist.record(t.elapsed().as_nanos() as u64);
+                        let ns = t.elapsed().as_nanos() as u64;
+                        hist.record(ns);
+                        observe(RequestKind::Put, ns);
                         applied += 1;
                     }
                 } else {
@@ -252,7 +287,9 @@ where
                         }
                         let t = Instant::now();
                         index.write_batch(wb)?;
-                        hist.record(t.elapsed().as_nanos() as u64);
+                        let ns = t.elapsed().as_nanos() as u64;
+                        hist.record(ns);
+                        observe(RequestKind::Put, ns);
                         applied += n;
                         left -= n;
                     }
@@ -264,13 +301,16 @@ where
         for r in 0..plan.readers as u64 {
             let index = &index;
             let read_key = &read_key;
+            let observe = &observe;
             reader_handles.push(s.spawn(move || -> Result<LatencyHistogram> {
                 let mut hist = LatencyHistogram::new();
                 for i in 0..plan.reads_per_reader {
                     let key = read_key(r, i);
                     let t = Instant::now();
                     index.get(key)?;
-                    hist.record(t.elapsed().as_nanos() as u64);
+                    let ns = t.elapsed().as_nanos() as u64;
+                    hist.record(ns);
+                    observe(RequestKind::Get, ns);
                 }
                 Ok(hist)
             }));

@@ -47,23 +47,33 @@ impl LatencyHistogram {
 
     /// Value at quantile `q ∈ [0, 1]`, accurate to the bucket's ~4 %
     /// relative width (the true max is returned for q ≥ 1 − 1/total).
+    /// Conservative: always the landing bucket's upper bound.
     pub fn quantile(&self, q: f64) -> u64 {
         self.inner.quantile(q)
     }
 
-    /// Median (the 0.5 quantile).
+    /// Interpolated value at quantile `q` — the shared
+    /// [`observe::Histogram::percentile`] point estimate, which positions
+    /// the rank linearly inside its bucket instead of reporting the
+    /// bucket's upper bound.
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.inner.percentile(q)
+    }
+
+    /// Median: the interpolated 0.5 percentile, rounded to the sample
+    /// domain.
     pub fn p50(&self) -> u64 {
-        self.inner.p50()
+        self.percentile(0.50).round() as u64
     }
 
-    /// The 0.99 quantile.
+    /// The interpolated 0.99 percentile, rounded.
     pub fn p99(&self) -> u64 {
-        self.inner.p99()
+        self.percentile(0.99).round() as u64
     }
 
-    /// The 0.999 quantile.
+    /// The interpolated 0.999 percentile, rounded.
     pub fn p999(&self) -> u64 {
-        self.inner.p999()
+        self.percentile(0.999).round() as u64
     }
 
     /// Merge another histogram into this one.
@@ -97,9 +107,13 @@ mod tests {
             assert!((got - expect).abs() / expect < 0.08, "q={q}: got {got}, expected ≈{expect}");
         }
         assert_eq!(h.quantile(1.0), 10_000);
-        assert_eq!(h.p50(), h.quantile(0.5));
-        assert_eq!(h.p99(), h.quantile(0.99));
-        assert_eq!(h.p999(), h.quantile(0.999));
+        // The p-accessors are interpolated: never above the conservative
+        // bucket upper bound, and at most one bucket width below it.
+        for (p, q) in [(h.p50(), 0.5), (h.p99(), 0.99), (h.p999(), 0.999)] {
+            let upper = h.quantile(q);
+            assert!(p <= upper, "interpolated {p} above bucket bound {upper}");
+            assert!(p as f64 >= upper as f64 * 0.90, "interpolated {p} far below {upper}");
+        }
     }
 
     #[test]
@@ -165,6 +179,11 @@ mod tests {
         assert_eq!(ours.mean(), theirs.mean());
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999, 1.0] {
             assert_eq!(ours.quantile(q), theirs.quantile(q), "q={q}");
+            assert_eq!(ours.percentile(q), theirs.percentile(q), "q={q}");
         }
+        // The wrapper's p-accessors are exactly the shared interpolation.
+        assert_eq!(ours.p50(), theirs.percentile(0.50).round() as u64);
+        assert_eq!(ours.p99(), theirs.percentile(0.99).round() as u64);
+        assert_eq!(ours.p999(), theirs.percentile(0.999).round() as u64);
     }
 }

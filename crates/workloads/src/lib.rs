@@ -28,7 +28,8 @@ pub mod uniform;
 pub mod zipf;
 
 pub use concurrent::{
-    run_closed_loop, ClosedLoopReport, ConcurrentIndex, OffsetKeys, PrebuiltRequests, ThreadPlan,
+    run_closed_loop, run_closed_loop_observed, ClosedLoopReport, ConcurrentIndex, OffsetKeys,
+    PrebuiltRequests, RequestKind, ThreadPlan,
 };
 pub use driver::{
     fill_to_bytes, reach_steady_state, run_requests, volume_requests, CostMeter, CostReading,

@@ -73,4 +73,25 @@ cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
     --check-fileio="$fileio_dir/BENCH_fileio.json"
 cargo run --release -q -p lsm-bench --bin lsm_doctor -- --check-fileio=BENCH_fileio.json
 
+echo "== windowed health smoke (report, validator, doctor reconciliation, lsm_top) =="
+health_dir="$(mktemp -d)"
+trap 'rm -rf "$pm_dir" "$obs_dir" "$fileio_dir" "$health_dir"' EXIT
+# A traced smoke run writes a validated lsm-health/v1 report plus the
+# health gauges in the Prometheus exposition; the doctor re-validates it.
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --shards=2 \
+    --health-out="$health_dir/health.json" --prom-out="$health_dir/metrics.prom"
+grep -q "lsm_health_windows_completed" "$health_dir/metrics.prom" \
+    || { echo "health gauges missing from exposition"; exit 1; }
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
+    --check-health="$health_dir/health.json"
+# The doctor's own health section must reconcile its rolling windows
+# exactly against the cumulative metrics registry (exits 1 on mismatch).
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- --size-mb=2 --health > /dev/null
+# One dashboard frame over a live sharded workload.
+cargo run --release -q -p lsm-bench --bin lsm_top -- --once --windows=4 --window-ops=200 \
+    > /dev/null
+# The bench comparator must see a report as equal to itself.
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
+    --compare=BENCH_fileio.json,BENCH_fileio.json > /dev/null
+
 echo "All checks passed."
