@@ -8,7 +8,9 @@
 //!     [--size-mb=20] [--workload=uniform|normal|tpc] [--manifest=path] \
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv] \
 //!     [--series-every=1000] [--tick-clock] [--ledger] [--health] \
+//!     [--tail] [--tail-out=tail.json] [--tail-stall] \
 //!     [--check-fileio=BENCH_fileio.json] [--check-health=h.json] \
+//!     [--check-tail=tail.json] \
 //!     [--compare=old.json,new.json] [--compare-threshold=0.2]
 //! ```
 //!
@@ -22,6 +24,25 @@
 //! `--check-health=PATH` validates an `lsm-health/v1` report (as written by
 //! `--health-out` anywhere) against [`observe::validate_health`] and exits
 //! non-zero on any problem.
+//!
+//! `--check-tail=PATH` does the same for an `lsm-tail/v1` tail-anatomy
+//! report (as written by `--tail-out` anywhere) against
+//! [`observe::validate_tail`] — including the per-exemplar invariant that
+//! wait-state phases sum to within 1% of the measured put duration.
+//!
+//! `--tail` attaches the tail-anatomy engine beside the doctor's registry,
+//! prints the critical-path blame table after the workload, embeds the
+//! `lsm-tail/v1` report in `results/lsm_doctor.json`, and cross-checks the
+//! engine's completed-span counts against the tree's own put/delete/lookup
+//! counters *exactly* — every front-end request opens exactly one root
+//! span, so any disagreement is a bug and exits non-zero.
+//!
+//! `--tail-stall` runs a seeded, deterministic backpressure-stall scenario
+//! instead of the doctor workload (a `SimExecutor`-backed sharded tree
+//! with a tick clock, one immutable-memtable slot, and enough puts to
+//! stall repeatedly), prints its blame table, and exits non-zero unless
+//! the report validates and names `backpressure_wait` as the dominant
+//! phase on a stalled shard.
 //!
 //! `--compare=OLD,NEW` is the bench-regression comparator: both files are
 //! parsed, every numeric field is flattened to a dotted key
@@ -50,8 +71,14 @@ use std::sync::Arc;
 
 use lsm_bench::report::{fmt_f, merged_json};
 use lsm_bench::{Args, ObsPipeline, PolicyCase, Table, WorkloadKind};
-use lsm_tree::observe::{FanoutSink, Json, MetricsSink, SinkHandle};
-use lsm_tree::{DecisionLedger, LsmTree, PolicySpec, TreeOptions};
+use lsm_tree::observe::{
+    ExemplarConfig, ExemplarSink, FanoutSink, Json, MetricsSink, SinkHandle, TickClock, TraceSink,
+    Tracer,
+};
+use lsm_tree::{
+    DecisionLedger, LsmConfig, LsmTree, PolicySpec, SchedulerBackend, ShardedLsmTree, SimExecutor,
+    TreeOptions,
+};
 use sim_ssd::{BlockDevice, CostModel, MemDevice};
 use workloads::{fill_to_bytes, reach_steady_state, InsertRatio};
 
@@ -315,6 +342,156 @@ fn run_compare(spec: &str, threshold: f64) -> ! {
     std::process::exit(0);
 }
 
+/// Render the critical-path blame table of an `lsm-tail/v1` report, plus
+/// the dominant phase and per-shard verdicts. Shared by `--tail` and
+/// `--tail-stall`.
+fn print_tail_report(report: &Json) {
+    let completed = field(report, "completed");
+    let puts = completed.and_then(|c| field(c, "put")).and_then(num).unwrap_or(0.0);
+    let lookups = completed.and_then(|c| field(c, "lookup")).and_then(num).unwrap_or(0.0);
+    let windows = field(report, "windows_completed").and_then(num).unwrap_or(0.0);
+    println!(
+        "\n=== tail anatomy ({puts:.0} puts, {lookups:.0} lookups, {windows:.0} windows completed) ==="
+    );
+    let mut t = Table::new(["phase", "total us", "count", "share%", "p99 share%", "p99.9 share%"]);
+    if let Some(Json::Arr(rows)) = field(report, "blame") {
+        for row in rows {
+            let get = |k: &str| field(row, k).and_then(num).unwrap_or(0.0);
+            let phase = match field(row, "phase") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => "?".into(),
+            };
+            t.row([
+                phase,
+                fmt_f(get("total_us"), 0),
+                fmt_f(get("count"), 0),
+                fmt_f(100.0 * get("share"), 1),
+                fmt_f(100.0 * get("share_p99"), 1),
+                fmt_f(100.0 * get("share_p999"), 1),
+            ]);
+        }
+    }
+    t.print();
+    let dominant = match field(report, "dominant_phase") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "none".into(),
+    };
+    let mut shard_verdicts = Vec::new();
+    if let Some(Json::Arr(shards)) = field(report, "shards") {
+        for sec in shards {
+            let idx = field(sec, "shard").and_then(num).unwrap_or(-1.0);
+            let dom = match field(sec, "dominant_phase") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => "none".into(),
+            };
+            let n = match field(sec, "exemplars") {
+                Some(Json::Arr(xs)) => xs.len(),
+                _ => 0,
+            };
+            shard_verdicts.push(format!("shard {idx:.0}: {dom} ({n} exemplars)"));
+        }
+    }
+    println!("dominant phase: {dominant}");
+    if !shard_verdicts.is_empty() {
+        println!("per shard: {}", shard_verdicts.join(" | "));
+    }
+}
+
+/// One seeded stall run for `--tail-stall`: a two-shard tree over a
+/// `max_imm = 1` simulated executor, traced through a tick clock into a
+/// fresh [`ExemplarSink`]. Every stalled seal parks the writer inside a
+/// `backpressure_wait` span while the executor runs the flush/merge
+/// backlog inline, so the stalled puts' critical path is dominated by the
+/// stall — deterministically, since every timestamp is a tick count.
+fn tail_stall_scenario(seed: u64) -> Arc<ExemplarSink> {
+    let exemplars = Arc::new(ExemplarSink::new(ExemplarConfig {
+        per_shard: 4,
+        windows: 4,
+        window_puts: 64,
+        percentile: 0.95,
+        min_samples: 16,
+        clock: Arc::new(TickClock::new()),
+    }));
+    let tracer = Tracer::with_clock(Arc::new(TickClock::new()))
+        .trace_to(Arc::clone(&exemplars) as Arc<dyn TraceSink>);
+    let handle = SinkHandle::of(tracer);
+    let sim = Arc::new(SimExecutor::new(1, seed, handle.clone()));
+    let cfg = LsmConfig {
+        block_size: 256,
+        payload_size: 4,
+        k0_blocks: 4,
+        gamma: 4,
+        cache_blocks: 16,
+        merge_rate: 0.25,
+        ..LsmConfig::default()
+    };
+    let opts = TreeOptions::builder().policy(PolicySpec::ChooseBest).sink(handle.clone()).build();
+    let devices = (0..2).map(|_| Arc::new(MemDevice::with_block_size(1 << 14, 256)) as _).collect();
+    let tree = ShardedLsmTree::with_backend(
+        cfg,
+        opts,
+        devices,
+        None,
+        Some(Arc::clone(&sim) as Arc<dyn SchedulerBackend>),
+    )
+    .expect("create sharded tree");
+    for k in 0..600u64 {
+        tree.put(k, vec![(k % 251) as u8; 4]).expect("put");
+    }
+    drop(tree);
+    sim.drain().expect("drain");
+    exemplars
+}
+
+/// The `--tail-stall` mode: never returns. Runs the seeded scenario
+/// twice to prove the report is byte-identical across replays, validates
+/// it, prints the blame table, and demands that `backpressure_wait` is
+/// the dominant phase globally and on at least one shard.
+fn run_tail_stall(args: &Args) -> ! {
+    let seed: u64 = args.get_or("seed", 42);
+    let report = tail_stall_scenario(seed).report();
+    let replay = tail_stall_scenario(seed).report();
+    let mut failures = Vec::new();
+    if report.render() != replay.render() {
+        failures.push("replay with the same seed produced a different report".to_string());
+    }
+    for p in lsm_tree::observe::validate_tail(&report) {
+        failures.push(format!("invalid report: {p}"));
+    }
+    print_tail_report(&report);
+    let puts =
+        field(&report, "completed").and_then(|c| field(c, "put")).and_then(num).unwrap_or(0.0);
+    if puts != 600.0 {
+        failures.push(format!("expected 600 completed put spans, engine saw {puts}"));
+    }
+    match field(&report, "dominant_phase") {
+        Some(Json::Str(s)) if s == "backpressure_wait" => {}
+        other => failures.push(format!(
+            "dominant phase should be backpressure_wait for the induced stall, got {other:?}"
+        )),
+    }
+    let stalled_shard = match field(&report, "shards") {
+        Some(Json::Arr(shards)) => shards.iter().any(|sec| {
+            matches!(field(sec, "dominant_phase"), Some(Json::Str(s)) if s == "backpressure_wait")
+        }),
+        _ => false,
+    };
+    if !stalled_shard {
+        failures.push("no shard blames backpressure_wait for the induced stall".to_string());
+    }
+    if failures.is_empty() {
+        println!(
+            "TAIL STALL: report valid, byte-identical across replays, \
+             blame names backpressure_wait (seed {seed})."
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("TAIL STALL: {f}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args = Args::from_env();
     if let Some(spec) = args.get("compare") {
@@ -339,6 +516,28 @@ fn main() {
             eprintln!("{path}: {p}");
         }
         std::process::exit(1);
+    }
+    if let Some(path) = args.get("check-tail") {
+        let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("{path}: invalid JSON: {e}");
+            std::process::exit(1);
+        });
+        let problems = lsm_tree::observe::validate_tail(&doc);
+        if problems.is_empty() {
+            println!("{path}: valid lsm-tail/v1 report.");
+            std::process::exit(0);
+        }
+        for p in &problems {
+            eprintln!("{path}: {p}");
+        }
+        std::process::exit(1);
+    }
+    if args.flag("tail-stall") {
+        run_tail_stall(&args);
     }
     if let Some(path) = args.get("check-fileio") {
         let raw = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -667,6 +866,40 @@ fn main() {
         );
         if let Json::Obj(pairs) = &mut doc {
             pairs.push(("health".into(), report));
+        }
+    }
+    // Tail anatomy: the critical-path blame table over the slowest
+    // captured puts, plus an exact reconciliation — every front-end
+    // put/delete opens exactly one root `Put` span and every get one
+    // `Lookup` span, so the engine's completed-span counts must equal the
+    // tree's own request counters to the unit.
+    if let Some(tail) = obs.tail() {
+        let report = tail.report();
+        print_tail_report(&report);
+        let stats = tree.stats();
+        let expect_puts = stats.puts + stats.deletes;
+        let expect_lookups = stats.lookups();
+        let mut mismatch = false;
+        for (what, engine, expected) in [
+            ("put", tail.completed_puts(), expect_puts),
+            ("lookup", tail.completed_lookups(), expect_lookups),
+        ] {
+            if engine != expected {
+                println!(
+                    "TAIL MISMATCH: engine completed {engine} {what} spans, \
+                     tree counted {expected} requests"
+                );
+                mismatch = true;
+            }
+        }
+        if mismatch {
+            std::process::exit(1);
+        }
+        println!(
+            "tree agrees: {expect_puts} put spans, {expect_lookups} lookup spans (exact match)."
+        );
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("tail".into(), report));
         }
     }
 

@@ -34,6 +34,7 @@
 //!     [--raw-device] [--read-us=25] [--write-us=200] [--backend=mem|file]
 //!     [--trace-out=t.json] [--prom-out=m.prom] [--series-out=s.csv]
 //!     [--health-out=h.json] [--health-window-ops=N] [--health-windows=K]
+//!     [--tail-out=tail.json] [--tail-per-shard=4] [--tail-window-puts=512]
 //! ```
 //!
 //! `--backend=file` backs every shard with a [`sim_ssd::FileDevice`] in the
@@ -55,13 +56,17 @@
 //!
 //! Observability: exporters perturb what a cell measures, so the timed
 //! cells always run un-instrumented. When any of `--trace-out` /
-//! `--prom-out` / `--series-out` / `--health-out` is given, one extra
-//! *traced* cell runs after the timing matrix at the largest shard count
-//! with the full pipeline attached — its spans, metrics, time series, and
-//! windowed health report describe the same workload the matrix timed.
-//! The traced cell streams each request's latency into the health engine
-//! as it completes, so the report's rolling windows reflect the run's
-//! phases rather than one end-of-run merge.
+//! `--prom-out` / `--series-out` / `--health-out` / `--tail-out` is
+//! given, one extra *traced* cell runs after the timing matrix at the
+//! largest shard count with the full pipeline attached — its spans,
+//! metrics, time series, and windowed health report describe the same
+//! workload the matrix timed. The traced cell streams each request's
+//! latency into the health engine as it completes, so the report's
+//! rolling windows reflect the run's phases rather than one end-of-run
+//! merge. `--tail-out` additionally writes the validated `lsm-tail/v1`
+//! tail-anatomy report (see [`lsm_bench::ObsPipeline`]): the slowest
+//! captured put/lookup span trees per shard and the critical-path blame
+//! table over their wait-state phases.
 
 use std::sync::Arc;
 

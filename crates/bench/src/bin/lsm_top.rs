@@ -10,17 +10,23 @@
 //! ```text
 //! cargo run --release --bin lsm_top -- [--shards=2] [--writers=2]
 //!     [--readers=1] [--duration-s=10] [--refresh-ms=500] [--seed=1]
-//!     [--window-ops=500] [--windows=8] [--once]
+//!     [--window-ops=500] [--windows=8] [--once] [--json]
 //! ```
 //!
 //! `--once` replaces the thread pool and refresh loop with a synchronous
 //! burst that runs until every window in the ring has rotated, renders a
 //! single frame (no screen clear), and exits 0 — the CI smoke mode.
+//! `--json` renders that frame as machine-readable JSON instead of
+//! tables: one object with the `lsm-health/v1` and `lsm-tail/v1` reports
+//! embedded whole, for scripts that want the dashboard's numbers.
 //!
-//! The dashboard observes the same way the traced bench cells do: put
-//! latencies are fed with [`HealthSink::record_put`] (tagged with the
-//! owning shard), while gets and WAL appends arrive on their own as
-//! `Lookup` / `WalAppend` span durations through the sink.
+//! The dashboard observes through a [`Tracer`] fanning into two sinks:
+//! the [`HealthSink`] (rolling windows, detectors, SLO burn) and an
+//! [`ExemplarSink`] (tail anatomy — each shard row carries a `blame`
+//! column naming the wait-state phase that dominates its slowest captured
+//! puts). Put latencies are fed with [`HealthSink::record_put`] (tagged
+//! with the owning shard), while puts, gets, and WAL appends also arrive
+//! as `Put` / `Lookup` / `WalAppend` span trees through the tracer.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -29,7 +35,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use lsm_bench::report::fmt_f;
 use lsm_bench::{Args, Table};
-use lsm_tree::observe::{EventSink, HealthConfig, HealthSink, Json, SinkHandle};
+use lsm_tree::observe::{
+    ExemplarConfig, ExemplarSink, HealthConfig, HealthSink, Json, SinkHandle, TraceSink, Tracer,
+};
 use lsm_tree::{LsmConfig, ShardedLsmTree, TreeOptions};
 
 /// Keys cycle through a bounded space so a duration-bounded run reaches a
@@ -60,9 +68,19 @@ fn num(doc: Option<&Json>) -> f64 {
     }
 }
 
-/// Render one dashboard frame from the sink's current report.
-fn render(health: &HealthSink, elapsed: Duration, clear: bool) {
+/// The `dominant_phase` of a report section, or `-` when nothing has been
+/// captured there yet.
+fn dominant(doc: &Json) -> String {
+    match field(doc, "dominant_phase") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => "-".into(),
+    }
+}
+
+/// Render one dashboard frame from the sinks' current reports.
+fn render(health: &HealthSink, tail: &ExemplarSink, elapsed: Duration, clear: bool) {
     let report = health.report();
+    let tail_report = tail.report();
     if clear {
         // Clear screen, cursor home: the whole TUI.
         print!("\x1b[2J\x1b[H");
@@ -108,6 +126,14 @@ fn render(health: &HealthSink, elapsed: Duration, clear: bool) {
     }
     println!();
 
+    // The blame column: which wait-state phase dominates each scope's
+    // slowest captured puts, straight from the tail-anatomy report.
+    let mut shard_blame = std::collections::BTreeMap::new();
+    if let Some(Json::Arr(shards)) = field(&tail_report, "shards") {
+        for sec in shards {
+            shard_blame.insert(num(field(sec, "shard")) as u64, dominant(sec));
+        }
+    }
     let mut table = Table::new([
         "series",
         "puts",
@@ -118,8 +144,9 @@ fn render(health: &HealthSink, elapsed: Duration, clear: bool) {
         "hit %",
         "bp",
         "wal",
+        "blame",
     ]);
-    let series_row = |label: String, set: &Json| -> [String; 9] {
+    let series_row = |label: String, set: &Json, blame: String| -> [String; 10] {
         let put = field(set, "put_latency");
         [
             label,
@@ -131,15 +158,17 @@ fn render(health: &HealthSink, elapsed: Duration, clear: bool) {
             fmt_f(num(field(set, "cache_hit_rate")) * 100.0, 1),
             fmt_f(num(field(set, "backpressure")), 0),
             fmt_f(num(field(set, "wal_appends")), 0),
+            blame,
         ]
     };
     if let Some(rolling) = field(&report, "rolling") {
-        table.row(series_row("all".to_string(), rolling));
+        table.row(series_row("all".to_string(), rolling, dominant(&tail_report)));
     }
     if let Some(Json::Arr(shards)) = field(&report, "shards") {
         for set in shards {
             let idx = num(field(set, "shard")) as u64;
-            table.row(series_row(format!("shard {idx}"), set));
+            let blame = shard_blame.get(&idx).cloned().unwrap_or_else(|| "-".into());
+            table.row(series_row(format!("shard {idx}"), set, blame));
         }
     }
     table.print();
@@ -170,7 +199,17 @@ fn main() {
         windows: args.get_or("windows", defaults.windows as u64) as usize,
         ..defaults
     }));
-    let sink = SinkHandle::new(Arc::clone(&health) as Arc<dyn EventSink>);
+    let tail_defaults = ExemplarConfig::default();
+    let exemplar = Arc::new(ExemplarSink::new(ExemplarConfig {
+        window_puts: args.get_or("window-ops", 500),
+        ..tail_defaults
+    }));
+    // One tracer in front of both analytics sinks: it issues the spans,
+    // they each consume the same event stream independently.
+    let tracer = Tracer::new()
+        .trace_to(Arc::clone(&health) as Arc<dyn TraceSink>)
+        .trace_to(Arc::clone(&exemplar) as Arc<dyn TraceSink>);
+    let sink = SinkHandle::of(tracer);
 
     let cfg = LsmConfig {
         block_size: 1024,
@@ -205,7 +244,17 @@ fn main() {
             }
             i += 1;
         }
-        render(&health, start.elapsed(), false);
+        if args.flag("json") {
+            let doc = Json::Obj(vec![
+                ("experiment".into(), Json::from("lsm_top")),
+                ("elapsed_s".into(), Json::from(start.elapsed().as_secs_f64())),
+                ("health".into(), health.report()),
+                ("tail".into(), exemplar.report()),
+            ]);
+            println!("{}", doc.render_pretty());
+            return;
+        }
+        render(&health, &exemplar, start.elapsed(), false);
         return;
     }
 
@@ -248,13 +297,13 @@ fn main() {
     let deadline = start + Duration::from_secs(duration_s);
     while Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(refresh_ms));
-        render(&health, start.elapsed(), true);
+        render(&health, &exemplar, start.elapsed(), true);
     }
     stop.store(true, Ordering::Relaxed);
     for h in handles {
         let _ = h.join();
     }
-    render(&health, start.elapsed(), true);
+    render(&health, &exemplar, start.elapsed(), true);
     println!(
         "\ndone: {} windows in {:.1}s",
         health.windows_completed(),

@@ -18,6 +18,13 @@
 //!   (for binaries that render the report themselves).
 //! - `--health-window-ops=N` / `--health-windows=K` — device ops per
 //!   health window and rolling ring depth (defaults 2000 / 8).
+//! - `--tail-out=PATH` — tail-anatomy blame report (`lsm-tail/v1` JSON)
+//!   from an [`ExemplarSink`] watching the same span stream; validated
+//!   before it is written. `--tail` attaches the sink without writing a
+//!   file (for binaries that render the blame table themselves).
+//! - `--tail-per-shard=K` / `--tail-window-puts=N` / `--tail-windows=W` —
+//!   exemplars kept per shard, puts per capture window, and rolling ring
+//!   depth (defaults 4 / 512 / 8).
 //!
 //! [`ObsPipeline::from_args`] assembles the matching sink stack — a
 //! [`Tracer`] in front when anything needs spans, a plain fan-out
@@ -27,8 +34,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use observe::{
-    ChromeTraceSink, EventSink, FanoutSink, HealthConfig, HealthSink, Metrics, SinkHandle,
-    TextExpositionSink, TickClock, TimeseriesSink, Tracer,
+    ChromeTraceSink, EventSink, ExemplarConfig, ExemplarSink, FanoutSink, HealthConfig, HealthSink,
+    Metrics, SinkHandle, TextExpositionSink, TickClock, TimeseriesSink, Tracer,
 };
 
 use crate::Args;
@@ -41,10 +48,12 @@ pub struct ObsPipeline {
     text: Option<Arc<TextExpositionSink>>,
     series: Option<Arc<TimeseriesSink>>,
     health: Option<Arc<HealthSink>>,
+    tail: Option<Arc<ExemplarSink>>,
     trace_path: Option<PathBuf>,
     prom_path: Option<PathBuf>,
     series_path: Option<PathBuf>,
     health_path: Option<PathBuf>,
+    tail_path: Option<PathBuf>,
 }
 
 impl ObsPipeline {
@@ -80,6 +89,25 @@ impl ObsPipeline {
             None
         };
 
+        let tail_path = args.get("tail-out").map(PathBuf::from);
+        let tail = if tail_path.is_some() || args.flag("tail") {
+            let defaults = ExemplarConfig::default();
+            let clock: Arc<dyn observe::Clock> = if args.flag("tick-clock") {
+                Arc::new(TickClock::new())
+            } else {
+                Arc::clone(&defaults.clock)
+            };
+            Some(Arc::new(ExemplarSink::new(ExemplarConfig {
+                per_shard: args.get_or("tail-per-shard", defaults.per_shard as u64) as usize,
+                window_puts: args.get_or("tail-window-puts", defaults.window_puts),
+                windows: args.get_or("tail-windows", defaults.windows as u64) as usize,
+                clock,
+                ..defaults
+            })))
+        } else {
+            None
+        };
+
         let text =
             prom_path.as_ref().map(|p| Arc::new(TextExpositionSink::new(p.clone(), global_labels)));
         let series = series_path
@@ -101,8 +129,9 @@ impl ObsPipeline {
         }
 
         // A tracer goes in front whenever spans matter: to feed the Chrome
-        // trace, or to time spans into the Prometheus registry.
-        let handle = if chrome.is_some() || text.is_some() {
+        // trace, to time spans into the Prometheus registry, or to hand
+        // the exemplar sink complete span trees.
+        let handle = if chrome.is_some() || text.is_some() || tail.is_some() {
             let mut tracer = if args.flag("tick-clock") {
                 Tracer::with_clock(Arc::new(TickClock::new()))
             } else {
@@ -116,6 +145,12 @@ impl ObsPipeline {
                 // ends — WAL-append and lookup durations, plus per-shard
                 // attribution from the span ops.
                 tracer = tracer.trace_to(Arc::clone(h) as _);
+            }
+            if let Some(x) = &tail {
+                // Behind the tracer the exemplar sink reassembles whole
+                // put/lookup span trees (with timestamps from the tracer's
+                // clock) and captures the slowest per shard.
+                tracer = tracer.trace_to(Arc::clone(x) as _);
             }
             if let Some(t) = &text {
                 tracer = tracer.time_spans_into(t.metrics());
@@ -143,10 +178,12 @@ impl ObsPipeline {
             text,
             series,
             health,
+            tail,
             trace_path,
             prom_path,
             series_path,
             health_path,
+            tail_path,
         })
     }
 
@@ -180,6 +217,13 @@ impl ObsPipeline {
         self.health.as_ref()
     }
 
+    /// The tail-anatomy engine, when `--tail-out` or `--tail` was given.
+    /// It feeds itself entirely from the span stream — `Put` spans opened
+    /// by the tree front-ends carry everything it needs.
+    pub fn tail(&self) -> Option<&Arc<ExemplarSink>> {
+        self.tail.as_ref()
+    }
+
     /// Flush every exporter to disk and return the files written.
     pub fn finish(&self) -> std::io::Result<Vec<PathBuf>> {
         self.handle.flush();
@@ -196,6 +240,21 @@ impl ObsPipeline {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("health report failed validation: {}", problems.join("; ")),
+                ));
+            }
+            std::fs::write(path, doc.render() + "\n")?;
+            written.push(path.clone());
+        }
+        if let (Some(tail), Some(text)) = (&self.tail, &self.text) {
+            tail.export_gauges(&text.metrics());
+        }
+        if let (Some(tail), Some(path)) = (&self.tail, &self.tail_path) {
+            let doc = tail.report();
+            let problems = observe::validate_tail(&doc);
+            if !problems.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("tail report failed validation: {}", problems.join("; ")),
                 ));
             }
             std::fs::write(path, doc.render() + "\n")?;
@@ -228,6 +287,7 @@ impl std::fmt::Debug for ObsPipeline {
             .field("prom", &self.prom_path)
             .field("series", &self.series_path)
             .field("health", &self.health_path)
+            .field("tail", &self.tail_path)
             .finish()
     }
 }
@@ -306,6 +366,44 @@ mod tests {
         assert!(observe::validate_health(&doc).is_empty());
         let prom_doc = std::fs::read_to_string(&prom).unwrap();
         assert!(prom_doc.contains("lsm_health_windows_completed"), "health gauges exported");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tail_out_writes_a_validated_report_and_gauges() {
+        let dir = std::env::temp_dir().join("lsm_bench_obs_tail_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tail_path = dir.join("tail.json");
+        let prom = dir.join("m.prom");
+        let args = Args::parse_from(vec![
+            format!("--tail-out={}", tail_path.display()),
+            format!("--prom-out={}", prom.display()),
+            "--tail-per-shard=2".into(),
+            "--tail-window-puts=4".into(),
+            "--tick-clock".into(),
+        ]);
+        let p = ObsPipeline::from_args(&args, 32, &[]).unwrap();
+        let tail = Arc::clone(p.tail().expect("tail sink attached"));
+        let sink = p.sink();
+        for i in 0..10u64 {
+            let put = sink.span(observe::SpanOp::put().with_shard(0));
+            let stall = sink.span(observe::SpanOp::backpressure_wait().with_shard(0));
+            for block in 0..i {
+                sink.emit(observe::Event::DeviceWrite { block });
+            }
+            drop(stall);
+            drop(put);
+        }
+        assert_eq!(tail.completed_puts(), 10);
+        assert!(tail.windows_completed() >= 2, "windows rotate every 4 puts");
+        assert_eq!(tail.dominant_phase(), Some("backpressure_wait"));
+        let written = p.finish().unwrap();
+        assert!(written.contains(&tail_path));
+        let doc = observe::Json::parse(&std::fs::read_to_string(&tail_path).unwrap())
+            .expect("tail report parses");
+        assert!(observe::validate_tail(&doc).is_empty());
+        let prom_doc = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_doc.contains("lsm_tail_windows_completed"), "tail gauges exported");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -93,6 +93,13 @@ impl PostMortem {
         self.push("health", health.report())
     }
 
+    /// The tail-anatomy engine's `lsm-tail/v1` report (slowest-put
+    /// exemplars, per-phase blame table, queue-delay histogram) — what
+    /// the write path was actually waiting on when the bundle was cut.
+    pub fn tail(self, exemplars: &observe::ExemplarSink) -> Self {
+        self.push("tail", exemplars.report())
+    }
+
     /// Device-level I/O counters.
     pub fn device_io(self, io: IoSnapshot) -> Self {
         self.push(
@@ -234,7 +241,7 @@ pub fn validate_bundle(doc: &Json) -> Vec<String> {
     if !matches!(get("reason"), Some(Json::Str(_))) {
         problems.push("missing reason".to_string());
     }
-    let forensic = ["flight", "ledger", "tree", "wear", "device_io"];
+    let forensic = ["flight", "ledger", "tree", "wear", "device_io", "health", "tail"];
     if !forensic.iter().any(|k| get(k).is_some()) {
         problems.push(format!("no forensic section (expected one of {forensic:?})"));
     }
@@ -254,6 +261,16 @@ pub fn validate_bundle(doc: &Json) -> Vec<String> {
             }
         }
         Some(_) => problems.push("health section is not an object".to_string()),
+        None => {}
+    }
+    // Likewise for an embedded tail-anatomy report.
+    match get("tail") {
+        Some(tail @ Json::Obj(_)) => {
+            for problem in observe::exemplar::validate_tail(tail) {
+                problems.push(format!("tail section: {problem}"));
+            }
+        }
+        Some(_) => problems.push("tail section is not an object".to_string()),
         None => {}
     }
     match get("scheduler") {
@@ -349,6 +366,22 @@ mod tests {
         let tampered = pm.to_json().render().replace("lsm-health/v1", "lsm-health/v0");
         let doc = Json::parse(&tampered).unwrap();
         assert!(validate_bundle(&doc).iter().any(|p| p.starts_with("health section:")));
+    }
+
+    #[test]
+    fn tail_section_is_validated_when_present() {
+        let exemplars = observe::ExemplarSink::new(observe::ExemplarConfig::default());
+        if let Some(id) = exemplars.span_begin(&observe::SpanOp::put()) {
+            exemplars.span_end(id, &observe::SpanOp::put());
+        }
+        let recorder = FlightRecorderSink::new(8);
+        let pm = PostMortem::new("tail test").flight(&recorder).tail(&exemplars);
+        let doc = Json::parse(&pm.to_json().render()).expect("bundle parses");
+        assert!(validate_bundle(&doc).is_empty(), "{:?}", validate_bundle(&doc));
+
+        let tampered = pm.to_json().render().replace("lsm-tail/v1", "lsm-tail/v0");
+        let doc = Json::parse(&tampered).unwrap();
+        assert!(validate_bundle(&doc).iter().any(|p| p.starts_with("tail section:")));
     }
 
     #[test]

@@ -222,6 +222,13 @@ impl MergeScheduler {
     /// Spawn `policy.workers` (at least one) maintenance workers.
     /// Scheduler events ([`Event::JobStart`], [`Event::Backpressure`])
     /// flow to `sink`.
+    ///
+    /// Queue delay is derivable from the event stream without a dedicated
+    /// span: a front-end's [`Event::FlushEnqueued`] marks a sealed
+    /// memtable entering the queue, and the matching [`Event::JobStart`]
+    /// (FIFO per shard) marks a worker picking the shard up —
+    /// `observe::ExemplarSink` pairs the two into its `queue_delay`
+    /// histogram.
     pub fn new(policy: BackgroundPolicy, sink: SinkHandle) -> Self {
         let inner = Arc::new(SchedInner {
             state: Mutex::new(SchedState {

@@ -398,10 +398,18 @@ impl ShardedLsmTree {
             /// Backlog at the bound; wait (lock released) and retry.
             Stall(usize),
         }
+        // One put span covers the whole front-end write; its children
+        // (lock wait, WAL append, group-commit wait, backpressure stall,
+        // inline cascade) partition the latency, and uncovered time is the
+        // memtable insert itself.
+        let _put = self.sink.span(observe::SpanOp::put().with_shard(idx));
         let mut req = Some(req);
         loop {
             let outcome = {
-                let mut guard = self.shards[idx].write();
+                let mut guard = {
+                    let _lock_wait = self.sink.span(observe::SpanOp::lock_wait().with_shard(idx));
+                    self.shards[idx].write()
+                };
                 let _tree_lock = lockorder::tree_lock_held();
                 let shard = &mut *guard;
                 let stall = self.scheduler.as_ref().is_some_and(|s| {
@@ -440,7 +448,9 @@ impl ShardedLsmTree {
                             sealed_backlog = Some(shard.tree.imm_count());
                         }
                     } else {
-                        shard.tree.apply(r)?;
+                        // The put span is already open here; the tree's own
+                        // wrapper would nest a second one.
+                        shard.tree.apply_unspanned(r)?;
                     }
                     Applied::Done { group_seq, sealed_backlog }
                 }
@@ -461,6 +471,8 @@ impl ShardedLsmTree {
                     let sched =
                         self.scheduler.as_ref().expect("stall only occurs in background mode");
                     sched.notify(idx, backlog);
+                    let _stall =
+                        self.sink.span(observe::SpanOp::backpressure_wait().with_shard(idx));
                     sched.wait_for_room(idx)?;
                 }
             }
@@ -480,6 +492,10 @@ impl ShardedLsmTree {
     /// the rendezvous stays poisoned until recovery builds a fresh handle.
     fn group_commit_wait(&self, idx: usize, my_seq: u64) -> Result<()> {
         lockorder::assert_no_tree_lock("ShardedLsmTree::group_commit_wait");
+        // Covers the whole rendezvous — follower waits and the leader's
+        // fsync alike. A child of the put span under `apply`; a root span
+        // for `write_batch`'s one-rendezvous-per-batch calls.
+        let _wait = self.sink.span(observe::SpanOp::group_commit_wait().with_shard(idx));
         let gc = &self.group[idx];
         let mut waited = Duration::ZERO;
         let mut s = gc.state.lock();

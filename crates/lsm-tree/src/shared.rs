@@ -15,6 +15,8 @@ use std::sync::{Arc, Weak};
 use bytes::Bytes;
 use parking_lot::RwLock;
 
+use observe::{SinkHandle, SpanOp};
+
 use crate::error::Result;
 use crate::lockorder;
 use crate::record::{Key, Request};
@@ -66,6 +68,9 @@ pub struct SharedLsmTree {
     // shutdown drains every queued job while the tree is still alive.
     scheduler: Option<Arc<dyn SchedulerBackend>>,
     shard_id: usize,
+    /// The tree's own sink, kept outside the lock so wait-state spans
+    /// (lock wait, backpressure stall) can open without touching the tree.
+    sink: SinkHandle,
     inner: Arc<RwLock<LsmTree>>,
 }
 
@@ -78,13 +83,14 @@ impl SharedLsmTree {
         let inner = Arc::new(RwLock::new(tree));
         let (scheduler, shard_id) = match spec.background_policy() {
             Some(policy) => {
-                let sched: Arc<dyn SchedulerBackend> = Arc::new(MergeScheduler::new(policy, sink));
+                let sched: Arc<dyn SchedulerBackend> =
+                    Arc::new(MergeScheduler::new(policy, sink.clone()));
                 let id = sched.register(Arc::new(SharedTarget { tree: Arc::downgrade(&inner) }));
                 (Some(sched), id)
             }
             None => (None, 0),
         };
-        SharedLsmTree { scheduler, shard_id, inner }
+        SharedLsmTree { scheduler, shard_id, sink, inner }
     }
 
     /// Insert or update `key` (exclusive).
@@ -99,9 +105,21 @@ impl SharedLsmTree {
 
     /// Apply a request (exclusive). Inline mode runs any triggered merge
     /// cascade before returning; background mode seals and hands off.
+    ///
+    /// The whole call is one [`SpanOp::put`] span whose children partition
+    /// the latency: a [`SpanOp::lock_wait`] span covers each write-lock
+    /// acquisition, a [`SpanOp::backpressure_wait`] span covers each
+    /// admission-control stall, and (inline mode) the cascade span nests
+    /// where the merge work happens. Time under none of them is the
+    /// memtable insert itself.
     pub fn apply(&self, req: Request) -> Result<()> {
+        let _put = self.sink.span(SpanOp::put());
         let Some(sched) = &self.scheduler else {
-            return self.inner.write().apply(req);
+            let mut t = {
+                let _lock_wait = self.sink.span(SpanOp::lock_wait());
+                self.inner.write()
+            };
+            return t.apply_unspanned(req);
         };
         let max_imm = sched.max_imm_memtables();
         let mut req = Some(req);
@@ -110,7 +128,10 @@ impl SharedLsmTree {
             // does not — a stalled writer must never block the worker
             // that will unstall it.
             let outcome = {
-                let mut t = self.inner.write();
+                let mut t = {
+                    let _lock_wait = self.sink.span(SpanOp::lock_wait());
+                    self.inner.write()
+                };
                 let _tree_lock = lockorder::tree_lock_held();
                 if t.mem_at_capacity() && t.imm_count() >= max_imm {
                     Err(t.imm_count())
@@ -137,6 +158,7 @@ impl SharedLsmTree {
                 Ok(None) => return Ok(()),
                 Err(backlog) => {
                     sched.notify(self.shard_id, backlog);
+                    let _stall = self.sink.span(SpanOp::backpressure_wait());
                     sched.wait_for_room(self.shard_id)?;
                 }
             }

@@ -319,7 +319,19 @@ impl LsmTree {
     }
 
     /// Apply one request and run any merges it triggers.
+    ///
+    /// The whole call is one [`SpanOp::put`] span; the cascade (if the
+    /// memtable overflowed) nests inside it, so a trace partitions the
+    /// front-end latency into memtable-insert time plus cascade time.
     pub fn apply(&mut self, req: Request) -> Result<()> {
+        let _span = self.sink.span(SpanOp::put());
+        self.apply_unspanned(req)
+    }
+
+    /// [`LsmTree::apply`] without the enclosing put span — for front-ends
+    /// (the shared and sharded wrappers) that already opened one covering
+    /// their lock wait and WAL work, so the tree must not nest a second.
+    pub(crate) fn apply_unspanned(&mut self, req: Request) -> Result<()> {
         self.note_request(&req)?;
         self.mem.apply(req);
         self.run_cascade()

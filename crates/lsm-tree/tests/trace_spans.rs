@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use lsm_tree::observe::trace::TraceEventKind;
 use lsm_tree::observe::{
-    ChromeTraceSink, Event, FlightEntry, FlightRecorderSink, HealthSink, NullSink, SinkHandle,
-    SpanKind, TextExpositionSink, TickClock, TimeseriesSink, Tracer, VecTraceSink,
+    ChromeTraceSink, Event, ExemplarConfig, ExemplarSink, FlightEntry, FlightRecorderSink,
+    HealthSink, NullSink, SinkHandle, SpanKind, TextExpositionSink, TickClock, TimeseriesSink,
+    Tracer, VecTraceSink,
 };
 use lsm_tree::{LsmConfig, LsmTree, PolicySpec, ShardedLsmTree, TreeOptions};
 use sim_ssd::{BlockDevice, MemDevice};
@@ -81,12 +82,14 @@ fn exporters_have_no_observer_effect() {
     let prom_path = std::env::temp_dir().join("trace_spans_observer_effect.prom");
     let recorder = Arc::new(FlightRecorderSink::new(256));
     let health = Arc::new(HealthSink::with_defaults());
+    let exemplars = Arc::new(ExemplarSink::new(ExemplarConfig::default()));
     let full = run(SinkHandle::of(
         Tracer::with_clock(Arc::new(TickClock::new()))
             .trace_to(Arc::new(VecTraceSink::new()))
             .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
             .trace_to(Arc::clone(&recorder) as _)
             .trace_to(Arc::clone(&health) as _)
+            .trace_to(Arc::clone(&exemplars) as _)
             .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
             .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
     ));
@@ -95,6 +98,21 @@ fn exporters_have_no_observer_effect() {
     assert_eq!(bare.0, full.0, "exporter pipeline changed the device image");
     assert_eq!(bare.1, null.1, "NullSink changed TreeStats");
     assert_eq!(bare.1, full.1, "exporter pipeline changed TreeStats");
+    // The tail-anatomy engine rode along without observer effect, saw every
+    // front-end request as exactly one root span, captured exemplars, and
+    // its report validates (per-exemplar phase sums included).
+    assert_eq!(
+        exemplars.completed_puts() + exemplars.completed_lookups(),
+        12_000,
+        "every request must complete exactly one root span"
+    );
+    assert!(exemplars.captured() > 0, "no tail exemplars captured");
+    let tail = exemplars.report();
+    assert!(
+        lsm_tree::observe::validate_tail(&tail).is_empty(),
+        "{:?}",
+        lsm_tree::observe::validate_tail(&tail)
+    );
     // The flight recorder rode along without observer effect — and actually
     // recorded: the ring is full, the overflow is accounted exactly, and no
     // span is left open after the run.
@@ -153,6 +171,7 @@ fn exporters_have_no_observer_effect_with_scheduler() {
     let null = run(SinkHandle::of(NullSink));
     let recorder = Arc::new(FlightRecorderSink::new(256));
     let health = Arc::new(HealthSink::with_defaults());
+    let exemplars = Arc::new(ExemplarSink::new(ExemplarConfig::default()));
     let prom_path = std::env::temp_dir().join("trace_spans_observer_effect_sched.prom");
     let full = run(SinkHandle::of(
         Tracer::with_clock(Arc::new(TickClock::new()))
@@ -160,6 +179,7 @@ fn exporters_have_no_observer_effect_with_scheduler() {
             .trace_to(Arc::new(ChromeTraceSink::new(std::io::sink())))
             .trace_to(Arc::clone(&recorder) as _)
             .trace_to(Arc::clone(&health) as _)
+            .trace_to(Arc::clone(&exemplars) as _)
             .forward_events_to(Arc::new(TimeseriesSink::new(64, 14)))
             .forward_events_to(Arc::new(TextExpositionSink::new(&prom_path, &[]))),
     ));
@@ -169,6 +189,19 @@ fn exporters_have_no_observer_effect_with_scheduler() {
     assert!(recorder.total() > 0, "the pipeline saw no events");
     assert!(recorder.open_spans().is_empty(), "spans leaked past the drained run");
     assert!(health.windows_completed() > 0, "health windows never rotated");
+    // Wait-state instrumentation on the scheduled write path (lock waits,
+    // backpressure stalls) must not change the logical outcome either —
+    // and the tail engine still sees one root span per request.
+    assert_eq!(
+        exemplars.completed_puts() + exemplars.completed_lookups(),
+        12_000,
+        "every scheduled request must complete exactly one root span"
+    );
+    assert!(
+        lsm_tree::observe::validate_tail(&exemplars.report()).is_empty(),
+        "{:?}",
+        lsm_tree::observe::validate_tail(&exemplars.report())
+    );
     std::fs::remove_file(&prom_path).ok();
 }
 

@@ -1,0 +1,955 @@
+//! Tail-latency exemplars: the slowest complete span trees, kept whole.
+//!
+//! Histograms ([`crate::windowed`]) say *how slow* the p99.9 put was;
+//! they cannot say *where the time went*. This module keeps the evidence:
+//! an [`ExemplarSink`] watches the span stream (either behind a
+//! [`Tracer`](crate::Tracer) as a [`TraceSink`], or standalone as an
+//! [`EventSink`] timing spans with its own clock) and retains a bounded
+//! top-K reservoir of the slowest *complete* `Put` / `Lookup` span trees
+//! per shard — Prometheus-exemplar style, except the exemplar is the whole
+//! causal tree, not just a trace id.
+//!
+//! A completed root's direct children partition its latency into *phases*
+//! (`lock_wait`, `wal_append`, `group_commit_wait`, `backpressure_wait`,
+//! `cascade`, …); whatever the children leave uncovered is the operation's
+//! own work (`memtable_insert` for a put). Phases therefore sum to the
+//! root's duration *by construction* — exactly, under any monotonic clock.
+//!
+//! The capture threshold tracks the rolling percentile
+//! ([`ExemplarConfig::percentile`]) of a [`WindowedHistogram`] that
+//! rotates every [`ExemplarConfig::window_puts`] completed roots, so the
+//! reservoir chases the *current* tail rather than boot-time noise. Under
+//! [`TickClock`](crate::TickClock) the whole pipeline — thresholds,
+//! evictions, the rendered report — is deterministic and byte-identical
+//! across replays.
+//!
+//! Scheduler queue delay rides along: the flat event stream already
+//! carries `FlushEnqueued` (a memtable sealed) and `JobStart` (a worker
+//! picked the shard up), and the sink pairs them FIFO per shard into a
+//! `queue_delay` histogram.
+//!
+//! [`ExemplarSink::report`] renders everything as a versioned
+//! `lsm-tail/v1` JSON document with a critical-path *blame table*: per
+//! phase, its share of all captured put latency and of the p99/p99.9
+//! tail. [`validate_tail`] checks any such document, including that every
+//! exemplar's phases sum to within 1% of its duration.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::json::Json;
+use crate::metrics::{Histogram, Metrics};
+use crate::trace::{Clock, SpanId, SpanKind, SpanOp, TraceEvent, TraceEventKind, TraceSink};
+use crate::windowed::WindowedHistogram;
+use crate::{Event, EventSink};
+
+/// Schema identifier stamped into (and required from) tail reports.
+pub const TAIL_SCHEMA: &str = "lsm-tail/v1";
+
+/// Tuning for an [`ExemplarSink`].
+#[derive(Clone)]
+pub struct ExemplarConfig {
+    /// Reservoir capacity: slowest spans kept per shard *per kind*.
+    pub per_shard: usize,
+    /// Rolling ring depth for the latency/queue-delay histograms.
+    pub windows: usize,
+    /// Completed `Put`/`Lookup` roots per window (the rotation pace).
+    pub window_puts: u64,
+    /// Rolling percentile a root must reach to be considered for capture
+    /// once `min_samples` have been seen.
+    pub percentile: f64,
+    /// Capture unconditionally until this many roots of the kind have
+    /// completed (the threshold is noise before that).
+    pub min_samples: u64,
+    /// Clock used only when the sink times spans itself (standalone
+    /// [`EventSink`] mode); behind a tracer, trace timestamps are used.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl Default for ExemplarConfig {
+    fn default() -> Self {
+        ExemplarConfig {
+            per_shard: 4,
+            windows: 8,
+            window_puts: 512,
+            percentile: 0.95,
+            min_samples: 32,
+            clock: Arc::new(crate::trace::WallClock::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExemplarConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarConfig")
+            .field("per_shard", &self.per_shard)
+            .field("windows", &self.windows)
+            .field("window_puts", &self.window_puts)
+            .field("percentile", &self.percentile)
+            .field("min_samples", &self.min_samples)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One completed span in a captured exemplar tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExemplarSpan {
+    /// What the span covered (kind, level, shard, …).
+    pub op: SpanOp,
+    /// Clock reading when the span opened.
+    pub start_us: u64,
+    /// Closing reading minus opening reading.
+    pub duration_us: u64,
+    /// Completed direct children, in completion order.
+    pub children: Vec<ExemplarSpan>,
+}
+
+impl ExemplarSpan {
+    /// Partition this span's duration into named phases: direct children
+    /// aggregated by kind, plus a residual phase for the time no child
+    /// covers (`memtable_insert` for a put, the kind's own name
+    /// otherwise). The phase values always sum to `duration_us` exactly.
+    pub fn phases(&self) -> Vec<(&'static str, u64)> {
+        let mut by: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for child in &self.children {
+            *by.entry(child.op.kind.name()).or_insert(0) += child.duration_us;
+        }
+        let child_sum: u64 = by.values().sum();
+        let residual_name = match self.op.kind {
+            SpanKind::Put => "memtable_insert",
+            other => other.name(),
+        };
+        let mut out: Vec<(&'static str, u64)> = by.into_iter().collect();
+        let residual = self.duration_us.saturating_sub(child_sum);
+        if residual > 0 || out.is_empty() {
+            match out.iter_mut().find(|(name, _)| *name == residual_name) {
+                Some((_, us)) => *us += residual,
+                None => out.push((residual_name, residual)),
+            }
+        }
+        out
+    }
+
+    fn tree_json(&self) -> Json {
+        Json::obj([
+            ("op", Json::from(self.op.label())),
+            ("start_us", Json::from(self.start_us)),
+            ("duration_us", Json::from(self.duration_us)),
+            ("children", Json::arr(self.children.iter().map(ExemplarSpan::tree_json))),
+        ])
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from(self.op.kind.name())),
+            (
+                "shard",
+                match self.op.shard {
+                    Some(s) => Json::from(s),
+                    None => Json::Null,
+                },
+            ),
+            ("start_us", Json::from(self.start_us)),
+            ("duration_us", Json::from(self.duration_us)),
+            (
+                "phases",
+                Json::arr(self.phases().into_iter().map(|(phase, us)| {
+                    Json::obj([("phase", Json::from(phase)), ("us", Json::from(us))])
+                })),
+            ),
+            ("tree", self.tree_json()),
+        ])
+    }
+}
+
+/// A span currently open, accumulating its completed children.
+struct OpenNode {
+    op: SpanOp,
+    begin: u64,
+    parent: Option<u64>,
+    children: Vec<ExemplarSpan>,
+}
+
+struct Inner {
+    open: HashMap<u64, OpenNode>,
+    /// Next standalone-minted span id. Offset past both the tracer's ids
+    /// and the health sink's standalone range so a fanout peer's end
+    /// calls can never collide.
+    next_span: u64,
+    completed_put: u64,
+    completed_lookup: u64,
+    roots_in_window: u64,
+    windows_completed: u64,
+    put_latency: WindowedHistogram,
+    lookup_latency: WindowedHistogram,
+    queue_delay: WindowedHistogram,
+    /// FIFO enqueue timestamps per shard, paired with `JobStart`.
+    pending_jobs: BTreeMap<Option<usize>, VecDeque<u64>>,
+    /// Top-K slowest put roots per shard (`None` = unsharded).
+    puts: BTreeMap<Option<usize>, Vec<ExemplarSpan>>,
+    /// Top-K slowest lookup roots per shard.
+    lookups: BTreeMap<Option<usize>, Vec<ExemplarSpan>>,
+}
+
+thread_local! {
+    /// Per-thread stack of spans opened in standalone mode, tagged with
+    /// the owning sink so two sinks on one thread cannot adopt each
+    /// other's spans as parents (mirrors the tracer's span stack).
+    static EXEMPLAR_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_EXEMPLAR_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// Captures the slowest complete `Put`/`Lookup` span trees per shard and
+/// renders them as an `lsm-tail/v1` blame report. See the module docs.
+pub struct ExemplarSink {
+    config: ExemplarConfig,
+    tag: u64,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ExemplarSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarSink").field("config", &self.config).finish()
+    }
+}
+
+impl ExemplarSink {
+    /// A sink with the given tuning and an empty reservoir.
+    pub fn new(config: ExemplarConfig) -> Self {
+        let windows = config.windows.max(1);
+        ExemplarSink {
+            config,
+            tag: NEXT_EXEMPLAR_TAG.fetch_add(1, Ordering::Relaxed),
+            inner: Mutex::new(Inner {
+                open: HashMap::new(),
+                next_span: 1 << 33,
+                completed_put: 0,
+                completed_lookup: 0,
+                roots_in_window: 0,
+                windows_completed: 0,
+                put_latency: WindowedHistogram::new(windows),
+                lookup_latency: WindowedHistogram::new(windows),
+                queue_delay: WindowedHistogram::new(windows),
+                pending_jobs: BTreeMap::new(),
+                puts: BTreeMap::new(),
+                lookups: BTreeMap::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // The sink only folds counters; a panic mid-update cannot corrupt
+        // invariants worth halting observability for.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Windows rotated so far (the rolling-threshold pace).
+    pub fn windows_completed(&self) -> u64 {
+        self.lock().windows_completed
+    }
+
+    /// Completed `Put` roots observed.
+    pub fn completed_puts(&self) -> u64 {
+        self.lock().completed_put
+    }
+
+    /// Completed `Lookup` roots observed.
+    pub fn completed_lookups(&self) -> u64 {
+        self.lock().completed_lookup
+    }
+
+    /// Exemplar trees currently held across all reservoirs.
+    pub fn captured(&self) -> usize {
+        let inner = self.lock();
+        inner.puts.values().map(Vec::len).sum::<usize>()
+            + inner.lookups.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// The phase with the largest share of captured put latency, if any
+    /// put exemplar has been captured.
+    pub fn dominant_phase(&self) -> Option<&'static str> {
+        let inner = self.lock();
+        let spans: Vec<&ExemplarSpan> = inner.puts.values().flatten().collect();
+        let (_, dominant) = blame(&spans, f64::MAX, f64::MAX);
+        dominant
+    }
+
+    fn on_end(&self, inner: &mut Inner, id: u64, at: u64) {
+        let Some(node) = inner.open.remove(&id) else { return };
+        let span = ExemplarSpan {
+            op: node.op,
+            start_us: node.begin,
+            duration_us: at.saturating_sub(node.begin),
+            children: node.children,
+        };
+        match node.parent.and_then(|p| inner.open.get_mut(&p)) {
+            Some(parent) => parent.children.push(span),
+            None => self.on_root(inner, span),
+        }
+    }
+
+    fn on_root(&self, inner: &mut Inner, span: ExemplarSpan) {
+        let kind = span.op.kind;
+        if !matches!(kind, SpanKind::Put | SpanKind::Lookup) {
+            return;
+        }
+        let duration = span.duration_us;
+        let is_put = kind == SpanKind::Put;
+        let (count, threshold) = {
+            let hist = if is_put { &mut inner.put_latency } else { &mut inner.lookup_latency };
+            hist.record(duration);
+            (hist.cumulative().count(), hist.rolling().percentile(self.config.percentile))
+        };
+        if is_put {
+            inner.completed_put += 1;
+        } else {
+            inner.completed_lookup += 1;
+        }
+        // Capture until the histogram can speak, then only the tail.
+        if count <= self.config.min_samples || duration as f64 >= threshold {
+            let reservoir = if is_put { &mut inner.puts } else { &mut inner.lookups };
+            let slot = reservoir.entry(span.op.shard).or_default();
+            if slot.len() < self.config.per_shard.max(1) {
+                slot.push(span);
+            } else {
+                let mut min_i = 0;
+                for (i, held) in slot.iter().enumerate() {
+                    if held.duration_us < slot[min_i].duration_us {
+                        min_i = i;
+                    }
+                }
+                // Strict eviction: ties keep the earlier capture, so the
+                // reservoir is deterministic under a tick clock.
+                if duration > slot[min_i].duration_us {
+                    slot[min_i] = span;
+                }
+            }
+        }
+        inner.roots_in_window += 1;
+        if inner.roots_in_window >= self.config.window_puts.max(1) {
+            inner.roots_in_window = 0;
+            inner.windows_completed += 1;
+            inner.put_latency.rotate();
+            inner.lookup_latency.rotate();
+            inner.queue_delay.rotate();
+        }
+    }
+
+    fn on_event(&self, inner: &mut Inner, event: &Event, shard: Option<usize>, at: u64) {
+        match *event {
+            Event::FlushEnqueued { .. } => {
+                inner.pending_jobs.entry(shard).or_default().push_back(at);
+            }
+            Event::JobStart { shard, .. } => {
+                // Prefer the shard's own queue; an unsharded front-end
+                // enqueues under `None` while its scheduler still names
+                // the registration id.
+                let enqueued =
+                    inner.pending_jobs.get_mut(&Some(shard)).and_then(VecDeque::pop_front).or_else(
+                        || inner.pending_jobs.get_mut(&None).and_then(VecDeque::pop_front),
+                    );
+                if let Some(t) = enqueued {
+                    inner.queue_delay.record(at.saturating_sub(t));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Render the `lsm-tail/v1` report. Pure: same state, same bytes.
+    pub fn report(&self) -> Json {
+        let inner = self.lock();
+        let put_p99 = inner.put_latency.cumulative().percentile(0.99);
+        let put_p999 = inner.put_latency.cumulative().percentile(0.999);
+
+        let all_puts: Vec<&ExemplarSpan> = inner.puts.values().flatten().collect();
+        let (global_blame, global_dominant) = blame(&all_puts, put_p99, put_p999);
+
+        let mut shard_keys: Vec<usize> =
+            inner.puts.keys().chain(inner.lookups.keys()).filter_map(|k| *k).collect();
+        shard_keys.sort_unstable();
+        shard_keys.dedup();
+        let shards = Json::arr(shard_keys.into_iter().map(|shard| {
+            let key = Some(shard);
+            let mut pairs = vec![("shard".to_string(), Json::from(shard))];
+            pairs.extend(scope_json(&inner, &key, put_p99, put_p999));
+            Json::Obj(pairs)
+        }));
+        let unsharded = Json::Obj(scope_json(&inner, &None, put_p99, put_p999));
+
+        Json::obj([
+            ("schema", Json::from(TAIL_SCHEMA)),
+            (
+                "config",
+                Json::obj([
+                    ("per_shard", Json::from(self.config.per_shard)),
+                    ("windows", Json::from(self.config.windows)),
+                    ("window_puts", Json::from(self.config.window_puts)),
+                    ("percentile", Json::from(self.config.percentile)),
+                    ("min_samples", Json::from(self.config.min_samples)),
+                ]),
+            ),
+            (
+                "completed",
+                Json::obj([
+                    ("put", Json::from(inner.completed_put)),
+                    ("lookup", Json::from(inner.completed_lookup)),
+                ]),
+            ),
+            ("windows_completed", Json::from(inner.windows_completed)),
+            (
+                "threshold",
+                Json::obj([
+                    (
+                        "put",
+                        Json::from(inner.put_latency.rolling().percentile(self.config.percentile)),
+                    ),
+                    (
+                        "lookup",
+                        Json::from(
+                            inner.lookup_latency.rolling().percentile(self.config.percentile),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "rolling",
+                Json::obj([
+                    ("put_latency", inner.put_latency.to_json()),
+                    ("lookup_latency", inner.lookup_latency.to_json()),
+                    ("queue_delay", inner.queue_delay.to_json()),
+                ]),
+            ),
+            (
+                "cumulative",
+                Json::obj([
+                    ("put_latency", hist_json(inner.put_latency.cumulative())),
+                    ("lookup_latency", hist_json(inner.lookup_latency.cumulative())),
+                    ("queue_delay", hist_json(inner.queue_delay.cumulative())),
+                ]),
+            ),
+            ("blame", global_blame),
+            (
+                "dominant_phase",
+                match global_dominant {
+                    Some(name) => Json::from(name),
+                    None => Json::Null,
+                },
+            ),
+            ("shards", shards),
+            ("unsharded", unsharded),
+        ])
+    }
+
+    /// Export headline gauges into `metrics` (`tail.*` →
+    /// `lsm_tail_*` in the Prometheus exposition).
+    pub fn export_gauges(&self, metrics: &Metrics) {
+        let inner = self.lock();
+        metrics.set_gauge("tail.windows_completed", inner.windows_completed as f64);
+        metrics.set_gauge("tail.completed.put", inner.completed_put as f64);
+        metrics.set_gauge("tail.completed.lookup", inner.completed_lookup as f64);
+        let captured = inner.puts.values().map(Vec::len).sum::<usize>()
+            + inner.lookups.values().map(Vec::len).sum::<usize>();
+        metrics.set_gauge("tail.exemplars", captured as f64);
+        metrics.set_gauge("tail.queue_delay.count", inner.queue_delay.cumulative().count() as f64);
+    }
+}
+
+/// Render one scope's (a shard's, or the unsharded bucket's) blame table,
+/// dominant phase, and exemplar list.
+fn scope_json(
+    inner: &Inner,
+    key: &Option<usize>,
+    put_p99: f64,
+    put_p999: f64,
+) -> Vec<(String, Json)> {
+    static EMPTY: Vec<ExemplarSpan> = Vec::new();
+    let puts = inner.puts.get(key).unwrap_or(&EMPTY);
+    let lookups = inner.lookups.get(key).unwrap_or(&EMPTY);
+    let put_refs: Vec<&ExemplarSpan> = puts.iter().collect();
+    let (blame_table, dominant) = blame(&put_refs, put_p99, put_p999);
+    let mut exemplars: Vec<&ExemplarSpan> = puts.iter().chain(lookups.iter()).collect();
+    exemplars.sort_by(|a, b| b.duration_us.cmp(&a.duration_us).then(a.start_us.cmp(&b.start_us)));
+    vec![
+        ("blame".to_string(), blame_table),
+        (
+            "dominant_phase".to_string(),
+            match dominant {
+                Some(name) => Json::from(name),
+                None => Json::Null,
+            },
+        ),
+        ("exemplars".to_string(), Json::arr(exemplars.into_iter().map(ExemplarSpan::to_json))),
+    ]
+}
+
+/// Aggregate put exemplars into a blame table sorted by total time,
+/// descending (name ascending on ties), plus the dominant phase name.
+/// `p99`/`p999` classify which exemplars count toward the tail shares.
+fn blame(spans: &[&ExemplarSpan], p99: f64, p999: f64) -> (Json, Option<&'static str>) {
+    #[derive(Default)]
+    struct Acc {
+        total: u64,
+        count: u64,
+        p99_total: u64,
+        p999_total: u64,
+    }
+    let mut by: BTreeMap<&'static str, Acc> = BTreeMap::new();
+    let (mut grand, mut grand99, mut grand999) = (0u64, 0u64, 0u64);
+    for span in spans {
+        let d = span.duration_us as f64;
+        let (tail99, tail999) = (d >= p99, d >= p999);
+        for (phase, us) in span.phases() {
+            let acc = by.entry(phase).or_default();
+            acc.total += us;
+            acc.count += 1;
+            if tail99 {
+                acc.p99_total += us;
+            }
+            if tail999 {
+                acc.p999_total += us;
+            }
+        }
+        grand += span.duration_us;
+        if tail99 {
+            grand99 += span.duration_us;
+        }
+        if tail999 {
+            grand999 += span.duration_us;
+        }
+    }
+    let mut rows: Vec<(&'static str, Acc)> = by.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+    let dominant = rows.first().map(|(name, _)| *name);
+    let share = |num: u64, den: u64| if den > 0 { num as f64 / den as f64 } else { 0.0 };
+    let table = Json::arr(rows.iter().map(|(phase, acc)| {
+        Json::obj([
+            ("phase", Json::from(*phase)),
+            ("total_us", Json::from(acc.total)),
+            ("count", Json::from(acc.count)),
+            ("share", Json::from(share(acc.total, grand))),
+            ("share_p99", Json::from(share(acc.p99_total, grand99))),
+            ("share_p999", Json::from(share(acc.p999_total, grand999))),
+        ])
+    }));
+    (table, dominant)
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::obj([
+        ("count", Json::from(h.count())),
+        ("p50", Json::from(h.percentile(0.50))),
+        ("p99", Json::from(h.percentile(0.99))),
+        ("p999", Json::from(h.percentile(0.999))),
+        ("max", Json::from(h.max())),
+    ])
+}
+
+impl TraceSink for ExemplarSink {
+    fn accept(&self, event: &TraceEvent) {
+        let mut inner = self.lock();
+        match event.kind {
+            TraceEventKind::Begin { id, parent, op } => {
+                inner.open.insert(
+                    id.as_u64(),
+                    OpenNode {
+                        op,
+                        begin: event.at_us,
+                        parent: parent.map(|p| p.as_u64()),
+                        children: Vec::new(),
+                    },
+                );
+            }
+            TraceEventKind::End { id, .. } => self.on_end(&mut inner, id.as_u64(), event.at_us),
+            TraceEventKind::Emit(ev) => {
+                let shard = event
+                    .span
+                    .and_then(|s| inner.open.get(&s.as_u64()))
+                    .and_then(|node| node.op.shard);
+                self.on_event(&mut inner, &ev, shard, event.at_us);
+            }
+        }
+    }
+}
+
+impl EventSink for ExemplarSink {
+    fn emit(&self, event: &Event) {
+        let at = self.config.clock.now_us();
+        let enclosing = EXEMPLAR_STACK.with(|s| {
+            s.borrow().iter().rev().find(|&&(tag, _)| tag == self.tag).map(|&(_, id)| id)
+        });
+        let mut inner = self.lock();
+        let shard = enclosing.and_then(|id| inner.open.get(&id)).and_then(|node| node.op.shard);
+        self.on_event(&mut inner, event, shard, at);
+    }
+
+    fn span_begin(&self, op: &SpanOp) -> Option<SpanId> {
+        let at = self.config.clock.now_us();
+        let parent = EXEMPLAR_STACK.with(|s| {
+            s.borrow().iter().rev().find(|&&(tag, _)| tag == self.tag).map(|&(_, id)| id)
+        });
+        let mut inner = self.lock();
+        inner.next_span += 1;
+        let id = inner.next_span;
+        inner.open.insert(id, OpenNode { op: *op, begin: at, parent, children: Vec::new() });
+        drop(inner);
+        EXEMPLAR_STACK.with(|s| s.borrow_mut().push((self.tag, id)));
+        Some(SpanId::from_raw(id))
+    }
+
+    fn span_end(&self, id: SpanId, _op: &SpanOp) {
+        let at = self.config.clock.now_us();
+        EXEMPLAR_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) =
+                stack.iter().rposition(|&(tag, sid)| tag == self.tag && sid == id.as_u64())
+            {
+                stack.remove(pos);
+            }
+        });
+        let mut inner = self.lock();
+        // Foreign ids (a fanout peer's spans) are not in `open`: ignored.
+        self.on_end(&mut inner, id.as_u64(), at);
+    }
+}
+
+/// Check an `lsm-tail/v1` document. Returns every problem found (empty =
+/// valid): schema string, required sections, blame-table shape, and —
+/// the core invariant — each exemplar's phases summing to within 1% of
+/// its measured duration.
+pub fn validate_tail(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Json::Obj(pairs) = doc else {
+        return vec!["tail report is not an object".to_string()];
+    };
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+
+    match get("schema") {
+        Some(Json::Str(s)) if s == TAIL_SCHEMA => {}
+        Some(Json::Str(s)) => problems.push(format!("schema is {s:?}, expected {TAIL_SCHEMA:?}")),
+        _ => problems.push("missing schema string".to_string()),
+    }
+    if !matches!(get("windows_completed"), Some(Json::U64(_) | Json::I64(_))) {
+        problems.push("windows_completed is not an integer".to_string());
+    }
+    match get("completed") {
+        Some(completed @ Json::Obj(_)) => {
+            for key in ["put", "lookup"] {
+                if number_field(completed, key).is_none() {
+                    problems.push(format!("completed.{key} is not a number"));
+                }
+            }
+        }
+        _ => problems.push("missing completed object".to_string()),
+    }
+    for key in ["config", "threshold", "rolling", "cumulative"] {
+        if !matches!(get(key), Some(Json::Obj(_))) {
+            problems.push(format!("missing {key} object"));
+        }
+    }
+    match get("dominant_phase") {
+        Some(Json::Str(_) | Json::Null) => {}
+        _ => problems.push("dominant_phase is neither a string nor null".to_string()),
+    }
+    match get("blame") {
+        Some(b @ Json::Arr(_)) => check_blame("blame", b, &mut problems),
+        _ => problems.push("missing blame array".to_string()),
+    }
+    match get("shards") {
+        Some(Json::Arr(shards)) => {
+            for (i, shard) in shards.iter().enumerate() {
+                let prefix = format!("shards[{i}]");
+                if number_field(shard, "shard").is_none() {
+                    problems.push(format!("{prefix}.shard is not a number"));
+                }
+                check_scope(&prefix, shard, &mut problems);
+            }
+        }
+        _ => problems.push("missing shards array".to_string()),
+    }
+    match get("unsharded") {
+        Some(scope @ Json::Obj(_)) => check_scope("unsharded", scope, &mut problems),
+        _ => problems.push("missing unsharded object".to_string()),
+    }
+    problems
+}
+
+fn number_field(doc: &Json, key: &str) -> Option<f64> {
+    let Json::Obj(pairs) = doc else { return None };
+    match pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        Some(Json::U64(n)) => Some(*n as f64),
+        Some(Json::I64(n)) => Some(*n as f64),
+        Some(Json::F64(x)) => Some(*x),
+        _ => None,
+    }
+}
+
+fn check_blame(prefix: &str, table: &Json, problems: &mut Vec<String>) {
+    let Json::Arr(rows) = table else {
+        problems.push(format!("{prefix} is not an array"));
+        return;
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let Json::Obj(pairs) = row else {
+            problems.push(format!("{prefix}[{i}] is not an object"));
+            continue;
+        };
+        if !pairs.iter().any(|(k, v)| k == "phase" && matches!(v, Json::Str(_))) {
+            problems.push(format!("{prefix}[{i}].phase is not a string"));
+        }
+        for key in ["total_us", "count", "share", "share_p99", "share_p999"] {
+            match number_field(row, key) {
+                Some(x) if key.starts_with("share") && !(0.0..=1.0).contains(&x) => {
+                    problems.push(format!("{prefix}[{i}].{key} = {x} outside [0, 1]"));
+                }
+                Some(_) => {}
+                None => problems.push(format!("{prefix}[{i}].{key} is not a number")),
+            }
+        }
+    }
+}
+
+fn check_scope(prefix: &str, scope: &Json, problems: &mut Vec<String>) {
+    let Json::Obj(pairs) = scope else {
+        problems.push(format!("{prefix} is not an object"));
+        return;
+    };
+    let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    match get("blame") {
+        Some(b) => check_blame(&format!("{prefix}.blame"), b, problems),
+        None => problems.push(format!("{prefix} has no blame table")),
+    }
+    match get("exemplars") {
+        Some(Json::Arr(exemplars)) => {
+            for (i, exemplar) in exemplars.iter().enumerate() {
+                check_exemplar(&format!("{prefix}.exemplars[{i}]"), exemplar, problems);
+            }
+        }
+        _ => problems.push(format!("{prefix} has no exemplars array")),
+    }
+}
+
+fn check_exemplar(prefix: &str, exemplar: &Json, problems: &mut Vec<String>) {
+    let Some(duration) = number_field(exemplar, "duration_us") else {
+        problems.push(format!("{prefix}.duration_us is not a number"));
+        return;
+    };
+    let Json::Obj(pairs) = exemplar else { unreachable!("number_field checked") };
+    let phases = match pairs.iter().find(|(k, _)| k == "phases").map(|(_, v)| v) {
+        Some(Json::Arr(phases)) => phases,
+        _ => {
+            problems.push(format!("{prefix}.phases is not an array"));
+            return;
+        }
+    };
+    let mut sum = 0.0;
+    for (i, phase) in phases.iter().enumerate() {
+        match number_field(phase, "us") {
+            Some(us) => sum += us,
+            None => problems.push(format!("{prefix}.phases[{i}].us is not a number")),
+        }
+    }
+    // The acceptance bound: phases account for the whole measured
+    // duration to within 1% (or 1 µs for sub-100 µs spans).
+    let slack = (duration / 100.0).max(1.0);
+    if (sum - duration).abs() > slack {
+        problems.push(format!(
+            "{prefix}: phases sum to {sum} but duration_us is {duration} (slack {slack})"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TickClock, Tracer};
+    use crate::SinkHandle;
+
+    fn test_config() -> ExemplarConfig {
+        ExemplarConfig {
+            per_shard: 2,
+            windows: 2,
+            window_puts: 8,
+            percentile: 0.5,
+            min_samples: 4,
+            clock: Arc::new(TickClock::new()),
+        }
+    }
+
+    #[test]
+    fn standalone_spans_build_phase_partitions() {
+        let sink = Arc::new(ExemplarSink::new(test_config()));
+        let handle = SinkHandle::new(Arc::clone(&sink) as Arc<dyn EventSink>);
+        {
+            let _put = handle.span(SpanOp::put().with_shard(1));
+            let _lw = handle.span(SpanOp::lock_wait().with_shard(1));
+        }
+        assert_eq!(sink.completed_puts(), 1);
+        assert_eq!(sink.captured(), 1);
+        let doc = sink.report();
+        assert!(validate_tail(&doc).is_empty(), "{:?}", validate_tail(&doc));
+        // The tick clock advances once per reading: the put span covers 3
+        // ticks (begin put, begin lw, end lw, end put ⇒ duration 3), the
+        // lock wait 1; the residual is memtable_insert.
+        let rendered = doc.render();
+        assert!(rendered.contains("\"lock_wait\""), "{rendered}");
+        assert!(rendered.contains("\"memtable_insert\""), "{rendered}");
+    }
+
+    #[test]
+    fn traced_roots_fold_children_and_blame_the_dominant_phase() {
+        let sink = Arc::new(ExemplarSink::new(test_config()));
+        let handle = SinkHandle::of(
+            Tracer::with_clock(Arc::new(TickClock::new()))
+                .trace_to(Arc::clone(&sink) as Arc<dyn TraceSink>),
+        );
+        for _ in 0..3 {
+            let _put = handle.span(SpanOp::put().with_shard(0));
+            let bp = handle.span(SpanOp::backpressure_wait().with_shard(0));
+            // Burn ticks inside the stall so it dominates the put.
+            for block in 0..8 {
+                handle.emit(Event::DeviceWrite { block });
+            }
+            drop(bp);
+        }
+        assert_eq!(sink.completed_puts(), 3);
+        assert_eq!(sink.dominant_phase(), Some("backpressure_wait"));
+        let doc = sink.report();
+        assert!(validate_tail(&doc).is_empty(), "{:?}", validate_tail(&doc));
+    }
+
+    #[test]
+    fn queue_delay_pairs_enqueue_with_job_start() {
+        let sink = Arc::new(ExemplarSink::new(test_config()));
+        let handle = SinkHandle::new(Arc::clone(&sink) as Arc<dyn EventSink>);
+        handle.emit(Event::FlushEnqueued { records: 10, backlog: 1 });
+        handle.emit(Event::JobStart { shard: 0, queued: 0 });
+        let doc = sink.report();
+        let Json::Obj(pairs) = &doc else { panic!() };
+        let cumulative = pairs.iter().find(|(k, _)| k == "cumulative").map(|(_, v)| v).unwrap();
+        assert_eq!(
+            number_field(
+                match cumulative {
+                    Json::Obj(c) => c.iter().find(|(k, _)| k == "queue_delay").map(|(_, v)| v),
+                    _ => None,
+                }
+                .unwrap(),
+                "count"
+            ),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn reservoir_keeps_the_slowest_and_windows_rotate() {
+        let mut config = test_config();
+        config.per_shard = 2;
+        config.min_samples = 0;
+        config.percentile = 0.0;
+        let sink = Arc::new(ExemplarSink::new(config));
+        let clock = Arc::new(TickClock::new());
+        let handle = SinkHandle::of(Tracer::with_clock(clock).trace_to(Arc::clone(&sink) as _));
+        for spin in [1u64, 5, 3, 9, 2] {
+            let put = handle.span(SpanOp::put().with_shard(0));
+            for block in 0..spin {
+                handle.emit(Event::DeviceWrite { block });
+            }
+            drop(put);
+        }
+        assert_eq!(sink.completed_puts(), 5);
+        // K=2 reservoir holds the two slowest (spin 5 and spin 9).
+        let doc = sink.report();
+        let rendered = doc.render();
+        assert_eq!(sink.captured(), 2, "{rendered}");
+        assert!(sink.windows_completed() == 0, "5 roots < window_puts=8");
+        // Drive past a window boundary.
+        for _ in 0..8 {
+            let put = handle.span(SpanOp::put().with_shard(0));
+            drop(put);
+        }
+        assert!(sink.windows_completed() >= 1);
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_replays() {
+        let run = || {
+            let sink = Arc::new(ExemplarSink::new(test_config()));
+            let handle = SinkHandle::of(
+                Tracer::with_clock(Arc::new(TickClock::new()))
+                    .trace_to(Arc::clone(&sink) as Arc<dyn TraceSink>),
+            );
+            for shard in [0usize, 1, 0] {
+                let put = handle.span(SpanOp::put().with_shard(shard));
+                let lw = handle.span(SpanOp::lock_wait().with_shard(shard));
+                drop(lw);
+                handle.emit(Event::FlushEnqueued { records: 4, backlog: 1 });
+                handle.emit(Event::JobStart { shard, queued: 0 });
+                drop(put);
+            }
+            sink.report().render()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        let doc = Json::parse(&a).expect("report parses");
+        assert!(validate_tail(&doc).is_empty());
+        assert_eq!(doc.render(), a, "render(parse(render)) is the identity");
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(!validate_tail(&Json::from(3u64)).is_empty());
+        let doc = Json::obj([("schema", Json::from("lsm-tail/v0"))]);
+        let problems = validate_tail(&doc);
+        assert!(problems.iter().any(|p| p.contains("schema")), "{problems:?}");
+        // An exemplar whose phases do not sum to its duration.
+        let bad = Json::obj([
+            ("schema", Json::from(TAIL_SCHEMA)),
+            ("windows_completed", Json::from(0u64)),
+            ("completed", Json::obj([("put", Json::from(1u64)), ("lookup", Json::from(0u64))])),
+            ("config", Json::Obj(Vec::new())),
+            ("threshold", Json::Obj(Vec::new())),
+            ("rolling", Json::Obj(Vec::new())),
+            ("cumulative", Json::Obj(Vec::new())),
+            ("blame", Json::Arr(Vec::new())),
+            ("dominant_phase", Json::Null),
+            (
+                "shards",
+                Json::arr([Json::obj([
+                    ("shard", Json::from(0u64)),
+                    ("blame", Json::Arr(Vec::new())),
+                    (
+                        "exemplars",
+                        Json::arr([Json::obj([
+                            ("duration_us", Json::from(1_000u64)),
+                            (
+                                "phases",
+                                Json::arr([Json::obj([
+                                    ("phase", Json::from("lock_wait")),
+                                    ("us", Json::from(10u64)),
+                                ])]),
+                            ),
+                        ])]),
+                    ),
+                ])]),
+            ),
+            (
+                "unsharded",
+                Json::obj([("blame", Json::Arr(Vec::new())), ("exemplars", Json::Arr(Vec::new()))]),
+            ),
+        ]);
+        let problems = validate_tail(&bad);
+        assert!(problems.iter().any(|p| p.contains("phases sum")), "{problems:?}");
+    }
+
+    #[test]
+    fn export_gauges_publishes_tail_series() {
+        let sink = ExemplarSink::new(test_config());
+        let metrics = Metrics::new();
+        sink.export_gauges(&metrics);
+        let doc = metrics.to_json().render();
+        assert!(doc.contains("tail.windows_completed"), "{doc}");
+    }
+}

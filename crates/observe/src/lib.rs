@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exemplar;
 pub mod flight;
 pub mod health;
 pub mod json;
@@ -34,6 +35,7 @@ pub mod metrics;
 pub mod trace;
 pub mod windowed;
 
+pub use exemplar::{validate_tail, ExemplarConfig, ExemplarSink, ExemplarSpan, TAIL_SCHEMA};
 pub use flight::{FlightEntry, FlightRecorderSink, OpenSpan};
 pub use health::{
     validate_health, HealthConfig, HealthDetector, HealthSink, HealthState, SloTracker,

@@ -123,80 +123,81 @@ impl Clock for TickClock {
     }
 }
 
-/// The class of operation a span covers. Also determines the Chrome trace
-/// `tid` lane, so each class gets its own row in the viewer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SpanKind {
-    /// A whole merge cascade triggered by one request.
-    Cascade,
-    /// Memtable extraction feeding a merge into L1.
-    MemtableFlush,
-    /// One merge into a target level.
-    Merge,
-    /// A pairwise seam fix after a partial merge.
-    PairwiseFix,
-    /// A whole-level compaction.
-    Compaction,
-    /// One WAL append (and its fsync, if any).
-    WalAppend,
-    /// A manifest checkpoint.
-    Checkpoint,
-    /// Recovery (manifest load + WAL replay).
-    Recovery,
-    /// A point lookup.
-    Lookup,
-    /// A range scan.
-    Scan,
+/// Defines [`SpanKind`] together with `name()`, `lane()`, and `all()` from
+/// one variant list, so the three can never drift apart: adding a variant
+/// without a name and lane is a syntax error at the macro call, and a
+/// variant accidentally dropped from the list simply does not exist.
+macro_rules! span_kinds {
+    ($($(#[$doc:meta])* $variant:ident => ($name:literal, $lane:literal)),+ $(,)?) => {
+        /// The class of operation a span covers. Also determines the
+        /// Chrome trace `tid` lane, so each class gets its own row in the
+        /// viewer.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum SpanKind {
+            $($(#[$doc])* $variant,)+
+        }
+
+        impl SpanKind {
+            /// How many kinds exist (the `all()` array length).
+            pub const COUNT: usize = [$($lane as u64),+].len();
+
+            /// Short machine-readable name.
+            pub const fn name(&self) -> &'static str {
+                match self {
+                    $(SpanKind::$variant => $name,)+
+                }
+            }
+
+            /// Chrome trace `tid` lane for this class.
+            pub const fn lane(&self) -> u64 {
+                match self {
+                    $(SpanKind::$variant => $lane,)+
+                }
+            }
+
+            /// Every kind, in lane order (used to pre-register viewer
+            /// lanes).
+            pub const fn all() -> [SpanKind; Self::COUNT] {
+                [$(SpanKind::$variant),+]
+            }
+        }
+    };
 }
 
-impl SpanKind {
-    /// Short machine-readable name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            SpanKind::Cascade => "cascade",
-            SpanKind::MemtableFlush => "flush",
-            SpanKind::Merge => "merge",
-            SpanKind::PairwiseFix => "pairwise_fix",
-            SpanKind::Compaction => "compaction",
-            SpanKind::WalAppend => "wal_append",
-            SpanKind::Checkpoint => "checkpoint",
-            SpanKind::Recovery => "recovery",
-            SpanKind::Lookup => "lookup",
-            SpanKind::Scan => "scan",
-        }
-    }
-
-    /// Chrome trace `tid` lane for this class.
-    pub fn lane(&self) -> u64 {
-        match self {
-            SpanKind::Cascade => 1,
-            SpanKind::MemtableFlush => 2,
-            SpanKind::Merge => 3,
-            SpanKind::PairwiseFix => 4,
-            SpanKind::Compaction => 5,
-            SpanKind::WalAppend => 6,
-            SpanKind::Checkpoint => 7,
-            SpanKind::Recovery => 8,
-            SpanKind::Lookup => 9,
-            SpanKind::Scan => 10,
-        }
-    }
-
-    /// Every kind, in lane order (used to pre-register viewer lanes).
-    pub fn all() -> [SpanKind; 10] {
-        [
-            SpanKind::Cascade,
-            SpanKind::MemtableFlush,
-            SpanKind::Merge,
-            SpanKind::PairwiseFix,
-            SpanKind::Compaction,
-            SpanKind::WalAppend,
-            SpanKind::Checkpoint,
-            SpanKind::Recovery,
-            SpanKind::Lookup,
-            SpanKind::Scan,
-        ]
-    }
+span_kinds! {
+    /// A whole merge cascade triggered by one request.
+    Cascade => ("cascade", 1),
+    /// Memtable extraction feeding a merge into L1.
+    MemtableFlush => ("flush", 2),
+    /// One merge into a target level.
+    Merge => ("merge", 3),
+    /// A pairwise seam fix after a partial merge.
+    PairwiseFix => ("pairwise_fix", 4),
+    /// A whole-level compaction.
+    Compaction => ("compaction", 5),
+    /// One WAL append (and its fsync, if any).
+    WalAppend => ("wal_append", 6),
+    /// A manifest checkpoint.
+    Checkpoint => ("checkpoint", 7),
+    /// Recovery (manifest load + WAL replay).
+    Recovery => ("recovery", 8),
+    /// A point lookup.
+    Lookup => ("lookup", 9),
+    /// A range scan.
+    Scan => ("scan", 10),
+    /// One front-end write, lock wait to ack. Its children partition the
+    /// latency into the wait states below plus WAL append and (inline
+    /// mode) cascade time; whatever they leave uncovered is memtable
+    /// insert time.
+    Put => ("put", 11),
+    /// Time parked on the tree / shard write lock.
+    LockWait => ("lock_wait", 12),
+    /// Time parked in the group-commit rendezvous waiting for a leader's
+    /// fsync to cover this request's WAL offset.
+    GroupCommitWait => ("group_commit_wait", 13),
+    /// Time stalled on backpressure: the sealed-memtable backlog at its
+    /// bound, waiting for the scheduler to flush room free.
+    BackpressureWait => ("backpressure_wait", 14),
 }
 
 /// Description of one span: its kind plus the attributes that name it.
@@ -270,6 +271,26 @@ impl SpanOp {
     /// A range scan.
     pub fn scan() -> Self {
         Self::new(SpanKind::Scan)
+    }
+
+    /// A front-end write (one put or delete, lock wait to ack).
+    pub fn put() -> Self {
+        Self::new(SpanKind::Put)
+    }
+
+    /// A wait on the tree / shard write lock.
+    pub fn lock_wait() -> Self {
+        Self::new(SpanKind::LockWait)
+    }
+
+    /// A wait in the group-commit rendezvous.
+    pub fn group_commit_wait() -> Self {
+        Self::new(SpanKind::GroupCommitWait)
+    }
+
+    /// A backpressure stall (sealed-memtable backlog at the bound).
+    pub fn backpressure_wait() -> Self {
+        Self::new(SpanKind::BackpressureWait)
     }
 
     /// The same op stamped with a shard index.
@@ -590,7 +611,6 @@ struct ChromeState {
     finished: bool,
     open: HashMap<u64, OpenChromeSpan>,
     named_pids: HashSet<u64>,
-    named_lanes: HashSet<(u64, u64)>,
 }
 
 /// Writes spans as Chrome `trace_event` JSON (the "JSON array format").
@@ -624,7 +644,6 @@ impl ChromeTraceSink {
                 finished: false,
                 open: HashMap::new(),
                 named_pids: HashSet::new(),
-                named_lanes: HashSet::new(),
             }),
         }
     }
@@ -669,28 +688,31 @@ impl ChromeTraceSink {
 
     fn ensure_names(state: &mut ChromeState, op: &SpanOp) {
         let pid = Self::pid_of(op);
-        if state.named_pids.insert(pid) {
-            let name = match op.shard {
-                Some(s) => format!("shard {s}"),
-                None => "lsm".to_string(),
-            };
-            let entry = Json::obj([
-                ("name", Json::from("process_name")),
-                ("ph", Json::from("M")),
-                ("pid", Json::from(pid)),
-                ("tid", Json::from(0u64)),
-                ("args", Json::obj([("name", Json::from(name))])),
-            ]);
-            Self::write_entry(state, &entry);
+        if !state.named_pids.insert(pid) {
+            return;
         }
-        let lane = op.kind.lane();
-        if state.named_lanes.insert((pid, lane)) {
+        let name = match op.shard {
+            Some(s) => format!("shard {s}"),
+            None => "lsm".to_string(),
+        };
+        let entry = Json::obj([
+            ("name", Json::from("process_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(pid)),
+            ("tid", Json::from(0u64)),
+            ("args", Json::obj([("name", Json::from(name))])),
+        ]);
+        Self::write_entry(state, &entry);
+        // Pre-register every lane in lane order on the pid's first
+        // sighting. `SpanKind::all()` is derived from the same variant
+        // list as `lane()`, so a new kind cannot miss its viewer row.
+        for kind in SpanKind::all() {
             let entry = Json::obj([
                 ("name", Json::from("thread_name")),
                 ("ph", Json::from("M")),
                 ("pid", Json::from(pid)),
-                ("tid", Json::from(lane)),
-                ("args", Json::obj([("name", Json::from(op.kind.name()))])),
+                ("tid", Json::from(kind.lane())),
+                ("args", Json::obj([("name", Json::from(kind.name()))])),
             ]);
             Self::write_entry(state, &entry);
         }

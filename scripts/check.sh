@@ -94,4 +94,30 @@ cargo run --release -q -p lsm-bench --bin lsm_top -- --once --windows=4 --window
 cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
     --compare=BENCH_fileio.json,BENCH_fileio.json > /dev/null
 
+echo "== tail anatomy smoke (report, validator, doctor blame table, lsm_top --json) =="
+tail_dir="$(mktemp -d)"
+trap 'rm -rf "$pm_dir" "$obs_dir" "$fileio_dir" "$health_dir" "$tail_dir"' EXIT
+# A traced smoke run writes a validated lsm-tail/v1 report plus the tail
+# gauges in the Prometheus exposition; the doctor re-validates it and the
+# committed baseline.
+cargo run --release -q -p lsm-bench --bin lsm_throughput -- --smoke --shards=2 \
+    --tick-clock --tail-out="$tail_dir/tail.json" --prom-out="$tail_dir/metrics.prom"
+grep -q "lsm_tail_windows_completed" "$tail_dir/metrics.prom" \
+    || { echo "tail gauges missing from exposition"; exit 1; }
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
+    --check-tail="$tail_dir/tail.json"
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- --check-tail=BENCH_tail.json
+# The doctor's own tail section must reconcile completed-span counts
+# exactly against the tree's request counters (exits 1 on mismatch).
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- --size-mb=2 --tail > /dev/null
+# The seeded stall scenario: blame must name backpressure_wait, twice
+# over the same seed, byte-identically.
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- --tail-stall > /dev/null
+# One machine-readable dashboard frame (health + tail reports embedded).
+cargo run --release -q -p lsm-bench --bin lsm_top -- --once --json --windows=4 \
+    --window-ops=200 > /dev/null
+# The comparator self-check holds for the tail baseline too.
+cargo run --release -q -p lsm-bench --bin lsm_doctor -- \
+    --compare=BENCH_tail.json,BENCH_tail.json > /dev/null
+
 echo "All checks passed."
